@@ -1,0 +1,60 @@
+// Figure 4: breakdown of mining time into regression / query processing /
+// remaining tasks, normalized to the slowest method (CUBE), for the Crime
+// dataset (D = 10k) and varying A.
+//
+// Expected shape: all methods spend the same absolute time on regression;
+// the regression share grows with A; CUBE's query-processing share grows
+// with A (exponential group blow-up).
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/crime.h"
+#include "pattern/mining.h"
+
+using namespace cape;         // NOLINT
+using namespace cape::bench;  // NOLINT
+
+int main() {
+  Banner("Figure 4", "Mining subtask breakdown (Crime, D=10k), normalized to CUBE total");
+
+  std::vector<int> attr_counts = {4, 7, 9};
+  if (std::getenv("CAPE_BENCH_FULL") != nullptr) attr_counts.push_back(11);
+
+  std::printf("%-4s %-10s %10s %10s %10s %10s %12s\n", "A", "miner", "regr(%)",
+              "query(%)", "other(%)", "total(%)", "total(s)");
+  for (int attrs : attr_counts) {
+    CrimeOptions data;
+    data.num_rows = 10000;
+    data.num_attrs = attrs;
+    data.seed = 7;
+    auto table = CheckResult(GenerateCrime(data), "GenerateCrime");
+    const MiningConfig config = PaperMiningConfig();
+
+    struct Entry {
+      const char* name;
+      MiningProfile profile;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"ARP-MINE",
+                       CheckResult(MakeArpMiner()->Mine(*table, config), "arp").profile});
+    entries.push_back(
+        {"SHARE-GRP",
+         CheckResult(MakeShareGrpMiner()->Mine(*table, config), "share").profile});
+    entries.push_back(
+        {"CUBE", CheckResult(MakeCubeMiner()->Mine(*table, config), "cube").profile});
+
+    const double cube_total = static_cast<double>(entries.back().profile.total_ns);
+    for (const Entry& e : entries) {
+      std::printf("%-4d %-10s %10.1f %10.1f %10.1f %10.1f %12.2f\n", attrs, e.name,
+                  100.0 * e.profile.regression_ns / cube_total,
+                  100.0 * e.profile.query_ns / cube_total,
+                  100.0 * e.profile.other_ns() / cube_total,
+                  100.0 * e.profile.total_ns / cube_total, e.profile.total_ns * 1e-9);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 5: ARP-MINE with and without the functional-dependency
+// optimizations (Appendix D) on the Crime dataset with A = 9, which carries
+// planted FDs (community -> district, community -> ward, beat -> community).
+//
+// Expected shape: activating the FD optimizations improves runtime by
+// roughly 20-50% (the paper reports 18-53%), and every pattern pruned is
+// redundant (implied by an un-pruned pattern).
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/crime.h"
+#include "pattern/mining.h"
+
+using namespace cape;         // NOLINT
+using namespace cape::bench;  // NOLINT
+
+int main() {
+  Banner("Figure 5", "ARP-MINE with/without FD optimizations (Crime, A=9)");
+
+  std::vector<int64_t> sizes = {10000, 20000, 40000};
+  if (std::getenv("CAPE_BENCH_FULL") != nullptr) sizes.push_back(160000);
+
+  // Use beat/ward/district attributes (positions 7/8 need num_attrs >= 9).
+  std::printf("%-8s %14s %14s %10s %14s %14s\n", "D", "no-FD(s)", "FD(s)", "saving",
+              "patterns(noFD)", "skipped-cands");
+  for (int64_t rows : sizes) {
+    CrimeOptions data;
+    data.num_rows = rows;
+    data.num_attrs = 9;
+    data.seed = 7;
+    auto table = CheckResult(GenerateCrime(data), "GenerateCrime");
+
+    MiningConfig config = PaperMiningConfig();
+    config.use_fd_optimizations = false;
+    auto without = CheckResult(MakeArpMiner()->Mine(*table, config), "no-fd");
+    config.use_fd_optimizations = true;
+    auto with = CheckResult(MakeArpMiner()->Mine(*table, config), "fd");
+
+    const double no_fd_s = without.profile.total_ns * 1e-9;
+    const double fd_s = with.profile.total_ns * 1e-9;
+    std::printf("%-8lld %14.2f %14.2f %9.1f%% %14zu %14lld\n",
+                static_cast<long long>(rows), no_fd_s, fd_s,
+                100.0 * (no_fd_s - fd_s) / no_fd_s, without.patterns.size(),
+                static_cast<long long>(with.profile.num_candidates_skipped_fd));
+  }
+  std::printf("\nFDs discovered at D=%lld: run with the detector enabled prunes\n"
+              "augmented patterns (Appendix D) in addition to saving time.\n",
+              static_cast<long long>(sizes.front()));
+  return 0;
+}

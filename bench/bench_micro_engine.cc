@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark) for the substrate operators the
+// mining/explanation costs are built from: hash group-by, multi-key sort,
+// CUBE, selection, regression fitting, and the chi-square CDF.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "datagen/crime.h"
+#include "relational/operators.h"
+#include "stats/distributions.h"
+#include "stats/regression.h"
+
+namespace cape {
+namespace {
+
+TablePtr BenchTable(int64_t rows) {
+  CrimeOptions options;
+  options.num_rows = rows;
+  options.num_attrs = 7;
+  options.seed = 3;
+  auto table = GenerateCrime(options);
+  return table.ok() ? *table : nullptr;
+}
+
+void BM_GroupByAggregate(benchmark::State& state) {
+  auto table = BenchTable(state.range(0));
+  for (auto _ : state) {
+    auto result = GroupByAggregate(*table, std::vector<int>{0, 1, 2},
+                                   {AggregateSpec::CountStar("cnt")});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByAggregate)->Arg(10000)->Arg(100000);
+
+void BM_SortTable(benchmark::State& state) {
+  auto table = BenchTable(state.range(0));
+  auto grouped = GroupByAggregate(*table, std::vector<int>{0, 1, 2},
+                                  {AggregateSpec::CountStar("cnt")});
+  for (auto _ : state) {
+    auto result = SortTable(**grouped, {SortKey{0, true}, SortKey{1, true}});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SortTable)->Arg(10000)->Arg(100000);
+
+void BM_Cube(benchmark::State& state) {
+  auto table = BenchTable(10000);
+  CubeOptions options;
+  options.min_group_size = 2;
+  options.max_group_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = Cube(*table, {0, 1, 2, 3, 4}, {AggregateSpec::CountStar("cnt")}, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Cube)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_FilterEquals(benchmark::State& state) {
+  auto table = BenchTable(state.range(0));
+  for (auto _ : state) {
+    auto result = FilterEquals(*table, {{0, Value::String("Battery")}});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FilterEquals)->Arg(10000)->Arg(100000);
+
+void BM_ConstantRegression(benchmark::State& state) {
+  std::mt19937_64 rng(5);
+  std::poisson_distribution<int> pois(20);
+  std::vector<double> y;
+  for (int64_t i = 0; i < state.range(0); ++i) y.push_back(pois(rng));
+  for (auto _ : state) {
+    auto model = ConstantRegression::Fit(y);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ConstantRegression)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_LinearRegression(benchmark::State& state) {
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    X.push_back({static_cast<double>(i), static_cast<double>(i % 12)});
+    y.push_back(0.3 * static_cast<double>(i) + noise(rng));
+  }
+  for (auto _ : state) {
+    auto model = LinearRegression::Fit(X, y);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LinearRegression)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ChiSquareSf(benchmark::State& state) {
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ChiSquareSf(x, 16.0));
+    x += 0.1;
+    if (x > 60.0) x = 0.1;
+  }
+}
+BENCHMARK(BM_ChiSquareSf);
+
+}  // namespace
+}  // namespace cape
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Table 4: top-5 CAPE explanations for the `high` question
+// (Q0, Pub, (AX, SIGKDD, 2012, 9), high).
+//
+// Expected shape (paper Table 4): a coarse low year total (the paper's
+// (AX, 2013, 43)) plus low per-venue counts in 2012/2013 (TKDE 2012,
+// SIGMOD 2012/2013).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/dblp.h"
+
+using namespace cape;         // NOLINT
+using namespace cape::bench;  // NOLINT
+
+int main() {
+  Banner("Table 4", "Top-5 CAPE explanations for (Q0, Pub, (AX, SIGKDD, 2012, 9), high)");
+
+  DblpOptions data;
+  data.num_rows = 30000;
+  data.seed = 42;
+  auto table = CheckResult(GenerateDblp(data), "GenerateDblp");
+  Engine engine = CheckResult(Engine::FromTable(table), "Engine::FromTable");
+
+  MiningConfig& mining = engine.mining_config();
+  mining.max_pattern_size = 3;
+  mining.local_gof_threshold = 0.2;
+  mining.local_support_threshold = 3;
+  mining.global_confidence_threshold = 0.3;
+  mining.global_support_threshold = 10;
+  mining.agg_functions = {AggFunc::kCount};
+  mining.excluded_attrs = {"pubid"};
+  CheckOk(engine.MinePatterns("ARP-MINE"), "MinePatterns");
+
+  engine.explain_config().top_k = 5;
+  auto question = CheckResult(
+      engine.MakeQuestion({"author", "venue", "year"},
+                          {Value::String(kDblpPlantedAuthor), Value::String("SIGKDD"),
+                           Value::Int64(2012)},
+                          AggFunc::kCount, "*", Direction::kHigh),
+      "MakeQuestion");
+  std::printf("question: %s\n\n", question.ToString().c_str());
+
+  auto result = CheckResult(engine.Explain(question), "Explain");
+  std::printf("%s\n", engine.RenderExplanations(result.explanations).c_str());
+  return 0;
+}

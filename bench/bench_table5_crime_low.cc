@@ -1,0 +1,47 @@
+// Table 5: top-5 CAPE explanations for phi1 = (Q_Crime,
+// (Battery, 26, 2011, low)) on the (synthetic) Chicago crime dataset.
+//
+// Expected shape (paper Table 5): the 2012 spike in area 26 (total and
+// Battery-specific), the adjacent area 25 Battery spike in 2011, and the
+// Assault spike in area 26 in 2011.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/crime.h"
+
+using namespace cape;         // NOLINT
+using namespace cape::bench;  // NOLINT
+
+int main() {
+  Banner("Table 5", "Top-5 CAPE explanations for phi1 = (Q_Crime, (Battery, 26, 2011), low)");
+
+  CrimeOptions data;
+  data.num_rows = 50000;
+  data.seed = 7;
+  auto table = CheckResult(GenerateCrime(data), "GenerateCrime");
+  Engine engine = CheckResult(Engine::FromTable(table), "Engine::FromTable");
+
+  MiningConfig& mining = engine.mining_config();
+  mining.max_pattern_size = 3;
+  mining.local_gof_threshold = 0.15;
+  mining.local_support_threshold = 3;
+  mining.global_confidence_threshold = 0.3;
+  mining.global_support_threshold = 5;
+  mining.agg_functions = {AggFunc::kCount};
+  CheckOk(engine.MinePatterns("ARP-MINE"), "MinePatterns");
+  std::printf("mined %zu global patterns in %.1f ms\n\n", engine.patterns().size(),
+              engine.mining_profile().total_ns * 1e-6);
+
+  engine.explain_config().top_k = 5;
+  auto question = CheckResult(
+      engine.MakeQuestion({"primary_type", "community", "year"},
+                          {Value::String("Battery"), Value::Int64(26), Value::Int64(2011)},
+                          AggFunc::kCount, "*", Direction::kLow),
+      "MakeQuestion");
+  std::printf("question: %s\n\n", question.ToString().c_str());
+
+  auto result = CheckResult(engine.Explain(question), "Explain");
+  std::printf("%s\n", engine.RenderExplanations(result.explanations).c_str());
+  return 0;
+}

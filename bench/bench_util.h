@@ -1,0 +1,83 @@
+#ifndef CAPE_BENCH_BENCH_UTIL_H_
+#define CAPE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "relational/operators.h"
+
+namespace cape::bench {
+
+/// Aborts with a message on error — benchmark harnesses have no caller to
+/// propagate a Status to.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "[bench] %s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckResult(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "[bench] %s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* experiment, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("==============================================================\n");
+}
+
+/// The paper's Section 5.1 mining thresholds: psi=4, theta=0.5, lambda=0.5,
+/// delta=15, Delta=15 (used for the mining performance figures).
+inline MiningConfig PaperMiningConfig() {
+  MiningConfig config;
+  config.max_pattern_size = 4;
+  config.local_gof_threshold = 0.5;
+  config.local_support_threshold = 15;
+  config.global_confidence_threshold = 0.5;
+  config.global_support_threshold = 15;
+  config.agg_functions = {AggFunc::kCount};
+  return config;
+}
+
+/// Questions biased toward large groups ("worst case for explanation
+/// generation", Section 5.2): takes the `count`-largest groups of
+/// gamma_{group_by, count(*)}(table).
+inline std::vector<UserQuestion> GenerateQuestions(TablePtr table,
+                                                   const std::vector<std::string>& group_by,
+                                                   int count, Direction dir) {
+  std::vector<int> cols;
+  for (const std::string& name : group_by) {
+    cols.push_back(table->schema()->GetFieldIndex(name));
+  }
+  auto grouped = CheckResult(
+      GroupByAggregate(*table, cols, {AggregateSpec::CountStar("cnt")}), "group-by");
+  auto sorted = CheckResult(
+      SortTable(*grouped, {SortKey{static_cast<int>(cols.size()), false}}), "sort");
+  std::vector<UserQuestion> questions;
+  for (int64_t row = 0; row < sorted->num_rows() && static_cast<int>(questions.size()) < count;
+       ++row) {
+    std::vector<Value> values;
+    for (size_t c = 0; c < cols.size(); ++c) {
+      values.push_back(sorted->GetValue(row, static_cast<int>(c)));
+    }
+    auto q = MakeUserQuestion(table, group_by, values, AggFunc::kCount, "*", dir);
+    if (q.ok()) questions.push_back(std::move(q).ValueOrDie());
+  }
+  return questions;
+}
+
+}  // namespace cape::bench
+
+#endif  // CAPE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,84 @@
+// Crime analysis: CAPE on a wide, hierarchical dataset (Appendix A.1).
+//
+// Demonstrates:
+//   * mining with FD optimizations on a schema with real hierarchies
+//     (beat -> community -> district),
+//   * the Table 5 scenario: explaining a dip in Battery crimes,
+//   * customizing the distance model (class-based venue distance analog:
+//     adjacent community areas are "near").
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/engine.h"
+#include "datagen/crime.h"
+#include "explain/distance.h"
+
+using namespace cape;  // NOLINT — example brevity
+
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << status.ToString() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  CrimeOptions data;
+  data.num_rows = 40000;
+  data.num_attrs = 9;  // includes district/beat/ward with planted FDs
+  data.seed = 7;
+  auto table_result = GenerateCrime(data);
+  if (!table_result.ok()) return Fail(table_result.status());
+  TablePtr table = std::move(table_result).ValueOrDie();
+  std::cout << "=== Crime sample (" << table->num_rows() << " rows, "
+            << table->num_columns() << " attributes) ===\n"
+            << table->ToString(6) << "\n";
+
+  auto engine_result = Engine::FromTable(table);
+  if (!engine_result.ok()) return Fail(engine_result.status());
+  Engine engine = std::move(engine_result).ValueOrDie();
+
+  MiningConfig& mining = engine.mining_config();
+  mining.max_pattern_size = 3;
+  mining.local_gof_threshold = 0.15;
+  mining.local_support_threshold = 3;
+  mining.global_confidence_threshold = 0.3;
+  mining.global_support_threshold = 5;
+  mining.agg_functions = {AggFunc::kCount};
+  mining.use_fd_optimizations = true;  // exploit beat -> community -> district
+
+  Status st = engine.MinePatterns("ARP-MINE");
+  if (!st.ok()) return Fail(st);
+  const MiningProfile& profile = engine.mining_profile();
+  std::printf("mined %zu patterns in %.1f ms; FD optimization skipped %lld candidates\n\n",
+              engine.patterns().size(), profile.total_ns * 1e-6,
+              static_cast<long long>(profile.num_candidates_skipped_fd));
+
+  // Make adjacent community areas "near" so counterbalances in neighboring
+  // areas (the paper's area 25 vs 26) are preferred over distant ones.
+  const int community_col = engine.schema().GetFieldIndex("community");
+  engine.distance_model().SetDistance(
+      community_col, std::make_shared<BandedNumericDistance>(/*band=*/1.0));
+
+  auto q = engine.MakeQuestion(
+      {"primary_type", "community", "year"},
+      {Value::String("Battery"), Value::Int64(26), Value::Int64(2011)}, AggFunc::kCount,
+      "*", Direction::kLow);
+  if (!q.ok()) return Fail(q.status());
+  std::cout << "=== " << q->ToString() << " ===\n";
+
+  auto result = engine.Explain(*q);
+  if (!result.ok()) return Fail(result.status());
+  std::cout << engine.RenderExplanations(result->explanations) << "\n";
+
+  std::printf("generation: %.1f ms, %lld relevant patterns, %lld (P, P') pairs, "
+              "%lld pairs pruned\n",
+              result->profile.total_ns * 1e-6,
+              static_cast<long long>(result->profile.num_relevant_patterns),
+              static_cast<long long>(result->profile.num_refinement_pairs),
+              static_cast<long long>(result->profile.num_pairs_pruned));
+  return 0;
+}

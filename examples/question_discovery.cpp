@@ -1,0 +1,88 @@
+// Question discovery: the fully automatic analysis loop.
+//
+// CAPE's pipeline assumes the analyst already spotted an outlier. This
+// example closes the loop: mined patterns themselves surface the most
+// question-worthy aggregate answers (largest deviations from their local
+// models), and the top recommendation is immediately explained — no human
+// in the loop.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/engine.h"
+#include "datagen/crime.h"
+#include "explain/question_finder.h"
+
+using namespace cape;  // NOLINT — example brevity
+
+int main() {
+  CrimeOptions data;
+  data.num_rows = 30000;
+  data.num_attrs = 7;
+  data.seed = 7;
+  auto table_result = GenerateCrime(data);
+  if (!table_result.ok()) {
+    std::cerr << table_result.status().ToString() << "\n";
+    return 1;
+  }
+  TablePtr table = std::move(table_result).ValueOrDie();
+
+  auto engine_result = Engine::FromTable(table);
+  if (!engine_result.ok()) {
+    std::cerr << engine_result.status().ToString() << "\n";
+    return 1;
+  }
+  Engine engine = std::move(engine_result).ValueOrDie();
+  MiningConfig& mining = engine.mining_config();
+  mining.max_pattern_size = 3;
+  mining.local_gof_threshold = 0.15;
+  mining.local_support_threshold = 3;
+  mining.global_confidence_threshold = 0.3;
+  mining.global_support_threshold = 5;
+  mining.agg_functions = {AggFunc::kCount};
+  if (Status st = engine.MinePatterns(); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::printf("mined %zu patterns from %lld rows\n\n", engine.patterns().size(),
+              static_cast<long long>(table->num_rows()));
+
+  // 1. Let the patterns propose questions.
+  QuestionFinderOptions finder;
+  finder.top_k = 8;
+  finder.min_outlierness = 0.4;
+  auto candidates = FindCandidateQuestions(table, engine.patterns(), finder);
+  if (!candidates.ok()) {
+    std::cerr << candidates.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "=== Recommended questions (ranked by outlierness) ===\n";
+  for (size_t i = 0; i < candidates->size(); ++i) {
+    const CandidateQuestion& cq = (*candidates)[i];
+    std::printf("%zu. %-70s dev=%+.1f (x%.2f)\n", i + 1,
+                cq.question.ToString().c_str(), cq.deviation, cq.outlierness);
+  }
+  if (candidates->empty()) {
+    std::cout << "(no outliers above the threshold)\n";
+    return 0;
+  }
+
+  // 2. Explain the strongest one end to end.
+  const CandidateQuestion& top = (*candidates)[0];
+  std::cout << "\n=== Explaining #1: " << top.question.ToString() << " ===\n";
+  std::printf("flagged by pattern: %s\n\n",
+              top.pattern.ToString(engine.schema()).c_str());
+  auto provenance = top.question.Provenance();
+  if (provenance.ok()) {
+    std::printf("(provenance of this answer: %lld input rows — none of which "
+                "explain the anomaly)\n\n",
+                static_cast<long long>((*provenance)->num_rows()));
+  }
+  auto result = engine.Explain(top.question);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << engine.RenderExplanations(result->explanations);
+  return 0;
+}

@@ -1,0 +1,137 @@
+// SQL session: a CLI-style front end over the engine.
+//
+//   SELECT author, venue, count(*) AS pubcnt FROM pub
+//       WHERE year >= 2005 GROUP BY author, venue ORDER BY pubcnt DESC LIMIT 5;
+//   EXPLAIN WHY count(*) IS LOW FOR author='AX', venue='SIGKDD', year=2007
+//       FROM pub TOP 10;
+//
+// Reads statements from stdin (one per line; lines starting with -- are
+// comments); with no piped input it runs a built-in demo script.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "core/engine.h"
+#include "datagen/dblp.h"
+#include "relational/catalog.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+
+using namespace cape;  // NOLINT — example brevity
+
+namespace {
+
+constexpr const char* kDemoScript = R"sql(
+-- Explore the data first.
+SELECT venue, count(*) AS pubs FROM pub GROUP BY venue ORDER BY pubs DESC LIMIT 5;
+SELECT year, count(*) AS pubs FROM pub WHERE author = 'AX' GROUP BY year ORDER BY year;
+SELECT venue, year, count(*) AS pubs FROM pub WHERE author = 'AX' AND year = 2007 GROUP BY venue, year;
+-- Now ask CAPE the running-example question.
+EXPLAIN WHY count(*) IS LOW FOR author='AX', venue='SIGKDD', year=2007 FROM pub TOP 10;
+EXPLAIN WHY count(*) IS HIGH FOR author='AX', venue='SIGKDD', year=2012 FROM pub TOP 5;
+)sql";
+
+class Session {
+ public:
+  explicit Session(Engine engine) : engine_(std::move(engine)) {
+    catalog_.RegisterOrReplaceTable("pub", engine_.table());
+  }
+
+  void Run(std::istream& input) {
+    std::string line;
+    while (std::getline(input, line)) {
+      const std::string trimmed(TrimLeft(line));
+      if (trimmed.empty() || trimmed.rfind("--", 0) == 0) continue;
+      std::cout << "cape> " << trimmed << "\n";
+      Execute(trimmed);
+      std::cout << "\n";
+    }
+  }
+
+ private:
+  static std::string TrimLeft(const std::string& s) {
+    size_t i = 0;
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    return s.substr(i);
+  }
+
+  void Execute(const std::string& sql) {
+    auto statement = ParseStatement(sql);
+    if (!statement.ok()) {
+      std::cout << "error: " << statement.status().ToString() << "\n";
+      return;
+    }
+    if (auto* select = std::get_if<SelectQuery>(&*statement)) {
+      auto result = ExecuteSelect(catalog_, *select);
+      if (!result.ok()) {
+        std::cout << "error: " << result.status().ToString() << "\n";
+        return;
+      }
+      std::cout << (*result)->ToString(20);
+      return;
+    }
+    const auto& why = std::get<ExplainWhyCommand>(*statement);
+    auto question = BuildQuestion(catalog_, why);
+    if (!question.ok()) {
+      std::cout << "error: " << question.status().ToString() << "\n";
+      return;
+    }
+    if (why.top_k.has_value()) {
+      engine_.explain_config().top_k = static_cast<int>(*why.top_k);
+    }
+    auto result = engine_.Explain(*question);
+    if (!result.ok()) {
+      std::cout << "error: " << result.status().ToString() << "\n";
+      return;
+    }
+    std::cout << question->ToString() << "\n"
+              << engine_.RenderExplanations(result->explanations);
+  }
+
+  Engine engine_;
+  Catalog catalog_;
+};
+
+}  // namespace
+
+int main() {
+  DblpOptions data;
+  data.num_rows = 20000;
+  data.seed = 42;
+  auto table = GenerateDblp(data);
+  if (!table.ok()) {
+    std::cerr << table.status().ToString() << "\n";
+    return 1;
+  }
+  auto engine_result = Engine::FromTable(std::move(table).ValueOrDie());
+  if (!engine_result.ok()) {
+    std::cerr << engine_result.status().ToString() << "\n";
+    return 1;
+  }
+  Engine engine = std::move(engine_result).ValueOrDie();
+  MiningConfig& mining = engine.mining_config();
+  mining.max_pattern_size = 3;
+  mining.local_gof_threshold = 0.2;
+  mining.local_support_threshold = 3;
+  mining.global_confidence_threshold = 0.3;
+  mining.global_support_threshold = 10;
+  mining.agg_functions = {AggFunc::kCount};
+  mining.excluded_attrs = {"pubid"};
+  if (Status st = engine.MinePatterns(); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Loaded table `pub` (" << engine.table()->num_rows() << " rows); mined "
+            << engine.patterns().size() << " patterns.\n\n";
+
+  Session session(std::move(engine));
+  if (isatty(STDIN_FILENO)) {
+    std::istringstream demo(kDemoScript);
+    session.Run(demo);
+  } else {
+    session.Run(std::cin);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+#ifndef CAPE_COMMON_HASH_H_
+#define CAPE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace cape {
+
+/// Mixes `value` into `seed` (boost::hash_combine recipe, 64-bit variant).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+template <typename T>
+size_t HashValue(const T& v) {
+  return std::hash<T>{}(v);
+}
+
+/// FNV-1a over raw bytes; used for composite group-by keys.
+inline size_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace cape
+
+#endif  // CAPE_COMMON_HASH_H_

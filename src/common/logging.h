@@ -1,0 +1,79 @@
+#ifndef CAPE_COMMON_LOGGING_H_
+#define CAPE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cape {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level below which log statements are discarded.
+/// Defaults to kWarning so library internals stay quiet in tests/benches.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log statement and emits it to stderr on destruction.
+/// Fatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a disabled log statement's stream expression.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Lower-precedence-than-<< sink so CAPE_LOG(...) << a << b parses as one
+/// expression whose whole stream chain is evaluated lazily.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace cape
+
+#define CAPE_LOG(level)                                                  \
+  (::cape::LogLevel::k##level < ::cape::GetLogLevel())                   \
+      ? (void)0                                                          \
+      : ::cape::internal::Voidify() &                                    \
+            ::cape::internal::LogMessage(::cape::LogLevel::k##level,     \
+                                         __FILE__, __LINE__)             \
+                .stream()
+
+#define CAPE_LOG_STREAM(level) \
+  ::cape::internal::LogMessage(::cape::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+/// Internal-invariant check: aborts with a message when `cond` is false.
+/// Used for conditions that indicate a bug in CAPE itself, never for user
+/// input validation (which returns Status).
+#define CAPE_CHECK(cond)                                                     \
+  if (__builtin_expect(!!(cond), 1)) {                                       \
+  } else                                                                     \
+    ::cape::internal::LogMessage(::cape::LogLevel::kFatal, __FILE__,         \
+                                 __LINE__)                                   \
+        .stream()                                                            \
+        << "Check failed: " #cond " "
+
+#define CAPE_DCHECK(cond) CAPE_CHECK(cond)
+
+#endif  // CAPE_COMMON_LOGGING_H_

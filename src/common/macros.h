@@ -1,0 +1,30 @@
+#ifndef CAPE_COMMON_MACROS_H_
+#define CAPE_COMMON_MACROS_H_
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// Propagates a non-OK Status to the caller.
+#define CAPE_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::cape::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (false)
+
+#define CAPE_CONCAT_IMPL(x, y) x##y
+#define CAPE_CONCAT(x, y) CAPE_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T>-returning expression; on success binds the value to
+/// `lhs` (which may include a declaration), on failure returns the status.
+#define CAPE_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  CAPE_ASSIGN_OR_RETURN_IMPL(CAPE_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define CAPE_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = std::move(result_name).ValueOrDie()
+
+#define CAPE_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#define CAPE_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+
+#endif  // CAPE_COMMON_MACROS_H_

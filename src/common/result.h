@@ -1,0 +1,74 @@
+#ifndef CAPE_COMMON_RESULT_H_
+#define CAPE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace cape {
+
+/// Result<T> holds either a value of type T or an error Status.
+///
+/// It is the return type of fallible functions that produce a value, in the
+/// style of arrow::Result. Use ValueOrDie()/operator* after checking ok(),
+/// or the CAPE_ASSIGN_OR_RETURN macro (macros.h) to propagate errors.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit so `return value;` works).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs a Result holding an error status. `status.ok()` is a
+  /// programming error and is normalized to an Internal error.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns the contained status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+
+  /// Value access. Undefined when !ok(); asserts in debug builds.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `alternative` when this Result holds an error.
+  T ValueOr(T alternative) const& {
+    return ok() ? std::get<T>(data_) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+}  // namespace cape
+
+#endif  // CAPE_COMMON_RESULT_H_

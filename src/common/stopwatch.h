@@ -1,0 +1,51 @@
+#ifndef CAPE_COMMON_STOPWATCH_H_
+#define CAPE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cape {
+
+/// Monotonic wall-clock stopwatch used for benchmark harnesses and for the
+/// per-subtask mining profile (Figure 4).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds since construction or the last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) * 1e-9; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedNanos()) * 1e-6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's duration to an external nanosecond accumulator.
+/// Used to attribute mining time to subtasks (regression / query / other).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* accumulator_ns) : accumulator_ns_(accumulator_ns) {}
+  ~ScopedTimer() {
+    if (accumulator_ns_ != nullptr) *accumulator_ns_ += watch_.ElapsedNanos();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* accumulator_ns_;
+  Stopwatch watch_;
+};
+
+}  // namespace cape
+
+#endif  // CAPE_COMMON_STOPWATCH_H_

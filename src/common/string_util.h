@@ -1,0 +1,42 @@
+#ifndef CAPE_COMMON_STRING_UTIL_H_
+#define CAPE_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cape {
+
+/// Splits `input` on `delim`, keeping empty fields (like SQL CSV semantics).
+std::vector<std::string> SplitString(std::string_view input, char delim);
+
+/// Joins the string representations of `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// ASCII lower-casing (domain values in CAPE datasets are ASCII).
+std::string ToLowerAscii(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict parse of a whole string as int64 / double. Errors when the string
+/// is empty, has trailing junk, or overflows.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// Renders a double with enough precision for round-tripping while dropping
+/// the noisy trailing zeros of std::to_string.
+std::string FormatDouble(double value);
+
+/// printf-style formatting into std::string.
+std::string StringFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace cape
+
+#endif  // CAPE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,75 @@
+#include "core/engine.h"
+
+#include "common/macros.h"
+#include "pattern/pattern_io.h"
+#include "relational/csv.h"
+
+namespace cape {
+
+Engine::Engine(TablePtr table)
+    : table_(std::move(table)), distance_model_(DistanceModel::MakeDefault(*table_)) {}
+
+Result<Engine> Engine::FromTable(TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("table must not be null");
+  CAPE_RETURN_IF_ERROR(table->Validate());
+  if (table->num_columns() > 64) {
+    return Status::InvalidArgument("relations wider than 64 attributes are not supported");
+  }
+  return Engine(std::move(table));
+}
+
+Result<Engine> Engine::FromCsvFile(const std::string& path) {
+  CAPE_ASSIGN_OR_RETURN(TablePtr table, ReadCsvFile(path));
+  return FromTable(std::move(table));
+}
+
+Status Engine::MinePatterns(const std::string& miner_name) {
+  CAPE_ASSIGN_OR_RETURN(auto miner, MakeMinerByName(miner_name));
+  CAPE_ASSIGN_OR_RETURN(MiningResult result, miner->Mine(*table_, mining_config_));
+  patterns_ = std::move(result.patterns);
+  mining_profile_ = result.profile;
+  return Status::OK();
+}
+
+Status Engine::SavePatterns(const std::string& path) const {
+  if (!patterns_.has_value()) {
+    return Status::InvalidArgument("no patterns mined; call MinePatterns() first");
+  }
+  return SavePatternSet(*patterns_, schema(), path);
+}
+
+Status Engine::LoadPatterns(const std::string& path) {
+  CAPE_ASSIGN_OR_RETURN(PatternSet loaded, LoadPatternSet(path, schema()));
+  patterns_ = std::move(loaded);
+  return Status::OK();
+}
+
+Result<UserQuestion> Engine::MakeQuestion(const std::vector<std::string>& group_by,
+                                          const std::vector<Value>& group_values,
+                                          AggFunc agg, const std::string& agg_attr,
+                                          Direction dir) const {
+  return MakeUserQuestion(table_, group_by, group_values, agg, agg_attr, dir);
+}
+
+Result<ExplainResult> Engine::Explain(const UserQuestion& question, bool optimized) const {
+  if (!patterns_.has_value()) {
+    return Status::InvalidArgument("no patterns mined; call MinePatterns() first");
+  }
+  auto generator = optimized ? MakeOptimizedExplainer() : MakeNaiveExplainer();
+  return generator->Explain(question, *patterns_, distance_model_, explain_config_);
+}
+
+Result<ExplainResult> Engine::ExplainBaseline(const UserQuestion& question) const {
+  return BaselineExplain(question, distance_model_, explain_config_);
+}
+
+std::string Engine::RenderExplanations(const std::vector<Explanation>& explanations) const {
+  return RenderExplanationTable(explanations, schema());
+}
+
+std::string Engine::RenderPatterns(size_t max_patterns) const {
+  if (!patterns_.has_value()) return "(no patterns mined)\n";
+  return patterns_->ToString(schema(), max_patterns);
+}
+
+}  // namespace cape

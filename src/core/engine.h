@@ -1,0 +1,100 @@
+#ifndef CAPE_CORE_ENGINE_H_
+#define CAPE_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "explain/baseline.h"
+#include "explain/explainer.h"
+#include "pattern/mining.h"
+#include "relational/table.h"
+
+namespace cape {
+
+/// The CAPE system facade: load a relation, mine aggregate regression
+/// patterns offline, then answer "why is this aggregate high/low?" questions
+/// with ranked counterbalance explanations.
+///
+/// Typical use (see examples/quickstart.cc):
+///
+///   CAPE_ASSIGN_OR_RETURN(auto engine, Engine::FromCsvFile("pubs.csv"));
+///   engine.mining_config().local_gof_threshold = 0.3;
+///   CAPE_RETURN_IF_ERROR(engine.MinePatterns());
+///   CAPE_ASSIGN_OR_RETURN(auto question,
+///       engine.MakeQuestion({"author", "venue", "year"},
+///                           {Value::String("AX"), Value::String("SIGKDD"),
+///                            Value::Int64(2007)},
+///                           AggFunc::kCount, "*", Direction::kLow));
+///   CAPE_ASSIGN_OR_RETURN(auto result, engine.Explain(question));
+///   std::cout << engine.RenderExplanations(result.explanations);
+class Engine {
+ public:
+  /// Wraps an in-memory relation. The table must validate.
+  static Result<Engine> FromTable(TablePtr table);
+
+  /// Loads a relation from a CSV file (types inferred).
+  static Result<Engine> FromCsvFile(const std::string& path);
+
+  const TablePtr& table() const { return table_; }
+  const Schema& schema() const { return *table_->schema(); }
+
+  /// Mutable configuration, applied at the next MinePatterns()/Explain().
+  MiningConfig& mining_config() { return mining_config_; }
+  const MiningConfig& mining_config() const { return mining_config_; }
+  ExplainConfig& explain_config() { return explain_config_; }
+  DistanceModel& distance_model() { return distance_model_; }
+  const DistanceModel& distance_model() const { return distance_model_; }
+
+  /// Runs offline ARP mining with the named algorithm ("ARP-MINE" default;
+  /// also NAIVE, CUBE, SHARE-GRP). Replaces any previously mined patterns.
+  Status MinePatterns(const std::string& miner_name = "ARP-MINE");
+
+  /// Injects an externally mined or filtered pattern set (used by benches
+  /// to vary N_P).
+  void SetPatterns(PatternSet patterns) { patterns_ = std::move(patterns); }
+
+  /// Persists the mined patterns (offline phase) / restores them (online
+  /// phase). Loading validates the schema fingerprint embedded in the file.
+  Status SavePatterns(const std::string& path) const;
+  Status LoadPatterns(const std::string& path);
+
+  bool has_patterns() const { return patterns_.has_value(); }
+  const PatternSet& patterns() const { return *patterns_; }
+  const MiningProfile& mining_profile() const { return mining_profile_; }
+
+  /// Builds a validated user question against this engine's relation.
+  Result<UserQuestion> MakeQuestion(const std::vector<std::string>& group_by,
+                                    const std::vector<Value>& group_values, AggFunc agg,
+                                    const std::string& agg_attr, Direction dir) const;
+
+  /// Generates top-k counterbalance explanations. `optimized` selects
+  /// EXPL-GEN-OPT (Section 3.5) over EXPL-GEN-NAIVE (Algorithm 1).
+  /// Requires MinePatterns()/SetPatterns() to have run.
+  Result<ExplainResult> Explain(const UserQuestion& question, bool optimized = true) const;
+
+  /// The Appendix A.2 pattern-free baseline, for comparison.
+  Result<ExplainResult> ExplainBaseline(const UserQuestion& question) const;
+
+  /// Paper-style ranked table rendering.
+  std::string RenderExplanations(const std::vector<Explanation>& explanations) const;
+
+  /// Multi-line dump of the mined pattern set.
+  std::string RenderPatterns(size_t max_patterns = 50) const;
+
+ private:
+  explicit Engine(TablePtr table);
+
+  TablePtr table_;
+  MiningConfig mining_config_;
+  ExplainConfig explain_config_;
+  DistanceModel distance_model_;
+  std::optional<PatternSet> patterns_;
+  MiningProfile mining_profile_;
+};
+
+}  // namespace cape
+
+#endif  // CAPE_CORE_ENGINE_H_

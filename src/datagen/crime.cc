@@ -1,0 +1,184 @@
+#include "datagen/crime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace cape {
+
+namespace {
+
+const char* const kCrimeTypes[] = {
+    "Battery",         "Theft",           "Narcotics",      "Assault",
+    "Burglary",        "Robbery",         "Criminal Damage", "Motor Vehicle Theft",
+    "Deceptive Practice", "Weapons",      "Prostitution",   "Trespass",
+    "Public Peace",    "Homicide",        "Arson",          "Gambling",
+    "Kidnapping",      "Stalking",        "Obscenity",      "Intimidation",
+};
+constexpr int kNumCrimeTypes = static_cast<int>(sizeof(kCrimeTypes) / sizeof(kCrimeTypes[0]));
+
+const char* const kLocations[] = {
+    "Street",     "Residence", "Apartment", "Sidewalk",  "Garage",   "Alley",
+    "Park",       "School",    "Store",     "Restaurant", "Bank",    "CTA bus",
+    "CTA train",  "Parking lot", "Gas station", "Church", "Hospital", "Office",
+    "Warehouse",  "Vacant lot", "Hotel",    "Bar",       "Library",  "Stadium",
+    "Airport",    "Bridge",    "Riverbank", "Cemetery",  "Club",     "Dock",
+    "Factory",    "Farm",      "Forest",    "Garden",    "Gym",      "Harbor",
+    "Jail",       "Market",    "Museum",    "Plaza",
+};
+constexpr int kNumLocations = static_cast<int>(sizeof(kLocations) / sizeof(kLocations[0]));
+
+}  // namespace
+
+Result<TablePtr> GenerateCrime(const CrimeOptions& options) {
+  if (options.num_rows <= 0) return Status::InvalidArgument("num_rows must be positive");
+  if (options.num_attrs < 4 || options.num_attrs > 11) {
+    return Status::InvalidArgument("num_attrs must be in [4, 11]");
+  }
+  if (options.num_types < 1 || options.num_types > kNumCrimeTypes) {
+    return Status::InvalidArgument("num_types must be in [1, " +
+                                   std::to_string(kNumCrimeTypes) + "]");
+  }
+  if (options.num_communities < 1) {
+    return Status::InvalidArgument("num_communities must be positive");
+  }
+  if (options.year_min > options.year_max) {
+    return Status::InvalidArgument("year_min must be <= year_max");
+  }
+
+  const std::vector<Field> all_fields = {
+      Field{"primary_type", DataType::kString, false},
+      Field{"community", DataType::kInt64, false},
+      Field{"year", DataType::kInt64, false},
+      Field{"month", DataType::kInt64, false},
+      Field{"district", DataType::kInt64, false},
+      Field{"location_desc", DataType::kString, false},
+      Field{"arrest", DataType::kString, false},
+      Field{"beat", DataType::kInt64, false},
+      Field{"ward", DataType::kInt64, false},
+      Field{"week", DataType::kInt64, false},
+      Field{"block", DataType::kString, false},
+  };
+  std::vector<Field> fields(all_fields.begin(),
+                            all_fields.begin() + options.num_attrs);
+  auto table = std::make_shared<Table>(Schema::Make(std::move(fields)));
+  table->Reserve(options.num_rows);
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const int num_years = options.year_max - options.year_min + 1;
+
+  // Popularity skew over types and communities; per-community linear trend
+  // over years (some rising, some falling) plus mild seasonality.
+  std::vector<double> type_weight(static_cast<size_t>(options.num_types));
+  for (int t = 0; t < options.num_types; ++t) {
+    type_weight[static_cast<size_t>(t)] = 1.0 / (1.0 + t);
+  }
+  std::vector<double> community_weight(static_cast<size_t>(options.num_communities));
+  std::vector<double> community_trend(static_cast<size_t>(options.num_communities));
+  for (int c = 0; c < options.num_communities; ++c) {
+    community_weight[static_cast<size_t>(c)] = 0.3 + unit(rng);
+    community_trend[static_cast<size_t>(c)] =
+        options.year_trend ? -0.04 + 0.08 * unit(rng) : 0.0;  // per-year slope
+  }
+  std::discrete_distribution<int> type_dist(type_weight.begin(), type_weight.end());
+  std::discrete_distribution<int> community_dist(community_weight.begin(),
+                                                 community_weight.end());
+
+  // Planted scenario rows are emitted with fixed counts; the sampled stream
+  // fills the remainder.
+  struct Planted {
+    const char* type;
+    int community;
+    int year;
+    int count;
+  };
+  std::vector<Planted> planted;
+  if (options.plant_scenario && options.num_communities >= 26 &&
+      options.year_min <= 2010 && options.year_max >= 2012) {
+    // A steady per-year floor for the scenario cells keeps each fragment's
+    // Pearson chi-square within noise while the dip/spikes remain clear
+    // outliers relative to the fragment mean (see DESIGN.md): Battery/26
+    // dips in 2011 and spikes in 2012; Battery/25 spikes in 2011; Assault/26
+    // spikes in 2011.
+    auto plant_series = [&](const char* type, int community, int base,
+                            std::initializer_list<std::pair<int, int>> overrides) {
+      for (int year = options.year_min; year <= options.year_max; ++year) {
+        int count = base;
+        for (const auto& [y, c] : overrides) {
+          if (y == year) count = c;
+        }
+        planted.push_back(Planted{type, community, year, count});
+      }
+    };
+    plant_series("Battery", 26, 12, {{2010, 15}, {2011, 6}, {2012, 20}});
+    plant_series("Battery", 25, 13, {{2011, 22}});
+    plant_series("Assault", 26, 8, {{2011, 14}});
+  }
+
+  auto emit_row = [&](int type_index, int community, int year, int month) {
+    Row row;
+    row.reserve(static_cast<size_t>(options.num_attrs));
+    row.push_back(Value::String(kCrimeTypes[type_index]));
+    row.push_back(Value::Int64(community));
+    row.push_back(Value::Int64(year));
+    row.push_back(Value::Int64(month));
+    if (options.num_attrs > 4) row.push_back(Value::Int64((community - 1) / 4 + 1));
+    if (options.num_attrs > 5) {
+      row.push_back(Value::String(kLocations[rng() % kNumLocations]));
+    }
+    if (options.num_attrs > 6) row.push_back(Value::String(unit(rng) < 0.25 ? "true" : "false"));
+    if (options.num_attrs > 7) {
+      row.push_back(Value::Int64(community * 10 + static_cast<int>(rng() % 10)));
+    }
+    if (options.num_attrs > 8) row.push_back(Value::Int64((community - 1) / 2 + 1));
+    if (options.num_attrs > 9) {
+      row.push_back(Value::Int64((month - 1) * 4 + 1 + static_cast<int>(rng() % 4)));
+    }
+    if (options.num_attrs > 10) {
+      row.push_back(Value::String("BLK-" + std::to_string(community) + "-" +
+                                  std::to_string(rng() % 2000)));
+    }
+    return table->AppendRow(row);
+  };
+
+  std::uniform_int_distribution<int> month_dist(1, 12);
+  for (const Planted& p : planted) {
+    int type_index = 0;
+    for (int t = 0; t < kNumCrimeTypes; ++t) {
+      if (std::string(kCrimeTypes[t]) == p.type) {
+        type_index = t;
+        break;
+      }
+    }
+    for (int i = 0; i < p.count && table->num_rows() < options.num_rows; ++i) {
+      CAPE_RETURN_IF_ERROR(emit_row(type_index, p.community, p.year, month_dist(rng)));
+    }
+  }
+
+  while (table->num_rows() < options.num_rows) {
+    const int type_index = type_dist(rng);
+    const int community = community_dist(rng) + 1;
+    // Year from the community's linear trend.
+    std::vector<double> year_weights(static_cast<size_t>(num_years));
+    const double slope = community_trend[static_cast<size_t>(community - 1)];
+    for (int y = 0; y < num_years; ++y) {
+      year_weights[static_cast<size_t>(y)] = std::max(0.05, 1.0 + slope * y);
+    }
+    std::discrete_distribution<int> year_dist(year_weights.begin(), year_weights.end());
+    const int year = options.year_min + year_dist(rng);
+    // Mild seasonality: summer months slightly more likely.
+    const int month = 1 + static_cast<int>((unit(rng) < 0.6 ? rng() % 12 : 4 + rng() % 5));
+    CAPE_RETURN_IF_ERROR(
+        emit_row(type_index, community, year, std::min(12, std::max(1, month))));
+  }
+
+  CAPE_RETURN_IF_ERROR(table->Validate());
+  return table;
+}
+
+}  // namespace cape

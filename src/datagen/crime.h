@@ -1,0 +1,54 @@
+#ifndef CAPE_DATAGEN_CRIME_H_
+#define CAPE_DATAGEN_CRIME_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace cape {
+
+/// Synthetic stand-in for the preprocessed Chicago Crime dataset of
+/// Section 5 (4-11 discrete attributes, domain sizes 2..~59k, planted
+/// attribute hierarchies that yield real functional dependencies).
+///
+/// Attribute order (the first `num_attrs` are emitted; the first four are
+/// always present):
+///   0 primary_type   string, ~20 values
+///   1 community      int64, 1..num_communities
+///   2 year           int64, year_min..year_max
+///   3 month          int64, 1..12
+///   4 district       int64   (FD: community -> district)
+///   5 location_desc  string, ~40 values
+///   6 arrest         string  {true,false}
+///   7 beat           int64   (FDs: beat -> community -> district)
+///   8 ward           int64   (FD: community -> ward)
+///   9 week           int64   (FD: week -> month; weeks 1..48)
+///  10 block          string, large domain (near-unique blocks per community)
+struct CrimeOptions {
+  int64_t num_rows = 10000;
+  int num_attrs = 7;  // 4..11
+  int num_types = 15;
+  int num_communities = 30;
+  int year_min = 2001;
+  int year_max = 2017;
+
+  /// Per-community linear year trends (some areas rising, some falling).
+  /// Disable for stationary per-year counts (pure Poisson fragments), which
+  /// the Figure 7 ground-truth experiment uses.
+  bool year_trend = true;
+
+  /// Plants the Appendix A.1 scenario: crimes of type "Battery" in
+  /// community 26 dip in 2011 and spike in 2012, with a matching Battery
+  /// spike in the adjacent community 25 in 2011 (Table 5 shape).
+  bool plant_scenario = true;
+
+  uint64_t seed = 7;
+};
+
+/// Generates the crime table with `options.num_attrs` columns.
+Result<TablePtr> GenerateCrime(const CrimeOptions& options);
+
+}  // namespace cape
+
+#endif  // CAPE_DATAGEN_CRIME_H_

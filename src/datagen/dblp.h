@@ -1,0 +1,46 @@
+#ifndef CAPE_DATAGEN_DBLP_H_
+#define CAPE_DATAGEN_DBLP_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace cape {
+
+/// Synthetic stand-in for the DBLP bibliography extract used in Section 5
+/// (Pub(author, pubid, year, venue)). See DESIGN.md §4: the generator
+/// reproduces the statistical structure mining/explanation costs depend on
+/// (row count, author popularity skew, per-author venue affinity, per-author
+/// yearly trends) rather than real names.
+struct DblpOptions {
+  /// Exact number of rows to generate.
+  int64_t num_rows = 10000;
+
+  int num_authors = 300;
+  int num_venues = 18;
+  int year_min = 2001;
+  int year_max = 2016;
+
+  /// Fraction of authors whose yearly output grows linearly (the rest are
+  /// roughly constant) — gives both Const and Lin patterns support.
+  double linear_author_fraction = 0.3;
+
+  /// Plants the running-example author "AX" (Example 1 / Tables 2-4): steady
+  /// per-venue counts with a SIGKDD dip in 2007 counterbalanced by ICDE/ICDM
+  /// spikes, a mild 2010 spike at the year level, a SIGKDD 2012 spike
+  /// counterbalanced by low 2012/2013 venue counts.
+  bool plant_running_example = true;
+
+  uint64_t seed = 42;
+};
+
+/// Generates the Pub(author, pubid, year, venue) table.
+Result<TablePtr> GenerateDblp(const DblpOptions& options);
+
+/// The planted author name used when plant_running_example is set.
+inline constexpr const char* kDblpPlantedAuthor = "AX";
+
+}  // namespace cape
+
+#endif  // CAPE_DATAGEN_DBLP_H_

@@ -1,0 +1,265 @@
+#include "datagen/ground_truth.h"
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "pattern/pattern_set.h"
+#include "relational/operators.h"
+
+namespace cape {
+
+namespace {
+
+struct CellAction {
+  // Number of rows of this cell to keep (dent) — or -1 for "keep all".
+  int64_t keep = -1;
+  // Extra duplicate copies to distribute across the cell's rows (spike).
+  int64_t extra = 0;
+  int64_t rows = 0;  // original row count (for distributing `extra`)
+};
+
+}  // namespace
+
+Result<GroundTruthData> InjectGroundTruth(const Table& base,
+                                          const GroundTruthOptions& options) {
+  if (options.group_by.size() < 2) {
+    return Status::InvalidArgument(
+        "ground truth injection needs >= 2 group-by attributes (partition + predictor)");
+  }
+  // Resolve attributes; partition = all but the predictor (the last name).
+  std::vector<int> g_attrs;
+  for (const std::string& name : options.group_by) {
+    CAPE_ASSIGN_OR_RETURN(int idx, base.schema()->GetFieldIndexChecked(name));
+    g_attrs.push_back(idx);
+  }
+  CAPE_ASSIGN_OR_RETURN(int predictor_attr,
+                        base.schema()->GetFieldIndexChecked(options.group_by.back()));
+  std::vector<int> g_sorted = g_attrs;
+  std::sort(g_sorted.begin(), g_sorted.end());
+  const AttrSet g_set = AttrSet::FromIndices(g_attrs);
+  const int predictor_pos = static_cast<int>(
+      std::lower_bound(g_sorted.begin(), g_sorted.end(), predictor_attr) - g_sorted.begin());
+
+  // Cell inventory: one row per (G) group with its count.
+  CAPE_ASSIGN_OR_RETURN(TablePtr cells,
+                        GroupByAggregate(base, g_sorted, {AggregateSpec::CountStar("cnt")}));
+  const int count_col = static_cast<int>(g_sorted.size());
+
+  // Fragment -> eligible cell row indices (count >= min_cell_rows), plus a
+  // full-cell index for sibling lookups and per-partition-attribute value
+  // pools.
+  std::unordered_map<std::string, std::vector<int64_t>> fragments;
+  std::unordered_map<std::string, int64_t> cell_index;  // full G key -> cells row
+  std::vector<int> fragment_cols;
+  for (size_t i = 0; i < g_sorted.size(); ++i) {
+    if (static_cast<int>(i) != predictor_pos) fragment_cols.push_back(static_cast<int>(i));
+  }
+  std::vector<std::vector<Value>> partition_values(fragment_cols.size());
+  for (int64_t row = 0; row < cells->num_rows(); ++row) {
+    std::vector<int> all_cols(g_sorted.size());
+    for (size_t i = 0; i < g_sorted.size(); ++i) all_cols[i] = static_cast<int>(i);
+    cell_index[EncodeRowKey(cells->GetRowProjection(row, all_cols))] = row;
+    if (cells->column(count_col).GetInt64(row) < options.min_cell_rows) continue;
+    fragments[EncodeRowKey(cells->GetRowProjection(row, fragment_cols))].push_back(row);
+    for (size_t i = 0; i < fragment_cols.size(); ++i) {
+      partition_values[i].push_back(cells->GetValue(row, fragment_cols[i]));
+    }
+  }
+  for (auto& pool : partition_values) {
+    std::sort(pool.begin(), pool.end());
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  }
+
+  // Deterministically pick fragments with enough eligible cells.
+  std::vector<std::string> fragment_keys;
+  for (const auto& [key, rows] : fragments) {
+    if (static_cast<int>(rows.size()) >= options.counterbalances_per_question + 1) {
+      fragment_keys.push_back(key);
+    }
+  }
+  std::sort(fragment_keys.begin(), fragment_keys.end());
+  std::mt19937_64 rng(options.seed);
+  std::shuffle(fragment_keys.begin(), fragment_keys.end(), rng);
+  if (static_cast<int>(fragment_keys.size()) < options.num_questions) {
+    return Status::InvalidArgument(
+        "not enough eligible fragments for the requested number of questions (" +
+        std::to_string(fragment_keys.size()) + " < " +
+        std::to_string(options.num_questions) + ")");
+  }
+  fragment_keys.resize(static_cast<size_t>(options.num_questions));
+
+  // Plan dents and spikes.
+  struct PlannedCase {
+    Row question_values;  // G values, ascending attribute order
+    std::vector<PlantedCounterbalance> counterbalances;
+  };
+  std::vector<PlannedCase> planned;
+  std::unordered_map<std::string, CellAction> actions;  // key over full G values
+  std::vector<int> all_g_cols(g_sorted.size());
+  for (size_t i = 0; i < g_sorted.size(); ++i) all_g_cols[i] = static_cast<int>(i);
+
+  for (const std::string& frag_key : fragment_keys) {
+    std::vector<int64_t> cell_rows = fragments[frag_key];
+    std::shuffle(cell_rows.begin(), cell_rows.end(), rng);
+    PlannedCase pc;
+
+    // The dented (outlier) cell.
+    const int64_t dent_row = cell_rows[0];
+    pc.question_values = cells->GetRowProjection(dent_row, all_g_cols);
+    const int64_t dent_count = cells->column(count_col).GetInt64(dent_row);
+    CellAction dent;
+    dent.rows = dent_count;
+    dent.keep = std::max<int64_t>(
+        1, dent_count - static_cast<int64_t>(options.dent_fraction *
+                                             static_cast<double>(dent_count)));
+    actions[EncodeRowKey(pc.question_values)] = dent;
+
+    // Spikes one cell, records the counterbalance; false when the cell does
+    // not exist, is too small, or was already planted on.
+    auto plant_spike = [&](const Row& target_values) {
+      const std::string key = EncodeRowKey(target_values);
+      auto it = cell_index.find(key);
+      if (it == cell_index.end()) return false;
+      const int64_t cb_count = cells->column(count_col).GetInt64(it->second);
+      if (cb_count < options.min_cell_rows) return false;
+      if (actions.count(key) > 0) return false;
+      CellAction spike;
+      spike.rows = cb_count;
+      spike.extra = std::max<int64_t>(
+          1, static_cast<int64_t>((options.spike_factor - 1.0) *
+                                  static_cast<double>(cb_count)));
+      actions[key] = spike;
+      PlantedCounterbalance cb;
+      cb.attrs = g_set;
+      cb.values = target_values;
+      pc.counterbalances.push_back(std::move(cb));
+      return true;
+    };
+
+    int planted_count = 0;
+    // The first two counterbalances share the outlier's fragment at other
+    // predictor values (the classic "he published elsewhere that year"
+    // case); the remaining ones live in *sibling* fragments — same values
+    // as the dent except a different predictor value and one changed
+    // partition attribute — whose local fits stay healthy apart from the
+    // spike itself.
+    for (size_t j = 1; j < cell_rows.size() && planted_count < 2 &&
+                       planted_count < options.counterbalances_per_question;
+         ++j) {
+      if (plant_spike(cells->GetRowProjection(cell_rows[j], all_g_cols))) {
+        ++planted_count;
+      }
+    }
+    for (int attempt = 0;
+         attempt < 200 && planted_count < options.counterbalances_per_question;
+         ++attempt) {
+      Row target = pc.question_values;
+      // Another predictor value observed in the dented fragment.
+      const int64_t donor = cell_rows[1 + attempt % (cell_rows.size() - 1)];
+      target[static_cast<size_t>(predictor_pos)] = cells->GetValue(donor, predictor_pos);
+      // One partition attribute moves to a sibling value.
+      const size_t which = attempt % fragment_cols.size();
+      const auto& pool = partition_values[which];
+      if (pool.size() < 2) continue;
+      const Value sibling = pool[rng() % pool.size()];
+      const int target_pos = fragment_cols[which];
+      if (sibling == target[static_cast<size_t>(target_pos)]) continue;
+      target[static_cast<size_t>(target_pos)] = sibling;
+      if (plant_spike(target)) ++planted_count;
+    }
+    // Fallback: same-fragment counterbalances at other predictor values.
+    for (size_t j = 1;
+         j < cell_rows.size() && planted_count < options.counterbalances_per_question;
+         ++j) {
+      if (plant_spike(cells->GetRowProjection(cell_rows[j], all_g_cols))) {
+        ++planted_count;
+      }
+    }
+    if (planted_count == 0) continue;  // nothing plantable; skip this fragment
+    planned.push_back(std::move(pc));
+  }
+
+  // Materialize the modified table in one pass.
+  auto modified = std::make_shared<Table>(base.schema());
+  modified->Reserve(base.num_rows());
+  std::unordered_map<std::string, int64_t> seen;  // per-cell row counter
+  std::string key;
+  for (int64_t row = 0; row < base.num_rows(); ++row) {
+    key = EncodeRowKey(base.GetRowProjection(row, g_sorted));
+    auto it = actions.find(key);
+    if (it == actions.end()) {
+      CAPE_RETURN_IF_ERROR(modified->AppendRow(base.GetRow(row)));
+      continue;
+    }
+    const CellAction& action = it->second;
+    const int64_t index = seen[key]++;
+    if (action.keep >= 0) {  // dent: keep only the first `keep` rows
+      if (index < action.keep) CAPE_RETURN_IF_ERROR(modified->AppendRow(base.GetRow(row)));
+      continue;
+    }
+    // Spike: emit the row plus its share of the extra copies.
+    Row r = base.GetRow(row);
+    int64_t copies = 1 + action.extra / action.rows +
+                     (index < action.extra % action.rows ? 1 : 0);
+    for (int64_t c = 0; c < copies; ++c) CAPE_RETURN_IF_ERROR(modified->AppendRow(r));
+  }
+
+  // Build the user questions against the modified table.
+  GroundTruthData out;
+  out.table = modified;
+  std::vector<std::string> sorted_names;
+  for (int attr : g_sorted) sorted_names.push_back(base.schema()->field(attr).name);
+  for (PlannedCase& pc : planned) {
+    CAPE_ASSIGN_OR_RETURN(
+        UserQuestion q,
+        MakeUserQuestion(modified, sorted_names,
+                         std::vector<Value>(pc.question_values.begin(),
+                                            pc.question_values.end()),
+                         AggFunc::kCount, "*", Direction::kLow));
+    GroundTruthCase gt;
+    gt.question = std::move(q);
+    gt.counterbalances = std::move(pc.counterbalances);
+    out.cases.push_back(std::move(gt));
+  }
+  return out;
+}
+
+double GroundTruthPrecision(const std::vector<GroundTruthCase>& cases,
+                            const std::vector<std::vector<Explanation>>& explanations_per_case,
+                            int top_k) {
+  if (cases.empty() || top_k <= 0) return 0.0;
+  int64_t matched = 0;
+  for (size_t c = 0; c < cases.size() && c < explanations_per_case.size(); ++c) {
+    const auto& explanations = explanations_per_case[c];
+    const int64_t limit = std::min<int64_t>(top_k, static_cast<int64_t>(explanations.size()));
+    for (int64_t e = 0; e < limit; ++e) {
+      const Explanation& expl = explanations[static_cast<size_t>(e)];
+      for (const PlantedCounterbalance& cb : cases[c].counterbalances) {
+        if (!expl.tuple_attrs.ContainsAll(cb.attrs)) continue;
+        // Compare the explanation's projection onto cb.attrs.
+        const std::vector<int> cb_attrs = cb.attrs.ToIndices();
+        const std::vector<int> e_attrs = expl.tuple_attrs.ToIndices();
+        bool equal = true;
+        size_t cb_i = 0;
+        for (size_t i = 0; i < e_attrs.size() && cb_i < cb_attrs.size(); ++i) {
+          if (e_attrs[i] != cb_attrs[cb_i]) continue;
+          if (expl.tuple_values[i] != cb.values[cb_i]) {
+            equal = false;
+            break;
+          }
+          ++cb_i;
+        }
+        if (equal && cb_i == cb_attrs.size()) {
+          ++matched;
+          break;  // one match per explanation slot
+        }
+      }
+    }
+  }
+  return static_cast<double>(matched) /
+         static_cast<double>(cases.size() * static_cast<size_t>(top_k));
+}
+
+}  // namespace cape

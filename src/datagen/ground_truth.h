@@ -1,0 +1,77 @@
+#ifndef CAPE_DATAGEN_GROUND_TRUTH_H_
+#define CAPE_DATAGEN_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "explain/explanation.h"
+#include "explain/user_question.h"
+#include "relational/table.h"
+
+namespace cape {
+
+/// A planted counterbalance: the cell (partition values, predictor value)
+/// whose aggregate was pushed in the direction opposite to the outlier.
+struct PlantedCounterbalance {
+  AttrSet attrs;  // partition ∪ predictor attributes
+  Row values;     // ascending attribute order
+};
+
+/// One ground-truth test case: a user question about a planted outlier plus
+/// the counterbalances that were planted with it.
+struct GroundTruthCase {
+  UserQuestion question;
+  std::vector<PlantedCounterbalance> counterbalances;
+};
+
+/// Knobs of the Section 5.3 ground-truth construction.
+struct GroundTruthOptions {
+  /// Names of the question's group-by attributes G. The last one is the
+  /// predictor the outlier/counterbalances vary over (year in the paper);
+  /// the others form the partition.
+  std::vector<std::string> group_by;
+  int num_questions = 10;
+  int counterbalances_per_question = 5;
+  /// Fraction of a cell's rows removed to create a `low` outlier.
+  double dent_fraction = 0.5;
+  /// Multiplier applied to a counterbalance cell's rows (by duplication).
+  /// Kept moderate so the counterbalance fragments still pass the local
+  /// goodness-of-fit test at the theta values Figure 7 sweeps.
+  double spike_factor = 1.7;
+  /// Minimum rows a cell must have to be dent/spike eligible.
+  int64_t min_cell_rows = 8;
+  uint64_t seed = 17;
+};
+
+/// Output of the injection: the modified table plus the planted cases.
+struct GroundTruthData {
+  TablePtr table;
+  std::vector<GroundTruthCase> cases;
+};
+
+/// Implements the Section 5.3 methodology: picks fragments with enough
+/// support, removes tuples from one predictor cell (creating a `low`
+/// outlier), and duplicates tuples in counterbalance cells "for different
+/// values of the partition and predictor attributes" — i.e. in *sibling*
+/// fragments that differ from the outlier's fragment in one partition
+/// attribute, at different predictor values. Spiking siblings (rather than
+/// the dented fragment itself) keeps every counterbalance fragment's local
+/// goodness-of-fit healthy, so the planted explanations stay reachable for
+/// moderate theta; cells sharing the dented fragment would fail Definition
+/// 7's condition (3) as soon as theta filters outlier-laden fragments.
+/// Builds the corresponding `low` user questions against the modified table.
+Result<GroundTruthData> InjectGroundTruth(const Table& base, const GroundTruthOptions& options);
+
+/// Fraction of explanation slots (cases × top-k) occupied by planted
+/// counterbalances — the precision measure of Figure 7. An explanation
+/// matches a counterbalance when its tuple covers the counterbalance's
+/// attributes with equal values.
+double GroundTruthPrecision(const std::vector<GroundTruthCase>& cases,
+                            const std::vector<std::vector<Explanation>>& explanations_per_case,
+                            int top_k);
+
+}  // namespace cape
+
+#endif  // CAPE_DATAGEN_GROUND_TRUTH_H_

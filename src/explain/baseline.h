@@ -1,0 +1,21 @@
+#ifndef CAPE_EXPLAIN_BASELINE_H_
+#define CAPE_EXPLAIN_BASELINE_H_
+
+#include "common/result.h"
+#include "explain/explainer.h"
+
+namespace cape {
+
+/// The pattern-free baseline of Appendix A.2: counterbalances are tuples of
+/// the question's own query result Q(R) whose aggregate deviates from the
+/// result's average in the opposite direction, scored by deviation over
+/// distance. Because it is ignorant of patterns it prefers tuples whose
+/// absolute value is high/low even when that is entirely expected (the
+/// failure mode Tables 6 and 7 illustrate).
+Result<ExplainResult> BaselineExplain(const UserQuestion& question,
+                                      const DistanceModel& distance,
+                                      const ExplainConfig& config);
+
+}  // namespace cape
+
+#endif  // CAPE_EXPLAIN_BASELINE_H_

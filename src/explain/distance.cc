@@ -1,0 +1,112 @@
+#include "explain/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cape {
+
+double CategoricalDistance::Distance(const Value& a, const Value& b) const {
+  return a == b ? 0.0 : 1.0;
+}
+
+double NumericDistance::Distance(const Value& a, const Value& b) const {
+  if (a == b) return 0.0;
+  if (a.is_null() || b.is_null() || !a.is_numeric() || !b.is_numeric()) return 1.0;
+  return std::clamp(std::fabs(a.AsDouble() - b.AsDouble()) / scale_, 0.0, 1.0);
+}
+
+double BandedNumericDistance::Distance(const Value& a, const Value& b) const {
+  if (a == b) return 0.0;
+  if (a.is_null() || b.is_null() || !a.is_numeric() || !b.is_numeric()) return 1.0;
+  return std::fabs(a.AsDouble() - b.AsDouble()) <= band_ ? near_ : 1.0;
+}
+
+ClassBasedDistance::ClassBasedDistance(std::unordered_map<std::string, int> value_to_class,
+                                       double within_class)
+    : value_to_class_(std::move(value_to_class)), within_class_(within_class) {}
+
+double ClassBasedDistance::Distance(const Value& a, const Value& b) const {
+  if (a == b) return 0.0;
+  if (a.is_null() || b.is_null()) return 1.0;
+  auto ca = value_to_class_.find(a.ToString());
+  auto cb = value_to_class_.find(b.ToString());
+  if (ca == value_to_class_.end() || cb == value_to_class_.end()) return 1.0;
+  return ca->second == cb->second ? within_class_ : 1.0;
+}
+
+DistanceModel DistanceModel::MakeDefault(const Table& table) {
+  DistanceModel model;
+  const int n = table.num_columns();
+  model.weights_.assign(static_cast<size_t>(n), n > 0 ? 1.0 / n : 0.0);
+  model.distances_.resize(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    const Column& col = table.column(c);
+    if (IsNumericType(col.type())) {
+      const Value lo = col.Min();
+      const Value hi = col.Max();
+      const double range =
+          (lo.is_null() || hi.is_null()) ? 1.0 : hi.AsDouble() - lo.AsDouble();
+      model.distances_[static_cast<size_t>(c)] =
+          std::make_shared<BandedNumericDistance>(std::max(1.0, range / 8.0));
+    } else {
+      model.distances_[static_cast<size_t>(c)] = std::make_shared<CategoricalDistance>();
+    }
+  }
+  return model;
+}
+
+double DistanceModel::Distance(AttrSet attrs1, const Row& vals1, AttrSet attrs2,
+                               const Row& vals2) const {
+  const AttrSet all = attrs1.Union(attrs2);
+  double total_weight = 0.0;
+  double sum = 0.0;
+  // Walk the union in ascending attribute order, tracking positions within
+  // each tuple's value row.
+  size_t i1 = 0;
+  size_t i2 = 0;
+  for (int attr : all.ToIndices()) {
+    const double w = weights_[static_cast<size_t>(attr)];
+    total_weight += w;
+    const bool in1 = attrs1.Contains(attr);
+    const bool in2 = attrs2.Contains(attr);
+    double d;
+    if (in1 && in2) {
+      d = distances_[static_cast<size_t>(attr)]->Distance(vals1[i1], vals2[i2]);
+    } else {
+      d = 1.0;  // attribute missing from one tuple: maximal distance (Def. 9)
+    }
+    sum += w * d * d;
+    if (in1) ++i1;
+    if (in2) ++i2;
+  }
+  if (total_weight <= 0.0) return 0.0;
+  return std::sqrt(sum / total_weight);
+}
+
+double DistanceModel::LowerBound(AttrSet attrs1, AttrSet attrs2) const {
+  const AttrSet all = attrs1.Union(attrs2);
+  const AttrSet shared = attrs1.Intersect(attrs2);
+  double total_weight = 0.0;
+  double sum = 0.0;
+  for (int attr : all.ToIndices()) {
+    const double w = weights_[static_cast<size_t>(attr)];
+    total_weight += w;
+    if (!shared.Contains(attr)) sum += w;  // d = 1 is forced; d² = 1
+  }
+  if (total_weight <= 0.0) return 0.0;
+  return std::sqrt(sum / total_weight);
+}
+
+void DistanceModel::SetWeight(int attr, double weight) {
+  CAPE_CHECK(attr >= 0 && attr < num_attrs());
+  weights_[static_cast<size_t>(attr)] = weight;
+}
+
+void DistanceModel::SetDistance(int attr, std::shared_ptr<AttributeDistance> distance) {
+  CAPE_CHECK(attr >= 0 && attr < num_attrs());
+  distances_[static_cast<size_t>(attr)] = std::move(distance);
+}
+
+}  // namespace cape

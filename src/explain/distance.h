@@ -1,0 +1,104 @@
+#ifndef CAPE_EXPLAIN_DISTANCE_H_
+#define CAPE_EXPLAIN_DISTANCE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "fd/attr_set.h"
+#include "relational/table.h"
+
+namespace cape {
+
+/// Per-attribute distance function d_A : DOM(A)² -> [0,1] (Definition 9).
+/// Implementations must be symmetric with d(v, v) = 0.
+class AttributeDistance {
+ public:
+  virtual ~AttributeDistance() = default;
+  virtual double Distance(const Value& a, const Value& b) const = 0;
+};
+
+/// 0 when equal, 1 otherwise — the default for categorical attributes.
+class CategoricalDistance final : public AttributeDistance {
+ public:
+  double Distance(const Value& a, const Value& b) const override;
+};
+
+/// |a-b| / scale, clamped to [0,1], with `scale` the attribute's value
+/// range. Smooth alternative to the banded default below.
+class NumericDistance final : public AttributeDistance {
+ public:
+  explicit NumericDistance(double scale) : scale_(scale <= 0 ? 1.0 : scale) {}
+  double Distance(const Value& a, const Value& b) const override;
+
+ private:
+  double scale_;
+};
+
+/// The paper's class-based default specialized to numerics: equal values
+/// have distance 0, values within `band` of each other (same "class") have
+/// `near` (default 0.5), everything else 1. Makes adjacent years closer
+/// than distant ones without letting neighbors collapse to near-zero
+/// distance (which would let trivially-similar tuples dominate the score).
+class BandedNumericDistance final : public AttributeDistance {
+ public:
+  explicit BandedNumericDistance(double band, double near_distance = 0.5)
+      : band_(band <= 0 ? 1.0 : band), near_(near_distance) {}
+  double Distance(const Value& a, const Value& b) const override;
+
+ private:
+  double band_;
+  double near_;
+};
+
+/// The paper's class-based default: the attribute's domain is partitioned
+/// into classes; equal values have distance 0, same-class values
+/// `within_class`, different-class values 1. Unmapped values form their own
+/// singleton class.
+class ClassBasedDistance final : public AttributeDistance {
+ public:
+  ClassBasedDistance(std::unordered_map<std::string, int> value_to_class,
+                     double within_class = 0.5);
+  double Distance(const Value& a, const Value& b) const override;
+
+ private:
+  std::unordered_map<std::string, int> value_to_class_;
+  double within_class_;
+};
+
+/// The weighted tuple distance of Definition 9: attributes present in only
+/// one tuple contribute the maximal distance 1; the result is normalized by
+/// the total weight of the attribute union so tuples with different schemas
+/// remain comparable.
+class DistanceModel {
+ public:
+  /// Defaults: equal weights 1/|R|; BandedNumericDistance(range/8) for
+  /// numeric columns, CategoricalDistance otherwise.
+  static DistanceModel MakeDefault(const Table& table);
+
+  /// d(t1, t2) where ti has attributes `attrsi` and values `valsi` in
+  /// ascending attribute order.
+  double Distance(AttrSet attrs1, const Row& vals1, AttrSet attrs2, const Row& vals2) const;
+
+  /// d↓: the smallest possible distance between tuples over `attrs1` and
+  /// `attrs2` — attributes in the symmetric difference necessarily
+  /// contribute 1 (Section 3.5).
+  double LowerBound(AttrSet attrs1, AttrSet attrs2) const;
+
+  void SetWeight(int attr, double weight);
+  void SetDistance(int attr, std::shared_ptr<AttributeDistance> distance);
+
+  double weight(int attr) const { return weights_[static_cast<size_t>(attr)]; }
+  int num_attrs() const { return static_cast<int>(weights_.size()); }
+
+ private:
+  DistanceModel() = default;
+
+  std::vector<double> weights_;
+  std::vector<std::shared_ptr<AttributeDistance>> distances_;
+};
+
+}  // namespace cape
+
+#endif  // CAPE_EXPLAIN_DISTANCE_H_

@@ -1,0 +1,343 @@
+#include "explain/explainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace cape {
+
+namespace {
+
+/// Stable identity of a candidate explanation. The paper deduplicates per
+/// (P', t'); we deduplicate per counterbalance tuple t' (attrs + values),
+/// which additionally collapses the case where the same tuple is reachable
+/// through different predictor splits (e.g. [author,venue]:year and
+/// [author,year]:venue both yield (AX, ICDE, 2007)) — the displayed tables
+/// in the paper contain each tuple once.
+std::string CandidateKey(const Explanation& e) {
+  std::string key = std::to_string(e.tuple_attrs.bits());
+  key.push_back('|');
+  key += EncodeRowKey(e.tuple_values);
+  return key;
+}
+
+/// Holds the best-scoring explanation per (P', t') and exposes the k-th
+/// best deduplicated score as the pruning floor.
+class CandidatePool {
+ public:
+  explicit CandidatePool(int k) : k_(k) {}
+
+  void Add(Explanation e) {
+    std::string key = CandidateKey(e);
+    auto it = best_.find(key);
+    if (it == best_.end()) {
+      scores_.insert(e.score);
+      best_.emplace(std::move(key), std::move(e));
+      return;
+    }
+    if (e.score <= it->second.score) return;
+    scores_.erase(scores_.find(it->second.score));
+    scores_.insert(e.score);
+    it->second = std::move(e);
+  }
+
+  bool Full() const { return static_cast<int>(best_.size()) >= k_; }
+
+  /// Lowest score still inside the top-k, or -inf when not yet full.
+  double Threshold() const {
+    if (!Full()) return -std::numeric_limits<double>::infinity();
+    auto it = scores_.begin();
+    std::advance(it, k_ - 1);
+    return *it;
+  }
+
+  std::vector<Explanation> TopK() const {
+    std::vector<Explanation> out;
+    out.reserve(best_.size());
+    for (const auto& [key, e] : best_) out.push_back(e);
+    std::sort(out.begin(), out.end(), [](const Explanation& a, const Explanation& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return CandidateKey(a) < CandidateKey(b);  // deterministic tie-break
+    });
+    if (static_cast<int>(out.size()) > k_) out.resize(static_cast<size_t>(k_));
+    return out;
+  }
+
+ private:
+  int k_;
+  std::unordered_map<std::string, Explanation> best_;
+  std::multiset<double, std::greater<double>> scores_;
+};
+
+/// Caches γ_{attrs, agg(A)}(R) tables shared by every (P, P') pair whose
+/// refinement has the same attribute set.
+class AggDataCache {
+ public:
+  explicit AggDataCache(const Table& relation) : relation_(relation) {}
+
+  Result<TablePtr> Get(AttrSet attrs, AggFunc agg, int agg_attr) {
+    const std::string key = std::to_string(attrs.bits()) + "|" +
+                            std::to_string(static_cast<int>(agg)) + "|" +
+                            std::to_string(agg_attr);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    AggregateSpec spec;
+    spec.func = agg;
+    spec.input_col = agg_attr;
+    spec.output_name = "agg";
+    CAPE_ASSIGN_OR_RETURN(TablePtr data,
+                          GroupByAggregate(relation_, attrs.ToIndices(), {spec}));
+    cache_.emplace(key, data);
+    return data;
+  }
+
+ private:
+  const Table& relation_;
+  std::unordered_map<std::string, TablePtr> cache_;
+};
+
+/// Relevant patterns (Definition 5) restricted to the question's aggregate:
+/// F ∪ V ⊆ G and the pattern holds locally on t[F].
+std::vector<const GlobalPattern*> FindRelevantPatterns(const UserQuestion& q,
+                                                       const PatternSet& patterns) {
+  std::vector<const GlobalPattern*> out;
+  for (const GlobalPattern& gp : patterns.patterns()) {
+    const Pattern& p = gp.pattern;
+    if (p.agg != q.agg || p.agg_attr != q.agg_attr) continue;
+    if (!q.group_attrs.ContainsAll(p.GroupAttrs())) continue;
+    if (gp.FindLocal(q.ProjectGroupValues(p.partition_attrs)) == nullptr) continue;
+    out.push_back(&gp);
+  }
+  return out;
+}
+
+/// NORM of Definition 10: the question's own aggregate at the relevant
+/// pattern's granularity, π_{agg(A)}(σ_{F=t[F] ∧ V=t[V]}(γ_{F∪V,agg(A)}(R))).
+Result<double> ComputeNorm(const UserQuestion& q, const Pattern& p) {
+  std::vector<std::pair<int, Value>> conditions;
+  const std::vector<int> gp_attrs = p.GroupAttrs().ToIndices();
+  const Row gp_values = q.ProjectGroupValues(p.GroupAttrs());
+  for (size_t i = 0; i < gp_attrs.size(); ++i) {
+    conditions.emplace_back(gp_attrs[i], gp_values[i]);
+  }
+  CAPE_ASSIGN_OR_RETURN(TablePtr selected, FilterEquals(*q.relation, conditions));
+  AggregateSpec spec;
+  spec.func = p.agg;
+  spec.input_col = p.agg_attr;
+  spec.output_name = "agg";
+  CAPE_ASSIGN_OR_RETURN(TablePtr aggregated,
+                        GroupByAggregate(*selected, std::vector<int>{}, {spec}));
+  const Value v = aggregated->GetValue(0, 0);
+  return v.is_null() ? 0.0 : v.AsDouble();
+}
+
+/// dev↑(φ, P'): the largest counterbalancing deviation any tuple of P' can
+/// have; <= 0 means no tuple can counterbalance the question's direction.
+double DeviationUpperBound(const GlobalPattern& gp, Direction dir) {
+  return dir == Direction::kLow ? gp.max_positive_dev : -gp.min_negative_dev;
+}
+
+double LocalDeviationUpperBound(const LocalPattern& local, Direction dir) {
+  return dir == Direction::kLow ? local.max_positive_dev : -local.min_negative_dev;
+}
+
+/// Scans all candidate tuples t' for one (P, P') pair, adding every valid
+/// explanation (Definition 7) to the pool. When `prune_locals` is set,
+/// fragments whose local deviation bound cannot beat the pool threshold are
+/// skipped (the "more accurate bound" of Section 3.5).
+Status EvaluatePair(const UserQuestion& q, const GlobalPattern& relevant,
+                    const GlobalPattern& refinement, double norm,
+                    const DistanceModel& distance_model, const ExplainConfig& config,
+                    AggDataCache* cache, bool prune_locals, CandidatePool* pool,
+                    ExplainProfile* profile) {
+  const Pattern& p = relevant.pattern;
+  const Pattern& pp = refinement.pattern;
+  const AttrSet attrs = pp.GroupAttrs();  // F' ∪ V
+  CAPE_ASSIGN_OR_RETURN(TablePtr data, cache->Get(attrs, pp.agg, pp.agg_attr));
+
+  const std::vector<int> attr_list = attrs.ToIndices();
+  const int agg_col = static_cast<int>(attr_list.size());
+  std::vector<int> f_positions;        // P.F inside attr_list
+  std::vector<int> f_prime_positions;  // P'.F' inside attr_list
+  std::vector<int> v_positions;        // V inside attr_list
+  for (size_t i = 0; i < attr_list.size(); ++i) {
+    if (p.partition_attrs.Contains(attr_list[i])) f_positions.push_back(static_cast<int>(i));
+    if (pp.partition_attrs.Contains(attr_list[i])) {
+      f_prime_positions.push_back(static_cast<int>(i));
+    }
+    if (pp.predictor_attrs.Contains(attr_list[i])) v_positions.push_back(static_cast<int>(i));
+  }
+  const Row t_f = q.ProjectGroupValues(p.partition_attrs);
+  const bool same_schema = attrs == q.group_attrs;
+  const double isLow = q.dir == Direction::kLow ? 1.0 : -1.0;
+  const double norm_denominator = std::fabs(norm) + config.epsilon;
+  const double distance_lb = distance_model.LowerBound(q.group_attrs, attrs);
+
+  for (int64_t row = 0; row < data->num_rows(); ++row) {
+    profile->num_tuples_checked += 1;
+    // Condition (4): t'[F] = t[F].
+    bool matches = true;
+    for (size_t i = 0; i < f_positions.size(); ++i) {
+      if (data->GetValue(row, f_positions[i]) != t_f[i]) {
+        matches = false;
+        break;
+      }
+    }
+    if (!matches) continue;
+    // Condition (4): t' != t when over the same schema.
+    if (same_schema) {
+      bool equal = true;
+      for (size_t i = 0; i < attr_list.size(); ++i) {
+        if (data->GetValue(row, static_cast<int>(i)) != q.group_values[i]) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) continue;
+    }
+    if (data->column(agg_col).IsNull(row)) continue;
+
+    // Condition (3): P' holds locally on t'[F'].
+    Row fragment;
+    fragment.reserve(f_prime_positions.size());
+    for (int pos : f_prime_positions) fragment.push_back(data->GetValue(row, pos));
+    const LocalPattern* local = refinement.FindLocal(fragment);
+    if (local == nullptr) continue;
+
+    if (prune_locals && pool->Full()) {
+      const double local_bound = LocalDeviationUpperBound(*local, q.dir) /
+                                 ((distance_lb + config.epsilon) * norm_denominator);
+      if (local_bound <= pool->Threshold()) continue;
+    }
+
+    // Condition (5): deviation in the opposite direction.
+    std::vector<double> x;
+    x.reserve(v_positions.size());
+    for (int pos : v_positions) x.push_back(data->column(pos).GetNumeric(row));
+    const double predicted = local->model->Predict(x);
+    const double y = data->column(agg_col).GetNumeric(row);
+    if (q.dir == Direction::kLow ? y <= predicted : y >= predicted) continue;
+
+    Explanation e;
+    e.relevant_pattern = p;
+    e.refinement_pattern = pp;
+    e.tuple_attrs = attrs;
+    e.tuple_values.reserve(attr_list.size());
+    for (size_t i = 0; i < attr_list.size(); ++i) {
+      e.tuple_values.push_back(data->GetValue(row, static_cast<int>(i)));
+    }
+    e.agg_value = y;
+    e.predicted = predicted;
+    e.deviation = y - predicted;
+    e.distance =
+        distance_model.Distance(q.group_attrs, q.group_values, attrs, e.tuple_values);
+    e.norm = norm;
+    e.score = (e.deviation * isLow) / ((e.distance + config.epsilon) * norm_denominator);
+    profile->num_candidates += 1;
+    pool->Add(std::move(e));
+  }
+  return Status::OK();
+}
+
+/// EXPL-GEN-NAIVE (Algorithm 1).
+class NaiveExplainer final : public ExplanationGenerator {
+ public:
+  std::string name() const override { return "EXPL-GEN-NAIVE"; }
+
+  Result<ExplainResult> Explain(const UserQuestion& q, const PatternSet& patterns,
+                                const DistanceModel& distance,
+                                const ExplainConfig& config) override {
+    ExplainResult result;
+    Stopwatch total;
+    CandidatePool pool(config.top_k);
+    AggDataCache cache(*q.relation);
+
+    const auto relevant = FindRelevantPatterns(q, patterns);
+    result.profile.num_relevant_patterns = static_cast<int64_t>(relevant.size());
+    for (const GlobalPattern* p : relevant) {
+      CAPE_ASSIGN_OR_RETURN(const double norm, ComputeNorm(q, p->pattern));
+      for (const GlobalPattern& pp : patterns.patterns()) {
+        if (!pp.pattern.IsRefinementOf(p->pattern)) continue;
+        result.profile.num_refinement_pairs += 1;
+        CAPE_RETURN_IF_ERROR(EvaluatePair(q, *p, pp, norm, distance, config, &cache,
+                                          /*prune_locals=*/false, &pool, &result.profile));
+      }
+    }
+    result.explanations = pool.TopK();
+    result.profile.total_ns = total.ElapsedNanos();
+    return result;
+  }
+};
+
+/// EXPL-GEN-OPT (Section 3.5).
+class OptimizedExplainer final : public ExplanationGenerator {
+ public:
+  std::string name() const override { return "EXPL-GEN-OPT"; }
+
+  Result<ExplainResult> Explain(const UserQuestion& q, const PatternSet& patterns,
+                                const DistanceModel& distance,
+                                const ExplainConfig& config) override {
+    ExplainResult result;
+    Stopwatch total;
+    CandidatePool pool(config.top_k);
+    AggDataCache cache(*q.relation);
+
+    struct Pair {
+      const GlobalPattern* relevant;
+      const GlobalPattern* refinement;
+      double norm;
+      double bound;
+    };
+    std::vector<Pair> pairs;
+
+    const auto relevant = FindRelevantPatterns(q, patterns);
+    result.profile.num_relevant_patterns = static_cast<int64_t>(relevant.size());
+    for (const GlobalPattern* p : relevant) {
+      CAPE_ASSIGN_OR_RETURN(const double norm, ComputeNorm(q, p->pattern));
+      const double norm_denominator = std::fabs(norm) + config.epsilon;
+      for (const GlobalPattern& pp : patterns.patterns()) {
+        if (!pp.pattern.IsRefinementOf(p->pattern)) continue;
+        result.profile.num_refinement_pairs += 1;
+        const double dev_up = DeviationUpperBound(pp, q.dir);
+        const double d_lb = distance.LowerBound(q.group_attrs, pp.pattern.GroupAttrs());
+        const double bound =
+            dev_up <= 0.0 ? 0.0 : dev_up / ((d_lb + config.epsilon) * norm_denominator);
+        pairs.push_back(Pair{p, &pp, norm, bound});
+      }
+    }
+
+    // Process in decreasing bound order; once the bound cannot beat the
+    // current k-th best score, every remaining pair is pruned.
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) { return a.bound > b.bound; });
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const Pair& pair = pairs[i];
+      if (config.prune_pairs && pool.Full() && pair.bound <= pool.Threshold()) {
+        result.profile.num_pairs_pruned += static_cast<int64_t>(pairs.size() - i);
+        break;
+      }
+      CAPE_RETURN_IF_ERROR(EvaluatePair(q, *pair.relevant, *pair.refinement, pair.norm,
+                                        distance, config, &cache, config.prune_locals,
+                                        &pool, &result.profile));
+    }
+    result.explanations = pool.TopK();
+    result.profile.total_ns = total.ElapsedNanos();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ExplanationGenerator> MakeNaiveExplainer() {
+  return std::make_unique<NaiveExplainer>();
+}
+
+std::unique_ptr<ExplanationGenerator> MakeOptimizedExplainer() {
+  return std::make_unique<OptimizedExplainer>();
+}
+
+}  // namespace cape

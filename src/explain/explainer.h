@@ -1,0 +1,69 @@
+#ifndef CAPE_EXPLAIN_EXPLAINER_H_
+#define CAPE_EXPLAIN_EXPLAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "explain/distance.h"
+#include "explain/explanation.h"
+#include "explain/user_question.h"
+#include "pattern/pattern_set.h"
+
+namespace cape {
+
+struct ExplainConfig {
+  /// Number of explanations to return (top-k, Section 3.4).
+  int top_k = 10;
+  /// Added to denominators (distance and NORM) to avoid division by zero
+  /// (footnote 2 of the paper).
+  double epsilon = 1e-9;
+  /// EXPL-GEN-OPT ablation knobs (both on by default): process (P, P')
+  /// pairs in decreasing score↑ order and stop at the top-k floor; and
+  /// apply the per-fragment "more accurate bound" while scanning tuples
+  /// (Section 3.5). The naive generator ignores both.
+  bool prune_pairs = true;
+  bool prune_locals = true;
+};
+
+/// Counters for Figures 6a-6c and for tests of the pruning logic.
+struct ExplainProfile {
+  int64_t total_ns = 0;
+  int64_t num_relevant_patterns = 0;
+  int64_t num_refinement_pairs = 0;   // (P, P') combinations considered
+  int64_t num_pairs_pruned = 0;       // pairs skipped via the score bound
+  int64_t num_tuples_checked = 0;     // candidate t' examined
+  int64_t num_candidates = 0;         // candidates passing Definition 7
+};
+
+struct ExplainResult {
+  std::vector<Explanation> explanations;  // descending score
+  ExplainProfile profile;
+};
+
+/// Generates the top-k counterbalance explanations for a user question from
+/// a set of mined ARPs (Section 3).
+class ExplanationGenerator {
+ public:
+  virtual ~ExplanationGenerator() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual Result<ExplainResult> Explain(const UserQuestion& question,
+                                        const PatternSet& patterns,
+                                        const DistanceModel& distance,
+                                        const ExplainConfig& config) = 0;
+};
+
+/// EXPL-GEN-NAIVE: Algorithm 1 — checks every candidate explanation.
+std::unique_ptr<ExplanationGenerator> MakeNaiveExplainer();
+
+/// EXPL-GEN-OPT: Section 3.5 — processes (P, P') pairs in decreasing order
+/// of their score upper bound score↑(φ, P, P') and prunes pairs (and stops
+/// entirely) once the bound cannot beat the current top-k floor.
+std::unique_ptr<ExplanationGenerator> MakeOptimizedExplainer();
+
+}  // namespace cape
+
+#endif  // CAPE_EXPLAIN_EXPLAINER_H_

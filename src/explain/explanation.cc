@@ -1,0 +1,37 @@
+#include "explain/explanation.h"
+
+#include "common/string_util.h"
+
+namespace cape {
+
+std::string Explanation::ToString(const Schema& schema) const {
+  std::string out = "(";
+  const std::vector<int> attrs = tuple_attrs.ToIndices();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.field(attrs[i]).name + "=" + tuple_values[i].ToString();
+  }
+  out += StringFormat(", agg=%g)  score=%.2f", agg_value, score);
+  return out;
+}
+
+std::string RenderExplanationTable(const std::vector<Explanation>& explanations,
+                                   const Schema& schema) {
+  (void)schema;  // reserved for future per-attribute headers
+  std::string out = StringFormat("%-4s | %-58s | %8s\n", "Rank", "Explanation", "score");
+  out += std::string(78, '-') + "\n";
+  for (size_t i = 0; i < explanations.size(); ++i) {
+    const Explanation& e = explanations[i];
+    std::string tuple = "(";
+    const std::vector<int> attrs = e.tuple_attrs.ToIndices();
+    for (size_t j = 0; j < attrs.size(); ++j) {
+      if (j > 0) tuple += ", ";
+      tuple += e.tuple_values[j].ToString();
+    }
+    tuple += ", " + StringFormat("%g", e.agg_value) + ")";
+    out += StringFormat("%-4zu | %-58s | %8.2f\n", i + 1, tuple.c_str(), e.score);
+  }
+  return out;
+}
+
+}  // namespace cape

@@ -1,0 +1,48 @@
+#ifndef CAPE_EXPLAIN_EXPLANATION_H_
+#define CAPE_EXPLAIN_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "fd/attr_set.h"
+#include "pattern/pattern.h"
+#include "relational/table.h"
+
+namespace cape {
+
+/// A scored candidate explanation E = (P, P', t') (Definition 7): t' is a
+/// counterbalance — a tuple over (F' ∪ V, agg(A)) that agrees with the
+/// question on F, holds locally under the refinement P', and deviates from
+/// its predicted value in the opposite direction of the question.
+struct Explanation {
+  Pattern relevant_pattern;    // P
+  Pattern refinement_pattern;  // P'
+
+  /// The counterbalance tuple t': attributes F' ∪ V (ascending order) with
+  /// their values, plus the aggregate value.
+  AttrSet tuple_attrs;
+  Row tuple_values;
+  double agg_value = 0.0;
+
+  /// g_{P', t'[F']}(t'[V]).
+  double predicted = 0.0;
+  /// dev_{P'}(t') = agg_value - predicted (Definition 8).
+  double deviation = 0.0;
+  /// d(t[G], t'[F' ∪ V]) (Definition 9).
+  double distance = 0.0;
+  /// NORM of Definition 10 (the question's own aggregate context).
+  double norm = 0.0;
+  /// Definition 10.
+  double score = 0.0;
+
+  /// "(AX, ICDE, 2007, 6)  score=13.78" style rendering.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Renders a ranked explanation list as the paper's Tables 3-7 layout.
+std::string RenderExplanationTable(const std::vector<Explanation>& explanations,
+                                   const Schema& schema);
+
+}  // namespace cape
+
+#endif  // CAPE_EXPLAIN_EXPLANATION_H_

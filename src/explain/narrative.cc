@@ -1,0 +1,53 @@
+#include "explain/narrative.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "relational/operators.h"
+
+namespace cape {
+
+namespace {
+
+std::string AggToString(AggFunc agg, int agg_attr, const Schema& schema) {
+  std::string out = AggFuncToString(agg);
+  out += "(";
+  out += agg_attr == AggregateSpec::kCountStar ? "*" : schema.field(agg_attr).name;
+  out += ")";
+  return out;
+}
+
+std::string TupleToString(AttrSet attrs, const Row& values, const Schema& schema) {
+  std::string out = "(";
+  const std::vector<int> indices = attrs.ToIndices();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.field(indices[i]).name + "=" + values[i].ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace
+
+std::string NarrateExplanation(const UserQuestion& question, const Explanation& explanation,
+                               const Schema& schema) {
+  const std::string agg = AggToString(question.agg, question.agg_attr, schema);
+  const std::string question_tuple =
+      TupleToString(question.group_attrs, question.group_values, schema);
+  const std::string counterbalance_tuple =
+      TupleToString(explanation.tuple_attrs, explanation.tuple_values, schema);
+  const char* direction_phrase =
+      question.dir == Direction::kLow ? "lower than expected" : "higher than expected";
+  const char* opposite_phrase = question.dir == Direction::kLow ? "above" : "below";
+
+  return StringFormat(
+      "Even though the data follows the pattern %s, %s for %s is %s, which may be "
+      "explained by %s having %s = %s — %s %s the %s its pattern predicts.",
+      explanation.relevant_pattern.ToString(schema).c_str(), agg.c_str(),
+      question_tuple.c_str(), direction_phrase, counterbalance_tuple.c_str(), agg.c_str(),
+      StringFormat("%.4g", explanation.agg_value).c_str(),
+      StringFormat("%.3g", std::fabs(explanation.deviation)).c_str(), opposite_phrase,
+      StringFormat("%.4g", explanation.predicted).c_str());
+}
+
+}  // namespace cape

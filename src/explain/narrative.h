@@ -1,0 +1,27 @@
+#ifndef CAPE_EXPLAIN_NARRATIVE_H_
+#define CAPE_EXPLAIN_NARRATIVE_H_
+
+#include <string>
+
+#include "explain/explanation.h"
+#include "explain/user_question.h"
+
+namespace cape {
+
+/// Renders an explanation as the English interpretation the paper gives in
+/// Example 5:
+///
+///   "Even though AX, like many other authors, follows the pattern
+///    [author]: year ~ count(*), its count(*) for (author=AX, venue=SIGKDD,
+///    year=2007) is lower than expected, which may be explained by
+///    (author=AX, venue=ICDE, year=2007) having count(*) = 10 — 5.5 above
+///    the 4.5 its pattern predicts."
+///
+/// Pure string rendering over an already-computed explanation; useful for
+/// CLI/report output (see examples/quickstart.cpp).
+std::string NarrateExplanation(const UserQuestion& question, const Explanation& explanation,
+                               const Schema& schema);
+
+}  // namespace cape
+
+#endif  // CAPE_EXPLAIN_NARRATIVE_H_

@@ -1,0 +1,158 @@
+#include "explain/user_question.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace cape {
+
+const char* DirectionToString(Direction dir) {
+  return dir == Direction::kHigh ? "high" : "low";
+}
+
+Row UserQuestion::ProjectGroupValues(AttrSet attrs) const {
+  Row out;
+  const std::vector<int> g = group_attrs.ToIndices();
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (attrs.Contains(g[i])) out.push_back(group_values[i]);
+  }
+  return out;
+}
+
+std::string UserQuestion::ToString() const {
+  const Schema& schema = *relation->schema();
+  std::string agg_str = AggFuncToString(agg);
+  agg_str += "(";
+  agg_str += agg_attr == AggregateSpec::kCountStar ? "*" : schema.field(agg_attr).name;
+  agg_str += ")";
+  std::string tuple = "(";
+  const std::vector<int> g = group_attrs.ToIndices();
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (i > 0) tuple += ", ";
+    tuple += schema.field(g[i]).name + "=" + group_values[i].ToString();
+  }
+  tuple += ")";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", result_value);
+  return "why is " + agg_str + " = " + buf + " for " + tuple + " " +
+         DirectionToString(dir) + "?";
+}
+
+Result<TablePtr> UserQuestion::Provenance() const {
+  std::vector<std::pair<int, Value>> conditions;
+  const std::vector<int> g = group_attrs.ToIndices();
+  for (size_t i = 0; i < g.size(); ++i) conditions.emplace_back(g[i], group_values[i]);
+  return FilterEquals(*relation, conditions);
+}
+
+namespace {
+
+/// Shared front half of question construction: attribute resolution,
+/// duplicate checks, and normalization of values to ascending attribute
+/// order. Leaves agg/dir/result_value for the caller.
+Result<UserQuestion> ResolveQuestionSkeleton(TablePtr relation,
+                                             const std::vector<std::string>& group_by,
+                                             const std::vector<Value>& group_values) {
+  if (relation == nullptr) return Status::InvalidArgument("user question requires a relation");
+  if (group_by.empty()) return Status::InvalidArgument("user question requires group-by attributes");
+  if (group_by.size() != group_values.size()) {
+    return Status::InvalidArgument("group_by and group_values size mismatch");
+  }
+  UserQuestion uq;
+  uq.relation = relation;
+  const Schema& schema = *relation->schema();
+  std::vector<std::pair<int, Value>> attr_values;
+  for (size_t i = 0; i < group_by.size(); ++i) {
+    CAPE_ASSIGN_OR_RETURN(int idx, schema.GetFieldIndexChecked(group_by[i]));
+    if (uq.group_attrs.Contains(idx)) {
+      return Status::InvalidArgument("duplicate group-by attribute '" + group_by[i] + "'");
+    }
+    uq.group_attrs.Add(idx);
+    attr_values.emplace_back(idx, group_values[i]);
+  }
+  std::sort(attr_values.begin(), attr_values.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [idx, value] : attr_values) uq.group_values.push_back(std::move(value));
+  return uq;
+}
+
+}  // namespace
+
+Result<UserQuestion> MakeUserQuestion(TablePtr relation,
+                                      const std::vector<std::string>& group_by,
+                                      const std::vector<Value>& group_values, AggFunc agg,
+                                      const std::string& agg_attr, Direction dir) {
+  CAPE_ASSIGN_OR_RETURN(UserQuestion uq,
+                        ResolveQuestionSkeleton(relation, group_by, group_values));
+  uq.agg = agg;
+  uq.dir = dir;
+  const Schema& schema = *relation->schema();
+
+  if (agg == AggFunc::kCount) {
+    if (!agg_attr.empty() && agg_attr != "*") {
+      return Status::InvalidArgument("count over a specific attribute is not supported; use '*'");
+    }
+    uq.agg_attr = AggregateSpec::kCountStar;
+  } else {
+    CAPE_ASSIGN_OR_RETURN(uq.agg_attr, schema.GetFieldIndexChecked(agg_attr));
+    if (uq.group_attrs.Contains(uq.agg_attr)) {
+      return Status::InvalidArgument("aggregate attribute '" + agg_attr +
+                                     "' may not be a group-by attribute");
+    }
+  }
+
+  // Verify t ∈ Q(R) and fill in t[agg(A)].
+  std::vector<std::pair<int, Value>> conditions;
+  const std::vector<int> g = uq.group_attrs.ToIndices();
+  for (size_t i = 0; i < g.size(); ++i) conditions.emplace_back(g[i], uq.group_values[i]);
+  CAPE_ASSIGN_OR_RETURN(TablePtr selected, FilterEquals(*relation, conditions));
+  if (selected->num_rows() == 0) {
+    return Status::NotFound("no rows match the question tuple; t is not in Q(R)");
+  }
+  AggregateSpec spec;
+  spec.func = agg;
+  spec.input_col = uq.agg_attr;
+  spec.output_name = "agg";
+  CAPE_ASSIGN_OR_RETURN(TablePtr aggregated, GroupByAggregate(*selected, std::vector<int>{}, {spec}));
+  const Value result = aggregated->GetValue(0, 0);
+  if (result.is_null()) {
+    return Status::NotFound("aggregate value for the question tuple is NULL");
+  }
+  uq.result_value = result.AsDouble();
+  return uq;
+}
+
+Result<UserQuestion> MakeMissingValueQuestion(TablePtr relation,
+                                              const std::vector<std::string>& group_by,
+                                              const std::vector<Value>& group_values) {
+  CAPE_ASSIGN_OR_RETURN(UserQuestion uq,
+                        ResolveQuestionSkeleton(relation, group_by, group_values));
+  uq.agg = AggFunc::kCount;
+  uq.agg_attr = AggregateSpec::kCountStar;
+  uq.dir = Direction::kLow;
+  uq.result_value = 0.0;
+
+  // The combination must be absent...
+  std::vector<std::pair<int, Value>> conditions;
+  const std::vector<int> g = uq.group_attrs.ToIndices();
+  for (size_t i = 0; i < g.size(); ++i) conditions.emplace_back(g[i], uq.group_values[i]);
+  CAPE_ASSIGN_OR_RETURN(TablePtr selected, FilterEquals(*relation, conditions));
+  if (selected->num_rows() > 0) {
+    return Status::InvalidArgument(
+        "the group exists in Q(R); use MakeUserQuestion for present tuples");
+  }
+  // ...but each individual value must occur somewhere in its column, so the
+  // question is about a missing combination, not a value outside the domain.
+  for (size_t i = 0; i < g.size(); ++i) {
+    CAPE_ASSIGN_OR_RETURN(
+        TablePtr with_value, FilterEquals(*relation, {{g[i], uq.group_values[i]}}));
+    if (with_value->num_rows() == 0) {
+      return Status::NotFound("value '" + uq.group_values[i].ToString() +
+                              "' never occurs in attribute '" +
+                              relation->schema()->field(g[i]).name + "'");
+    }
+  }
+  return uq;
+}
+
+}  // namespace cape

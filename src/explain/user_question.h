@@ -1,0 +1,71 @@
+#ifndef CAPE_EXPLAIN_USER_QUESTION_H_
+#define CAPE_EXPLAIN_USER_QUESTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fd/attr_set.h"
+#include "relational/operators.h"
+#include "relational/table.h"
+
+namespace cape {
+
+/// Whether the user considers the aggregate value higher or lower than
+/// expected (Definition 1).
+enum class Direction : int { kHigh = 0, kLow = 1 };
+
+const char* DirectionToString(Direction dir);
+
+/// A user question φ = (Q, R, t, dir) over Q = γ_{G, agg(A)}(R)
+/// (Definition 1). Group values are stored in ascending attribute order.
+struct UserQuestion {
+  TablePtr relation;  // R
+  AttrSet group_attrs;  // G
+  AggFunc agg = AggFunc::kCount;
+  int agg_attr = AggregateSpec::kCountStar;  // A (kCountStar for count(*))
+  Row group_values;    // t[G], aligned with group_attrs.ToIndices()
+  double result_value = 0.0;  // t[agg(A)]
+  Direction dir = Direction::kLow;
+
+  /// t[S] for S ⊆ G: the question tuple projected onto `attrs`
+  /// (ascending attribute order). Attributes outside G are ignored.
+  Row ProjectGroupValues(AttrSet attrs) const;
+
+  /// "why is count(*) = 1 for (author=AX, venue=SIGKDD, year=2007) LOW?"
+  std::string ToString() const;
+
+  /// The provenance of the question's query answer: the input tuples of R
+  /// the aggregate was computed from, σ_{G = t[G]}(R). Provided for the
+  /// contrast the paper's introduction draws — for outlier questions the
+  /// provenance is exactly the unremarkable data that *cannot* explain the
+  /// outcome, which is why CAPE looks outside it.
+  Result<TablePtr> Provenance() const;
+};
+
+/// Builds and validates a user question: resolves names, verifies that the
+/// group exists in Q(R), and computes t[agg(A)] from the data (so callers
+/// cannot ask about a tuple that is not a query answer). `agg_attr` is
+/// empty for count(*). `group_values` align with `group_by` order.
+Result<UserQuestion> MakeUserQuestion(TablePtr relation,
+                                      const std::vector<std::string>& group_by,
+                                      const std::vector<Value>& group_values, AggFunc agg,
+                                      const std::string& agg_attr, Direction dir);
+
+/// The paper's open problem (Section 7): "how to deal with missing values
+/// in user queries — e.g., if AX did not have any SIGKDD paper in 2007".
+/// This builds a `low` count(*) question about a group that does NOT appear
+/// in Q(R), treating its count as 0. Only count(*) admits this reading
+/// (sum/min/max of an empty group are undefined, not zero), and each
+/// individual group value must occur somewhere in the relation so the
+/// question is about a missing *combination* rather than a typo.
+/// Downstream explanation generation works unchanged: relevance still
+/// requires a pattern to hold locally on t[F], which the fragment's other
+/// predictor values provide.
+Result<UserQuestion> MakeMissingValueQuestion(TablePtr relation,
+                                              const std::vector<std::string>& group_by,
+                                              const std::vector<Value>& group_values);
+
+}  // namespace cape
+
+#endif  // CAPE_EXPLAIN_USER_QUESTION_H_

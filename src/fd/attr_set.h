@@ -1,0 +1,80 @@
+#ifndef CAPE_FD_ATTR_SET_H_
+#define CAPE_FD_ATTR_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cape {
+
+/// A set of attribute (column) indices represented as a 64-bit mask.
+/// Supports relations with up to 64 attributes — far above the paper's
+/// widest dataset (22 attributes).
+class AttrSet {
+ public:
+  constexpr AttrSet() = default;
+  constexpr explicit AttrSet(uint64_t bits) : bits_(bits) {}
+
+  static AttrSet FromIndices(const std::vector<int>& indices) {
+    AttrSet s;
+    for (int i : indices) s.Add(i);
+    return s;
+  }
+
+  static constexpr AttrSet Single(int index) { return AttrSet(uint64_t{1} << index); }
+
+  uint64_t bits() const { return bits_; }
+  bool empty() const { return bits_ == 0; }
+  int size() const { return __builtin_popcountll(bits_); }
+
+  bool Contains(int index) const { return (bits_ >> index) & 1; }
+  bool ContainsAll(AttrSet other) const { return (bits_ & other.bits_) == other.bits_; }
+  bool Intersects(AttrSet other) const { return (bits_ & other.bits_) != 0; }
+
+  void Add(int index) { bits_ |= uint64_t{1} << index; }
+  void Remove(int index) { bits_ &= ~(uint64_t{1} << index); }
+
+  AttrSet Union(AttrSet other) const { return AttrSet(bits_ | other.bits_); }
+  AttrSet Intersect(AttrSet other) const { return AttrSet(bits_ & other.bits_); }
+  AttrSet Difference(AttrSet other) const { return AttrSet(bits_ & ~other.bits_); }
+  AttrSet Without(int index) const { return AttrSet(bits_ & ~(uint64_t{1} << index)); }
+
+  /// Ascending list of member indices.
+  std::vector<int> ToIndices() const {
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>(size()));
+    uint64_t b = bits_;
+    while (b != 0) {
+      out.push_back(__builtin_ctzll(b));
+      b &= b - 1;
+    }
+    return out;
+  }
+
+  /// "{0,2,5}" for debugging.
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (int i : ToIndices()) {
+      if (!first) out += ",";
+      out += std::to_string(i);
+      first = false;
+    }
+    return out + "}";
+  }
+
+  friend bool operator==(AttrSet a, AttrSet b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(AttrSet a, AttrSet b) { return a.bits_ != b.bits_; }
+  friend bool operator<(AttrSet a, AttrSet b) { return a.bits_ < b.bits_; }
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+struct AttrSetHasher {
+  size_t operator()(AttrSet s) const { return std::hash<uint64_t>{}(s.bits()); }
+};
+
+}  // namespace cape
+
+#endif  // CAPE_FD_ATTR_SET_H_

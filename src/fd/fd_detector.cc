@@ -1,0 +1,49 @@
+#include "fd/fd_detector.h"
+
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "relational/operators.h"
+
+namespace cape {
+
+void FdDetector::RecordGroupSize(AttrSet g, int64_t num_groups) {
+  group_sizes_[g] = num_groups;
+}
+
+int64_t FdDetector::GetGroupSize(AttrSet g) const {
+  auto it = group_sizes_.find(g);
+  return it == group_sizes_.end() ? -1 : it->second;
+}
+
+int FdDetector::DetectFdsFor(AttrSet g) {
+  const int64_t g_size = GetGroupSize(g);
+  if (g_size < 0) return 0;
+  int added = 0;
+  for (int a : g.ToIndices()) {
+    AttrSet lhs = g.Without(a);
+    if (lhs.empty()) continue;
+    const int64_t lhs_size = GetGroupSize(lhs);
+    if (lhs_size < 0) continue;
+    if (lhs_size == g_size) {
+      size_t before = fd_set_->size();
+      fd_set_->Add(lhs, a);
+      if (fd_set_->size() > before) ++added;
+    }
+  }
+  return added;
+}
+
+Result<int64_t> FdDetector::CountGroups(const Table& table, AttrSet g) {
+  GroupKeyEncoder encoder(table, g.ToIndices());
+  std::unordered_set<std::string> keys;
+  std::string key;
+  for (int64_t row = 0; row < table.num_rows(); ++row) {
+    key.clear();
+    encoder.EncodeRow(row, &key);
+    keys.insert(key);
+  }
+  return static_cast<int64_t>(keys.size());
+}
+
+}  // namespace cape

@@ -1,0 +1,45 @@
+#include "fd/fd_set.h"
+
+#include <algorithm>
+
+namespace cape {
+
+void FdSet::Add(AttrSet lhs, int rhs) {
+  if (lhs.Contains(rhs)) return;  // trivial
+  FunctionalDependency fd{lhs, rhs};
+  if (std::find(fds_.begin(), fds_.end(), fd) != fds_.end()) return;
+  fds_.push_back(fd);
+}
+
+AttrSet FdSet::Closure(AttrSet attrs) const {
+  AttrSet closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds_) {
+      if (!closure.Contains(fd.rhs) && closure.ContainsAll(fd.lhs)) {
+        closure.Add(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool FdSet::IsMinimal(AttrSet f) const {
+  for (int a : f.ToIndices()) {
+    if (Implies(f.Without(a), a)) return false;
+  }
+  return true;
+}
+
+std::string FdSet::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += fds_[i].lhs.ToString() + "->" + std::to_string(fds_[i].rhs);
+  }
+  return out;
+}
+
+}  // namespace cape

@@ -1,0 +1,64 @@
+#ifndef CAPE_FD_FD_SET_H_
+#define CAPE_FD_FD_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "fd/attr_set.h"
+
+namespace cape {
+
+/// A functional dependency lhs -> rhs over column indices of one relation.
+/// Single-attribute right-hand sides suffice (Armstrong decomposition,
+/// Appendix D).
+struct FunctionalDependency {
+  AttrSet lhs;
+  int rhs = 0;
+
+  friend bool operator==(const FunctionalDependency& a, const FunctionalDependency& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+};
+
+/// A mutable collection of FDs supporting the inference queries the miner
+/// needs (Appendix D): attribute closure, F-minimality, and F -> V tests.
+class FdSet {
+ public:
+  FdSet() = default;
+
+  /// Adds lhs -> rhs; duplicates are ignored. Trivial FDs (rhs in lhs) are
+  /// dropped.
+  void Add(AttrSet lhs, int rhs);
+  void Add(const FunctionalDependency& fd) { Add(fd.lhs, fd.rhs); }
+
+  size_t size() const { return fds_.size(); }
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+
+  /// Attribute closure attrs+ under the stored FDs (fixpoint iteration;
+  /// the FD count is small so the quadratic loop is fine).
+  AttrSet Closure(AttrSet attrs) const;
+
+  /// Whether `attrs` functionally determines attribute `target`.
+  bool Implies(AttrSet attrs, int target) const {
+    return Closure(attrs).Contains(target);
+  }
+
+  /// Whether `attrs` determines every attribute in `targets`.
+  bool ImpliesAll(AttrSet attrs, AttrSet targets) const {
+    return Closure(attrs).ContainsAll(targets);
+  }
+
+  /// F is minimal iff no A in F is implied by F \ {A} (Appendix D: patterns
+  /// with non-minimal F are redundant and skipped).
+  bool IsMinimal(AttrSet f) const;
+
+  /// "{0,1}->2; {3}->4"
+  std::string ToString() const;
+
+ private:
+  std::vector<FunctionalDependency> fds_;
+};
+
+}  // namespace cape
+
+#endif  // CAPE_FD_FD_SET_H_

@@ -1,0 +1,183 @@
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "fd/fd_detector.h"
+#include "pattern/mining.h"
+#include "pattern/mining_internal.h"
+
+namespace cape {
+
+namespace {
+
+using mining_internal::AggColumnRef;
+using mining_internal::CandidateMap;
+
+/// ARP-MINE (Algorithm 2 + Algorithm 5): shares one aggregation query per
+/// attribute set G, reuses each sort order for every (F, V) split whose F is
+/// a prefix of the order, detects FDs from group cardinalities as a side
+/// effect, and (when enabled) skips candidates that are redundant under the
+/// discovered FDs (Appendix D).
+class ArpMiner final : public PatternMiner {
+ public:
+  std::string name() const override { return "ARP-MINE"; }
+
+  Result<MiningResult> Mine(const Table& table, const MiningConfig& config) override {
+    MiningResult result;
+    result.fds = config.initial_fds;
+    MiningProfile& profile = result.profile;
+    Stopwatch total;
+    CandidateMap candidates;
+    FdDetector detector(&result.fds);
+
+    if (config.use_fd_optimizations) {
+      // Seed singleton cardinalities (the system-catalog statistics a DBMS
+      // would provide) so size-2 iterations can already test A -> B.
+      ScopedTimer timer(&profile.query_ns);
+      const AttrSet allowed = mining_internal::AllowedAttrs(*table.schema(), config);
+      for (int a : allowed.ToIndices()) {
+        profile.num_queries += 1;
+        detector.RecordGroupSize(AttrSet::Single(a), table.column(a).CountDistinct());
+      }
+    }
+
+    // (F, V) pairs already evaluated — the set C of Algorithm 2.
+    std::set<std::pair<uint64_t, uint64_t>> explored;
+
+    // EnumerateGroupSets yields sets in increasing size, the order the FD
+    // detection correctness argument relies on (Appendix D).
+    for (AttrSet g : mining_internal::EnumerateGroupSets(*table.schema(), config)) {
+      const std::vector<int> g_attrs = g.ToIndices();
+      const int gs = static_cast<int>(g_attrs.size());
+
+      const auto agg_candidates = mining_internal::EnumerateAggCandidates(table, g, config);
+      if (agg_candidates.empty()) continue;
+      std::vector<AggregateSpec> specs;
+      std::vector<AggColumnRef> agg_cols;
+      for (size_t i = 0; i < agg_candidates.size(); ++i) {
+        const auto& [agg, agg_attr] = agg_candidates[i];
+        AggregateSpec spec;
+        spec.func = agg;
+        spec.input_col = agg_attr;
+        spec.output_name = "agg" + std::to_string(i);
+        specs.push_back(std::move(spec));
+        agg_cols.push_back(AggColumnRef{agg, agg_attr, gs + static_cast<int>(i)});
+      }
+      TablePtr data;
+      {
+        ScopedTimer timer(&profile.query_ns);
+        profile.num_queries += 1;
+        CAPE_ASSIGN_OR_RETURN(data, GroupByAggregate(table, g_attrs, specs));
+      }
+      if (config.use_fd_optimizations) {
+        detector.RecordGroupSize(g, data->num_rows());
+        detector.DetectFdsFor(g);
+      }
+      CAPE_RETURN_IF_ERROR(ExploreSortOrders(table, g, g_attrs, *data, agg_cols, config,
+                                             result.fds, &explored, &profile, &candidates));
+    }
+
+    result.patterns = mining_internal::FinalizePatterns(std::move(candidates), config);
+    profile.total_ns = total.ElapsedNanos();
+    return result;
+  }
+
+ private:
+  /// Algorithm 5: iterate permutations S of G; for each S that can test at
+  /// least one unexplored (F, V), sort once and evaluate every unexplored
+  /// split whose F is a prefix of S.
+  Status ExploreSortOrders(const Table& table, AttrSet g, const std::vector<int>& g_attrs,
+                           const Table& data, const std::vector<AggColumnRef>& agg_cols,
+                           const MiningConfig& config, const FdSet& fds,
+                           std::set<std::pair<uint64_t, uint64_t>>* explored,
+                           MiningProfile* profile, CandidateMap* candidates) {
+    const int gs = static_cast<int>(g_attrs.size());
+    std::vector<int> perm = g_attrs;  // ascending = first permutation
+    std::sort(perm.begin(), perm.end());
+    do {
+      // Which prefix lengths of this order would test something new?
+      // FD-redundant splits (Appendix D) are resolved here, *before* the
+      // sort decision, so a sort order whose only new splits are FD-skipped
+      // never triggers a sort query.
+      std::vector<int> new_prefix_lengths;
+      {
+        AttrSet f_attrs;
+        for (int len = 1; len < gs; ++len) {
+          f_attrs.Add(perm[static_cast<size_t>(len - 1)]);
+          AttrSet v_attrs = g.Difference(f_attrs);
+          if (!mining_internal::SplitAllowed(table, v_attrs, config)) continue;
+          if (explored->count({f_attrs.bits(), v_attrs.bits()}) > 0) continue;
+          if (config.use_fd_optimizations &&
+              (!fds.IsMinimal(f_attrs) || fds.ImpliesAll(f_attrs, v_attrs))) {
+            explored->insert({f_attrs.bits(), v_attrs.bits()});
+            const bool v_numeric = mining_internal::AllNumeric(table, v_attrs);
+            for (size_t a = 0; a < agg_cols.size(); ++a) {
+              (void)a;
+              for (ModelType model : config.model_types) {
+                if (model == ModelType::kLinear && !v_numeric) continue;
+                profile->num_candidates_skipped_fd += 1;
+              }
+            }
+            continue;
+          }
+          new_prefix_lengths.push_back(len);
+        }
+      }
+      if (new_prefix_lengths.empty()) continue;
+
+      TablePtr sorted;
+      {
+        ScopedTimer timer(&profile->query_ns);
+        profile->num_sorts += 1;
+        std::vector<SortKey> keys;
+        for (int attr : perm) {
+          // Column position of attr inside `data` = rank within g_attrs.
+          const int pos = static_cast<int>(
+              std::lower_bound(g_attrs.begin(), g_attrs.end(), attr) - g_attrs.begin());
+          keys.push_back(SortKey{pos, true});
+        }
+        CAPE_ASSIGN_OR_RETURN(sorted, SortTable(data, keys));
+      }
+
+      for (int len : new_prefix_lengths) {
+        AttrSet f_attrs;
+        for (int i = 0; i < len; ++i) f_attrs.Add(perm[static_cast<size_t>(i)]);
+        AttrSet v_attrs = g.Difference(f_attrs);
+        explored->insert({f_attrs.bits(), v_attrs.bits()});
+
+        std::vector<int> f_cols;
+        std::vector<int> v_cols;
+        for (int i = 0; i < gs; ++i) {
+          if (f_attrs.Contains(g_attrs[static_cast<size_t>(i)])) {
+            f_cols.push_back(i);
+          } else {
+            v_cols.push_back(i);
+          }
+        }
+        const bool v_numeric = mining_internal::AllNumeric(table, v_attrs);
+        CAPE_RETURN_IF_ERROR(mining_internal::EvaluateSplit(*sorted, f_cols, v_cols,
+                                                            v_numeric, f_attrs, v_attrs,
+                                                            agg_cols, config, profile,
+                                                            candidates));
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PatternMiner> MakeArpMiner() { return std::make_unique<ArpMiner>(); }
+
+Result<std::unique_ptr<PatternMiner>> MakeMinerByName(const std::string& name) {
+  if (name == "NAIVE") return MakeNaiveMiner();
+  if (name == "CUBE") return MakeCubeMiner();
+  if (name == "SHARE-GRP") return MakeShareGrpMiner();
+  if (name == "ARP-MINE") return MakeArpMiner();
+  return Status::NotFound("unknown miner '" + name +
+                          "'; expected NAIVE, CUBE, SHARE-GRP, or ARP-MINE");
+}
+
+}  // namespace cape

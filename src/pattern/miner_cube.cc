@@ -1,0 +1,129 @@
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "pattern/mining.h"
+#include "pattern/mining_internal.h"
+
+namespace cape {
+
+namespace {
+
+using mining_internal::AggColumnRef;
+using mining_internal::CandidateMap;
+
+/// CUBE miner (Section 4.1, "Using the CUBE BY operator"): a single CUBE
+/// query materializes the aggregated data for every admissible G_P; each
+/// candidate then needs only a selection (on grouping_id) and a sort over
+/// the materialized result.
+class CubeMiner final : public PatternMiner {
+ public:
+  std::string name() const override { return "CUBE"; }
+
+  Result<MiningResult> Mine(const Table& table, const MiningConfig& config) override {
+    MiningResult result;
+    result.fds = config.initial_fds;
+    MiningProfile& profile = result.profile;
+    Stopwatch total;
+    CandidateMap candidates;
+
+    const AttrSet allowed = mining_internal::AllowedAttrs(*table.schema(), config);
+    const std::vector<int> cube_attrs = allowed.ToIndices();
+    const int n = static_cast<int>(cube_attrs.size());
+    // Position of attribute a within the cube's column list.
+    std::vector<int> attr_to_pos(static_cast<size_t>(table.num_columns()), -1);
+    for (int i = 0; i < n; ++i) attr_to_pos[static_cast<size_t>(cube_attrs[i])] = i;
+
+    // One cube query computes every (agg, A) combination for every G_P with
+    // |G_P| <= psi. (sum(A) is materialized even for groupings containing A;
+    // those columns are simply never read.)
+    const auto shared = mining_internal::BuildSharedAggSpecs(table, allowed, config);
+    if (shared.specs.empty()) {
+      result.patterns = PatternSet();
+      profile.total_ns = total.ElapsedNanos();
+      return result;
+    }
+    TablePtr cube;
+    {
+      ScopedTimer timer(&profile.query_ns);
+      profile.num_queries += 1;
+      CubeOptions options;
+      options.min_group_size = 2;
+      options.max_group_size = config.max_pattern_size;
+      options.add_grouping_id = true;
+      CAPE_ASSIGN_OR_RETURN(cube, Cube(table, cube_attrs, shared.specs, options));
+    }
+    const int grouping_id_col = cube->num_columns() - 1;
+
+    for (AttrSet g : mining_internal::EnumerateGroupSets(*table.schema(), config)) {
+      const std::vector<int> g_attrs = g.ToIndices();
+      const int gs = static_cast<int>(g_attrs.size());
+
+      // grouping_id of the grouping that keeps exactly the attributes in G.
+      int64_t wanted_gid = 0;
+      for (int i = 0; i < n; ++i) {
+        if (!g.Contains(cube_attrs[static_cast<size_t>(i)])) {
+          wanted_gid |= int64_t{1} << i;
+        }
+      }
+      TablePtr data;
+      {
+        ScopedTimer timer(&profile.query_ns);
+        profile.num_queries += 1;
+        CAPE_ASSIGN_OR_RETURN(
+            data, Filter(*cube, [&](int64_t row) {
+              return cube->column(grouping_id_col).GetInt64(row) == wanted_gid;
+            }));
+      }
+
+      // Aggregate columns usable for this G: A outside G.
+      std::vector<AggColumnRef> agg_cols;
+      for (size_t s = 0; s < shared.meaning.size(); ++s) {
+        const auto& [agg, agg_attr] = shared.meaning[s];
+        if (agg_attr != Pattern::kCountStar && g.Contains(agg_attr)) continue;
+        agg_cols.push_back(AggColumnRef{agg, agg_attr, n + static_cast<int>(s)});
+      }
+      if (agg_cols.empty()) continue;
+
+      for (uint32_t mask = 1; mask + 1 < (1u << gs); ++mask) {
+        AttrSet f_attrs;
+        AttrSet v_attrs;
+        std::vector<int> f_cols;
+        std::vector<int> v_cols;
+        for (int i = 0; i < gs; ++i) {
+          const int attr = g_attrs[static_cast<size_t>(i)];
+          if (mask & (1u << i)) {
+            f_attrs.Add(attr);
+            f_cols.push_back(attr_to_pos[static_cast<size_t>(attr)]);
+          } else {
+            v_attrs.Add(attr);
+            v_cols.push_back(attr_to_pos[static_cast<size_t>(attr)]);
+          }
+        }
+        if (!mining_internal::SplitAllowed(table, v_attrs, config)) continue;
+        TablePtr sorted;
+        {
+          ScopedTimer timer(&profile.query_ns);
+          profile.num_sorts += 1;
+          std::vector<SortKey> keys;
+          for (int c : f_cols) keys.push_back(SortKey{c, true});
+          for (int c : v_cols) keys.push_back(SortKey{c, true});
+          CAPE_ASSIGN_OR_RETURN(sorted, SortTable(*data, keys));
+        }
+        const bool v_numeric = mining_internal::AllNumeric(table, v_attrs);
+        CAPE_RETURN_IF_ERROR(mining_internal::EvaluateSplit(*sorted, f_cols, v_cols,
+                                                            v_numeric, f_attrs, v_attrs,
+                                                            agg_cols, config, &profile,
+                                                            &candidates));
+      }
+    }
+
+    result.patterns = mining_internal::FinalizePatterns(std::move(candidates), config);
+    profile.total_ns = total.ElapsedNanos();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PatternMiner> MakeCubeMiner() { return std::make_unique<CubeMiner>(); }
+
+}  // namespace cape

@@ -1,0 +1,121 @@
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "pattern/mining.h"
+#include "pattern/mining_internal.h"
+
+namespace cape {
+
+namespace {
+
+using mining_internal::CandidateMap;
+
+/// Brute-force pattern discovery (Appendix C, Algorithms 3 and 4): for every
+/// candidate (F, V, agg, A, M), enumerate frag(R, P) and run one retrieval
+/// query Q_{P,f} = gamma_{V,agg(A)}(sigma_{F=f}(R)) per fragment.
+class NaiveMiner final : public PatternMiner {
+ public:
+  std::string name() const override { return "NAIVE"; }
+
+  Result<MiningResult> Mine(const Table& table, const MiningConfig& config) override {
+    MiningResult result;
+    result.fds = config.initial_fds;
+    MiningProfile& profile = result.profile;
+    Stopwatch total;
+    CandidateMap candidates;
+
+    for (AttrSet g : mining_internal::EnumerateGroupSets(*table.schema(), config)) {
+      const auto agg_candidates = mining_internal::EnumerateAggCandidates(table, g, config);
+      const std::vector<int> g_attrs = g.ToIndices();
+      const int gs = static_cast<int>(g_attrs.size());
+      // All (F, V) splits with F, V non-empty.
+      for (uint32_t mask = 1; mask + 1 < (1u << gs); ++mask) {
+        AttrSet f_attrs;
+        AttrSet v_attrs;
+        for (int i = 0; i < gs; ++i) {
+          if (mask & (1u << i)) {
+            f_attrs.Add(g_attrs[static_cast<size_t>(i)]);
+          } else {
+            v_attrs.Add(g_attrs[static_cast<size_t>(i)]);
+          }
+        }
+        if (!mining_internal::SplitAllowed(table, v_attrs, config)) continue;
+        const bool v_numeric = mining_internal::AllNumeric(table, v_attrs);
+        for (const auto& [agg, agg_attr] : agg_candidates) {
+          for (ModelType model : config.model_types) {
+            if (model == ModelType::kLinear && !v_numeric) continue;
+            Pattern pattern{f_attrs, v_attrs, agg, agg_attr, model};
+            profile.num_candidates += 1;
+            CAPE_RETURN_IF_ERROR(
+                EvaluateCandidate(table, pattern, config, &profile, &candidates));
+          }
+        }
+      }
+    }
+
+    result.patterns = mining_internal::FinalizePatterns(std::move(candidates), config);
+    profile.total_ns = total.ElapsedNanos();
+    return result;
+  }
+
+ private:
+  /// Algorithm 4 for a single candidate pattern.
+  static Status EvaluateCandidate(const Table& table, const Pattern& pattern,
+                                  const MiningConfig& config, MiningProfile* profile,
+                                  CandidateMap* candidates) {
+    const std::vector<int> f_attrs = pattern.partition_attrs.ToIndices();
+    const std::vector<int> v_attrs = pattern.predictor_attrs.ToIndices();
+
+    TablePtr fragments;
+    {
+      ScopedTimer timer(&profile->query_ns);
+      profile->num_queries += 1;
+      CAPE_ASSIGN_OR_RETURN(fragments, ProjectDistinct(table, f_attrs));
+    }
+
+    AggregateSpec spec;
+    spec.func = pattern.agg;
+    spec.input_col = pattern.agg_attr;
+    spec.output_name = "agg";
+
+    for (int64_t fr = 0; fr < fragments->num_rows(); ++fr) {
+      Row fragment = fragments->GetRow(fr);
+      std::vector<std::pair<int, Value>> conditions;
+      conditions.reserve(f_attrs.size());
+      for (size_t i = 0; i < f_attrs.size(); ++i) {
+        conditions.emplace_back(f_attrs[i], fragment[i]);
+      }
+      TablePtr fragment_data;
+      {
+        ScopedTimer timer(&profile->query_ns);
+        profile->num_queries += 1;
+        CAPE_ASSIGN_OR_RETURN(TablePtr selected, FilterEquals(table, conditions));
+        CAPE_ASSIGN_OR_RETURN(fragment_data, GroupByAggregate(*selected, v_attrs, {spec}));
+      }
+      const int64_t support = fragment_data->num_rows();
+      const int agg_col = static_cast<int>(v_attrs.size());
+      std::vector<std::vector<double>> X;
+      std::vector<double> y;
+      X.reserve(static_cast<size_t>(support));
+      y.reserve(static_cast<size_t>(support));
+      for (int64_t row = 0; row < support; ++row) {
+        if (fragment_data->column(agg_col).IsNull(row)) continue;
+        std::vector<double> x;
+        x.reserve(v_attrs.size());
+        for (size_t vc = 0; vc < v_attrs.size(); ++vc) {
+          x.push_back(fragment_data->column(static_cast<int>(vc)).GetNumeric(row));
+        }
+        X.push_back(std::move(x));
+        y.push_back(fragment_data->column(agg_col).GetNumeric(row));
+      }
+      mining_internal::FitFragmentCandidate(fragment, X, y, support, pattern.model,
+                                            pattern, config, profile, candidates);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PatternMiner> MakeNaiveMiner() { return std::make_unique<NaiveMiner>(); }
+
+}  // namespace cape

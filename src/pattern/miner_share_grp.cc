@@ -1,0 +1,155 @@
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "pattern/mining.h"
+#include "pattern/mining_internal.h"
+
+namespace cape {
+
+namespace {
+
+using mining_internal::AggColumnRef;
+using mining_internal::CandidateMap;
+
+/// SHARE-GRP (Section 4.1, "One query per F ∪ V"): one aggregation query per
+/// attribute set G computing every agg(A) combination at once, then one sort
+/// query per (F, V) split of G. Attribute sets are independent, so with
+/// MiningConfig::num_threads > 1 they are processed by a worker pool; the
+/// per-G candidate patterns are disjoint and the merged result is identical
+/// to the sequential one.
+class ShareGrpMiner final : public PatternMiner {
+ public:
+  std::string name() const override { return "SHARE-GRP"; }
+
+  Result<MiningResult> Mine(const Table& table, const MiningConfig& config) override {
+    MiningResult result;
+    result.fds = config.initial_fds;
+    MiningProfile& profile = result.profile;
+    Stopwatch total;
+
+    const std::vector<AttrSet> group_sets =
+        mining_internal::EnumerateGroupSets(*table.schema(), config);
+
+    CandidateMap candidates;
+    if (config.num_threads <= 1) {
+      for (AttrSet g : group_sets) {
+        CAPE_RETURN_IF_ERROR(ProcessGroupSet(table, g, config, &profile, &candidates));
+      }
+    } else {
+      const int num_threads =
+          std::min<int>(config.num_threads, static_cast<int>(group_sets.size()) + 1);
+      std::atomic<size_t> next{0};
+      std::vector<CandidateMap> thread_candidates(static_cast<size_t>(num_threads));
+      std::vector<MiningProfile> thread_profiles(static_cast<size_t>(num_threads));
+      std::vector<Status> thread_status(static_cast<size_t>(num_threads));
+      std::vector<std::thread> workers;
+      for (int t = 0; t < num_threads; ++t) {
+        workers.emplace_back([&, t] {
+          while (true) {
+            const size_t i = next.fetch_add(1);
+            if (i >= group_sets.size()) return;
+            Status st =
+                ProcessGroupSet(table, group_sets[i], config,
+                                &thread_profiles[static_cast<size_t>(t)],
+                                &thread_candidates[static_cast<size_t>(t)]);
+            if (!st.ok()) {
+              thread_status[static_cast<size_t>(t)] = std::move(st);
+              return;
+            }
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+      for (const Status& st : thread_status) CAPE_RETURN_IF_ERROR(st);
+      for (size_t t = 0; t < thread_candidates.size(); ++t) {
+        // Candidate keys are disjoint across G sets, hence across threads.
+        for (auto& [pattern, stats] : thread_candidates[t]) {
+          candidates.emplace(pattern, std::move(stats));
+        }
+        profile.regression_ns += thread_profiles[t].regression_ns;
+        profile.query_ns += thread_profiles[t].query_ns;
+        profile.num_candidates += thread_profiles[t].num_candidates;
+        profile.num_local_fits += thread_profiles[t].num_local_fits;
+        profile.num_queries += thread_profiles[t].num_queries;
+        profile.num_sorts += thread_profiles[t].num_sorts;
+      }
+    }
+
+    result.patterns = mining_internal::FinalizePatterns(std::move(candidates), config);
+    profile.total_ns = total.ElapsedNanos();
+    return result;
+  }
+
+ private:
+  /// All mining work for one attribute set G: one shared aggregation query,
+  /// then one sort + one fit-scan per (F, V) split.
+  static Status ProcessGroupSet(const Table& table, AttrSet g, const MiningConfig& config,
+                                MiningProfile* profile, CandidateMap* candidates) {
+    const std::vector<int> g_attrs = g.ToIndices();
+    const int gs = static_cast<int>(g_attrs.size());
+
+    const auto agg_candidates = mining_internal::EnumerateAggCandidates(table, g, config);
+    if (agg_candidates.empty()) return Status::OK();
+    std::vector<AggregateSpec> specs;
+    std::vector<AggColumnRef> agg_cols;
+    specs.reserve(agg_candidates.size());
+    for (size_t i = 0; i < agg_candidates.size(); ++i) {
+      const auto& [agg, agg_attr] = agg_candidates[i];
+      AggregateSpec spec;
+      spec.func = agg;
+      spec.input_col = agg_attr;
+      spec.output_name = "agg" + std::to_string(i);
+      specs.push_back(std::move(spec));
+      agg_cols.push_back(AggColumnRef{agg, agg_attr, gs + static_cast<int>(i)});
+    }
+    TablePtr data;
+    {
+      ScopedTimer timer(&profile->query_ns);
+      profile->num_queries += 1;
+      CAPE_ASSIGN_OR_RETURN(data, GroupByAggregate(table, g_attrs, specs));
+    }
+
+    for (uint32_t mask = 1; mask + 1 < (1u << gs); ++mask) {
+      AttrSet f_attrs;
+      AttrSet v_attrs;
+      std::vector<int> f_cols;
+      std::vector<int> v_cols;
+      for (int i = 0; i < gs; ++i) {
+        if (mask & (1u << i)) {
+          f_attrs.Add(g_attrs[static_cast<size_t>(i)]);
+          f_cols.push_back(i);
+        } else {
+          v_attrs.Add(g_attrs[static_cast<size_t>(i)]);
+          v_cols.push_back(i);
+        }
+      }
+      if (!mining_internal::SplitAllowed(table, v_attrs, config)) continue;
+      TablePtr sorted;
+      {
+        ScopedTimer timer(&profile->query_ns);
+        profile->num_sorts += 1;
+        std::vector<SortKey> keys;
+        for (int c : f_cols) keys.push_back(SortKey{c, true});
+        for (int c : v_cols) keys.push_back(SortKey{c, true});
+        CAPE_ASSIGN_OR_RETURN(sorted, SortTable(*data, keys));
+      }
+      const bool v_numeric = mining_internal::AllNumeric(table, v_attrs);
+      CAPE_RETURN_IF_ERROR(mining_internal::EvaluateSplit(*sorted, f_cols, v_cols,
+                                                          v_numeric, f_attrs, v_attrs,
+                                                          agg_cols, config, profile,
+                                                          candidates));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PatternMiner> MakeShareGrpMiner() {
+  return std::make_unique<ShareGrpMiner>();
+}
+
+}  // namespace cape

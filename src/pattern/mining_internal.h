@@ -1,0 +1,95 @@
+#ifndef CAPE_PATTERN_MINING_INTERNAL_H_
+#define CAPE_PATTERN_MINING_INTERNAL_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "pattern/mining.h"
+#include "pattern/pattern.h"
+#include "relational/operators.h"
+#include "relational/table.h"
+
+namespace cape::mining_internal {
+
+/// Per-candidate accumulator across fragments.
+struct CandidateStats {
+  Pattern pattern;
+  int64_t num_fragments = 0;
+  int64_t num_supported = 0;
+  int64_t num_holding = 0;
+  double max_positive_dev = 0.0;
+  double min_negative_dev = 0.0;
+  std::vector<LocalPattern> locals;
+};
+
+using CandidateMap = std::unordered_map<Pattern, CandidateStats, PatternHasher>;
+
+/// Attributes eligible for F/V/A: everything except excluded names.
+AttrSet AllowedAttrs(const Schema& schema, const MiningConfig& config);
+
+/// All G ⊆ allowed with 2 <= |G| <= psi, ordered by (size, bits).
+std::vector<AttrSet> EnumerateGroupSets(const Schema& schema, const MiningConfig& config);
+
+/// (agg, A) combinations valid for attribute set G: (count, *) plus
+/// (sum|min|max, A) for each allowed numeric A outside G.
+std::vector<std::pair<AggFunc, int>> EnumerateAggCandidates(const Table& table, AttrSet g,
+                                                            const MiningConfig& config);
+
+/// Aggregate specs computing every EnumerateAggCandidates combo over the
+/// *whole* allowed attribute set (used by the CUBE miner which shares one
+/// query). Returns specs plus, for each, the (agg, attr) it computes.
+struct SharedAggSpecs {
+  std::vector<AggregateSpec> specs;
+  std::vector<std::pair<AggFunc, int>> meaning;  // parallel to specs
+};
+SharedAggSpecs BuildSharedAggSpecs(const Table& table, AttrSet candidate_attrs,
+                                   const MiningConfig& config);
+
+/// One aggregate column inside an aggregated data table.
+struct AggColumnRef {
+  AggFunc agg = AggFunc::kCount;
+  int agg_attr = Pattern::kCountStar;
+  int col_in_data = -1;
+};
+
+/// Evaluates every (agg, model) candidate for the split (F, V) with one
+/// scan of `data`, which must be the aggregation of R on G = F ∪ V, sorted
+/// so that rows with equal F values are consecutive.
+///
+/// `f_cols`/`v_cols` give the positions of F/V inside `data` in ascending
+/// R-attribute order (fragment rows and model features use that order so
+/// all miners produce identical PatternSets).
+Status EvaluateSplit(const Table& data, const std::vector<int>& f_cols,
+                     const std::vector<int>& v_cols, bool v_all_numeric, AttrSet f_attrs,
+                     AttrSet v_attrs, const std::vector<AggColumnRef>& agg_cols,
+                     const MiningConfig& config, MiningProfile* profile,
+                     CandidateMap* candidates);
+
+/// Fits one (pattern, fragment) combination on prepared regression data and
+/// folds the outcome into the candidate map: bumps fragment/support/holding
+/// counters, fits the model (timed into profile->regression_ns), and stores
+/// a LocalPattern when the pattern holds locally (Definition 3). `X` and `y`
+/// must exclude NULL aggregate rows; `support` is the full |Q_{P,f}(R)|.
+void FitFragmentCandidate(const Row& fragment, const std::vector<std::vector<double>>& X,
+                          const std::vector<double>& y, int64_t support, ModelType model,
+                          const Pattern& pattern, const MiningConfig& config,
+                          MiningProfile* profile, CandidateMap* candidates);
+
+/// Converts accumulated candidate stats into the set of globally-holding
+/// patterns (Definition 4), deterministically ordered.
+PatternSet FinalizePatterns(CandidateMap candidates, const MiningConfig& config);
+
+/// True when every attribute in `attrs` has a numeric column type.
+bool AllNumeric(const Table& table, AttrSet attrs);
+
+/// Whether the (F, V) split with predictor set `v_attrs` may produce
+/// candidates under `config` (the require_numeric_predictors gate).
+inline bool SplitAllowed(const Table& table, AttrSet v_attrs, const MiningConfig& config) {
+  return !config.require_numeric_predictors || AllNumeric(table, v_attrs);
+}
+
+}  // namespace cape::mining_internal
+
+#endif  // CAPE_PATTERN_MINING_INTERNAL_H_

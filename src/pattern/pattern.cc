@@ -1,0 +1,24 @@
+#include "pattern/pattern.h"
+
+namespace cape {
+
+std::string Pattern::ToString(const Schema& schema) const {
+  auto names = [&](AttrSet attrs) {
+    std::string out;
+    bool first = true;
+    for (int i : attrs.ToIndices()) {
+      if (!first) out += ", ";
+      out += schema.field(i).name;
+      first = false;
+    }
+    return out;
+  };
+  std::string agg_str = AggFuncToString(agg);
+  agg_str += "(";
+  agg_str += (agg_attr == kCountStar) ? "*" : schema.field(agg_attr).name;
+  agg_str += ")";
+  return "[" + names(partition_attrs) + "] : " + names(predictor_attrs) + " ~" +
+         ModelTypeToString(model) + "~> " + agg_str;
+}
+
+}  // namespace cape

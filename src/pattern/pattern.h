@@ -1,0 +1,77 @@
+#ifndef CAPE_PATTERN_PATTERN_H_
+#define CAPE_PATTERN_PATTERN_H_
+
+#include <string>
+
+#include "common/hash.h"
+#include "fd/attr_set.h"
+#include "relational/operators.h"
+#include "relational/schema.h"
+#include "stats/regression.h"
+
+namespace cape {
+
+/// An aggregate regression pattern (ARP), Definition 2:
+///
+///   P = [F] : V ~M~> agg(A)
+///
+/// F (partition attributes) and V (predictor attributes) are disjoint,
+/// non-empty sets of column indices of the mined relation; agg is one of
+/// count/sum/min/max; A is the aggregated column (kCountStar for count(*));
+/// M is the regression model type.
+struct Pattern {
+  static constexpr int kCountStar = AggregateSpec::kCountStar;
+
+  AttrSet partition_attrs;  // F
+  AttrSet predictor_attrs;  // V
+  AggFunc agg = AggFunc::kCount;
+  int agg_attr = kCountStar;  // A
+  ModelType model = ModelType::kConst;
+
+  /// G_P = F ∪ V.
+  AttrSet GroupAttrs() const { return partition_attrs.Union(predictor_attrs); }
+
+  /// Structural validity per Definition 2 (non-empty disjoint F/V, A outside
+  /// F ∪ V, count iff A = *).
+  bool IsWellFormed() const {
+    if (partition_attrs.empty() || predictor_attrs.empty()) return false;
+    if (partition_attrs.Intersects(predictor_attrs)) return false;
+    if (agg == AggFunc::kCount) return agg_attr == kCountStar;
+    return agg_attr != kCountStar && !GroupAttrs().Contains(agg_attr);
+  }
+
+  /// Definition 6: P' refines P (w.r.t. any question) iff F' ⊇ F with the
+  /// same predictors and the same aggregate. M' may differ.
+  bool IsRefinementOf(const Pattern& other) const {
+    return partition_attrs.ContainsAll(other.partition_attrs) &&
+           predictor_attrs == other.predictor_attrs && agg == other.agg &&
+           agg_attr == other.agg_attr;
+  }
+
+  /// "[author] : year ~Const~> count(*)" using `schema` for names.
+  std::string ToString(const Schema& schema) const;
+
+  /// Identity ignores nothing: two patterns are equal iff all five
+  /// components match.
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.partition_attrs == b.partition_attrs && a.predictor_attrs == b.predictor_attrs &&
+           a.agg == b.agg && a.agg_attr == b.agg_attr && a.model == b.model;
+  }
+
+  size_t Hash() const {
+    size_t h = HashValue(partition_attrs.bits());
+    h = HashCombine(h, HashValue(predictor_attrs.bits()));
+    h = HashCombine(h, static_cast<size_t>(agg));
+    h = HashCombine(h, static_cast<size_t>(agg_attr + 1));
+    h = HashCombine(h, static_cast<size_t>(model));
+    return h;
+  }
+};
+
+struct PatternHasher {
+  size_t operator()(const Pattern& p) const { return p.Hash(); }
+};
+
+}  // namespace cape
+
+#endif  // CAPE_PATTERN_PATTERN_H_

@@ -1,0 +1,303 @@
+#include "pattern/pattern_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace cape {
+
+namespace {
+
+constexpr const char* kHeader = "CAPE_PATTERNS v1";
+
+/// Percent-escapes characters that would break the line/space structure.
+std::string EscapeToken(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    if (c == '%' || c == ' ' || c == '\n' || c == '\r' || c == '\t') {
+      out += StringFormat("%%%02X", c);
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeToken(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '%') {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    if (i + 2 >= escaped.size()) return Status::InvalidArgument("truncated %-escape");
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    const int hi = hex(escaped[i + 1]);
+    const int lo = hex(escaped[i + 2]);
+    if (hi < 0 || lo < 0) return Status::InvalidArgument("invalid %-escape");
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return out;
+}
+
+std::string ValueToken(const Value& v) {
+  if (v.is_null()) return "n:";
+  switch (v.type()) {
+    case DataType::kInt64:
+      return "i:" + std::to_string(v.int64_value());
+    case DataType::kDouble:
+      return "d:" + FormatDouble(v.double_value());
+    case DataType::kString:
+      return "s:" + EscapeToken(v.string_value());
+  }
+  return "n:";
+}
+
+Result<Value> ParseValueToken(const std::string& token) {
+  if (token.size() < 2 || token[1] != ':') {
+    return Status::InvalidArgument("malformed value token '" + token + "'");
+  }
+  const std::string payload = token.substr(2);
+  switch (token[0]) {
+    case 'n':
+      return Value::Null();
+    case 'i': {
+      CAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt64(payload));
+      return Value::Int64(v);
+    }
+    case 'd': {
+      CAPE_ASSIGN_OR_RETURN(double v, ParseDouble(payload));
+      return Value::Double(v);
+    }
+    case 's': {
+      CAPE_ASSIGN_OR_RETURN(std::string s, UnescapeToken(payload));
+      return Value::String(std::move(s));
+    }
+    default:
+      return Status::InvalidArgument("unknown value tag '" + token + "'");
+  }
+}
+
+/// Tokenizer over one line (space-separated, tokens themselves escaped).
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : stream_(text) {}
+
+  /// Next non-empty line split into tokens; NotFound at end of input.
+  Result<std::vector<std::string>> NextLine() {
+    std::string line;
+    while (std::getline(stream_, line)) {
+      ++line_number_;
+      if (line.empty()) continue;
+      std::vector<std::string> tokens;
+      std::istringstream tokenizer(line);
+      std::string token;
+      while (tokenizer >> token) tokens.push_back(token);
+      if (!tokens.empty()) return tokens;
+    }
+    return Status::NotFound("end of pattern file");
+  }
+
+  int line_number() const { return line_number_; }
+
+ private:
+  std::istringstream stream_;
+  int line_number_ = 0;
+};
+
+Status ExpectTokens(const std::vector<std::string>& tokens, const char* tag,
+                    size_t min_count) {
+  if (tokens.empty() || tokens[0] != tag || tokens.size() < min_count) {
+    return Status::InvalidArgument(std::string("expected '") + tag + "' record, got '" +
+                                   JoinStrings(tokens, " ") + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SerializePatternSet(const PatternSet& patterns, const Schema& schema) {
+  std::string out = kHeader;
+  out += "\n";
+  out += "schema " + std::to_string(schema.num_fields()) + "\n";
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    out += StringFormat("field %s %s\n", EscapeToken(schema.field(i).name).c_str(),
+                        DataTypeToString(schema.field(i).type));
+  }
+  out += "patterns " + std::to_string(patterns.size()) + "\n";
+  for (const GlobalPattern& gp : patterns.patterns()) {
+    const Pattern& p = gp.pattern;
+    out += StringFormat(
+        "pattern %llu %llu %d %d %d %lld %lld %lld %s %s %zu\n",
+        static_cast<unsigned long long>(p.partition_attrs.bits()),
+        static_cast<unsigned long long>(p.predictor_attrs.bits()),
+        static_cast<int>(p.agg), p.agg_attr, static_cast<int>(p.model),
+        static_cast<long long>(gp.num_fragments), static_cast<long long>(gp.num_supported),
+        static_cast<long long>(gp.num_holding), FormatDouble(gp.max_positive_dev).c_str(),
+        FormatDouble(gp.min_negative_dev).c_str(), gp.locals.size());
+    for (const LocalPattern& local : gp.locals) {
+      out += StringFormat("local %lld %s %s", static_cast<long long>(local.support),
+                          FormatDouble(local.max_positive_dev).c_str(),
+                          FormatDouble(local.min_negative_dev).c_str());
+      for (const Value& v : local.fragment) out += " " + ValueToken(v);
+      out += "\n";
+      if (local.model->type() == ModelType::kConst) {
+        const auto* model = static_cast<const ConstantRegression*>(local.model.get());
+        out += StringFormat("model const %s %s %zu\n", FormatDouble(model->beta()).c_str(),
+                            FormatDouble(model->goodness_of_fit()).c_str(),
+                            model->num_samples());
+      } else {
+        const auto* model = static_cast<const LinearRegression*>(local.model.get());
+        out += StringFormat("model linear %zu", model->coefficients().size());
+        for (double c : model->coefficients()) out += " " + FormatDouble(c);
+        out += StringFormat(" %s %zu\n", FormatDouble(model->goodness_of_fit()).c_str(),
+                            model->num_samples());
+      }
+    }
+  }
+  return out;
+}
+
+Result<PatternSet> DeserializePatternSet(const std::string& text, const Schema& schema) {
+  LineReader reader(text);
+
+  CAPE_ASSIGN_OR_RETURN(auto header, reader.NextLine());
+  if (JoinStrings(header, " ") != kHeader) {
+    return Status::InvalidArgument("not a CAPE pattern file (bad header)");
+  }
+
+  CAPE_ASSIGN_OR_RETURN(auto schema_line, reader.NextLine());
+  CAPE_RETURN_IF_ERROR(ExpectTokens(schema_line, "schema", 2));
+  CAPE_ASSIGN_OR_RETURN(int64_t field_count, ParseInt64(schema_line[1]));
+  if (field_count != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "pattern file was mined against a schema with " + std::to_string(field_count) +
+        " fields; current relation has " + std::to_string(schema.num_fields()));
+  }
+  for (int i = 0; i < field_count; ++i) {
+    CAPE_ASSIGN_OR_RETURN(auto field_line, reader.NextLine());
+    CAPE_RETURN_IF_ERROR(ExpectTokens(field_line, "field", 3));
+    CAPE_ASSIGN_OR_RETURN(std::string name, UnescapeToken(field_line[1]));
+    if (name != schema.field(i).name ||
+        field_line[2] != DataTypeToString(schema.field(i).type)) {
+      return Status::InvalidArgument("pattern file field " + std::to_string(i) + " is '" +
+                                     name + " " + field_line[2] +
+                                     "', relation has '" + schema.field(i).name + " " +
+                                     DataTypeToString(schema.field(i).type) + "'");
+    }
+  }
+
+  CAPE_ASSIGN_OR_RETURN(auto count_line, reader.NextLine());
+  CAPE_RETURN_IF_ERROR(ExpectTokens(count_line, "patterns", 2));
+  CAPE_ASSIGN_OR_RETURN(int64_t pattern_count, ParseInt64(count_line[1]));
+
+  PatternSet out;
+  for (int64_t pi = 0; pi < pattern_count; ++pi) {
+    CAPE_ASSIGN_OR_RETURN(auto line, reader.NextLine());
+    CAPE_RETURN_IF_ERROR(ExpectTokens(line, "pattern", 12));
+    GlobalPattern gp;
+    CAPE_ASSIGN_OR_RETURN(int64_t f_bits, ParseInt64(line[1]));
+    CAPE_ASSIGN_OR_RETURN(int64_t v_bits, ParseInt64(line[2]));
+    gp.pattern.partition_attrs = AttrSet(static_cast<uint64_t>(f_bits));
+    gp.pattern.predictor_attrs = AttrSet(static_cast<uint64_t>(v_bits));
+    CAPE_ASSIGN_OR_RETURN(int64_t agg, ParseInt64(line[3]));
+    gp.pattern.agg = static_cast<AggFunc>(agg);
+    CAPE_ASSIGN_OR_RETURN(int64_t agg_attr, ParseInt64(line[4]));
+    gp.pattern.agg_attr = static_cast<int>(agg_attr);
+    CAPE_ASSIGN_OR_RETURN(int64_t model, ParseInt64(line[5]));
+    gp.pattern.model = static_cast<ModelType>(model);
+    CAPE_ASSIGN_OR_RETURN(gp.num_fragments, ParseInt64(line[6]));
+    CAPE_ASSIGN_OR_RETURN(gp.num_supported, ParseInt64(line[7]));
+    CAPE_ASSIGN_OR_RETURN(gp.num_holding, ParseInt64(line[8]));
+    CAPE_ASSIGN_OR_RETURN(gp.max_positive_dev, ParseDouble(line[9]));
+    CAPE_ASSIGN_OR_RETURN(gp.min_negative_dev, ParseDouble(line[10]));
+    CAPE_ASSIGN_OR_RETURN(int64_t local_count, ParseInt64(line[11]));
+    if (!gp.pattern.IsWellFormed()) {
+      return Status::InvalidArgument("pattern record " + std::to_string(pi) +
+                                     " is not well-formed");
+    }
+    gp.global_confidence =
+        gp.num_supported > 0
+            ? static_cast<double>(gp.num_holding) / static_cast<double>(gp.num_supported)
+            : 0.0;
+
+    const int expected_fragment_arity = gp.pattern.partition_attrs.size();
+    for (int64_t li = 0; li < local_count; ++li) {
+      CAPE_ASSIGN_OR_RETURN(auto local_line, reader.NextLine());
+      CAPE_RETURN_IF_ERROR(ExpectTokens(local_line, "local", 4));
+      LocalPattern local;
+      CAPE_ASSIGN_OR_RETURN(local.support, ParseInt64(local_line[1]));
+      CAPE_ASSIGN_OR_RETURN(local.max_positive_dev, ParseDouble(local_line[2]));
+      CAPE_ASSIGN_OR_RETURN(local.min_negative_dev, ParseDouble(local_line[3]));
+      for (size_t t = 4; t < local_line.size(); ++t) {
+        CAPE_ASSIGN_OR_RETURN(Value v, ParseValueToken(local_line[t]));
+        local.fragment.push_back(std::move(v));
+      }
+      if (static_cast<int>(local.fragment.size()) != expected_fragment_arity) {
+        return Status::InvalidArgument("local record has fragment arity " +
+                                       std::to_string(local.fragment.size()) +
+                                       ", pattern expects " +
+                                       std::to_string(expected_fragment_arity));
+      }
+
+      CAPE_ASSIGN_OR_RETURN(auto model_line, reader.NextLine());
+      CAPE_RETURN_IF_ERROR(ExpectTokens(model_line, "model", 2));
+      if (model_line[1] == "const") {
+        CAPE_RETURN_IF_ERROR(ExpectTokens(model_line, "model", 5));
+        CAPE_ASSIGN_OR_RETURN(double beta, ParseDouble(model_line[2]));
+        CAPE_ASSIGN_OR_RETURN(double gof, ParseDouble(model_line[3]));
+        CAPE_ASSIGN_OR_RETURN(int64_t n, ParseInt64(model_line[4]));
+        local.model = ConstantRegression::FromParams(beta, gof, static_cast<size_t>(n));
+      } else if (model_line[1] == "linear") {
+        CAPE_RETURN_IF_ERROR(ExpectTokens(model_line, "model", 5));
+        CAPE_ASSIGN_OR_RETURN(int64_t coef_count, ParseInt64(model_line[2]));
+        if (static_cast<int64_t>(model_line.size()) != 3 + coef_count + 2) {
+          return Status::InvalidArgument("malformed linear model record");
+        }
+        std::vector<double> coefs;
+        for (int64_t c = 0; c < coef_count; ++c) {
+          CAPE_ASSIGN_OR_RETURN(double coef, ParseDouble(model_line[3 + c]));
+          coefs.push_back(coef);
+        }
+        CAPE_ASSIGN_OR_RETURN(double gof, ParseDouble(model_line[3 + coef_count]));
+        CAPE_ASSIGN_OR_RETURN(int64_t n, ParseInt64(model_line[4 + coef_count]));
+        local.model =
+            LinearRegression::FromParams(std::move(coefs), gof, static_cast<size_t>(n));
+      } else {
+        return Status::InvalidArgument("unknown model kind '" + model_line[1] + "'");
+      }
+      gp.locals.push_back(std::move(local));
+    }
+    out.Add(std::move(gp));
+  }
+  return out;
+}
+
+Status SavePatternSet(const PatternSet& patterns, const Schema& schema,
+                      const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) return Status::IOError("cannot open '" + path + "' for writing");
+  file << SerializePatternSet(patterns, schema);
+  if (!file.good()) return Status::IOError("error writing '" + path + "'");
+  return Status::OK();
+}
+
+Result<PatternSet> LoadPatternSet(const std::string& path, const Schema& schema) {
+  std::ifstream file(path);
+  if (!file.is_open()) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return DeserializePatternSet(buffer.str(), schema);
+}
+
+}  // namespace cape

@@ -1,0 +1,34 @@
+#ifndef CAPE_PATTERN_PATTERN_IO_H_
+#define CAPE_PATTERN_PATTERN_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "pattern/pattern_set.h"
+#include "relational/schema.h"
+
+namespace cape {
+
+/// Serializes a mined PatternSet (including every local model) to a
+/// versioned, line-oriented text format. The schema is embedded so loads
+/// against a different relation fail loudly instead of mis-binding
+/// attribute indices.
+///
+/// CAPE's workflow mines patterns offline and answers questions online
+/// (Section 5: "Mine ARP offline, and find the top-k explanations for a
+/// user question"); persistence is what separates the two phases in a real
+/// deployment.
+std::string SerializePatternSet(const PatternSet& patterns, const Schema& schema);
+
+/// Parses a serialized pattern set, validating that `schema` matches the
+/// one the patterns were mined against (field names and types).
+Result<PatternSet> DeserializePatternSet(const std::string& text, const Schema& schema);
+
+/// File variants.
+Status SavePatternSet(const PatternSet& patterns, const Schema& schema,
+                      const std::string& path);
+Result<PatternSet> LoadPatternSet(const std::string& path, const Schema& schema);
+
+}  // namespace cape
+
+#endif  // CAPE_PATTERN_PATTERN_IO_H_

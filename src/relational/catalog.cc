@@ -1,0 +1,34 @@
+#include "relational/catalog.h"
+
+namespace cape {
+
+Status Catalog::RegisterTable(const std::string& name, TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("cannot register null table");
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  if (!inserted) return Status::AlreadyExists("table '" + name + "' already registered");
+  return Status::OK();
+}
+
+void Catalog::RegisterOrReplaceTable(const std::string& name, TablePtr table) {
+  tables_[name] = std::move(table);
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named '" + name + "'");
+  return it->second;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) return Status::NotFound("no table named '" + name + "'");
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace cape

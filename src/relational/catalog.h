@@ -1,0 +1,39 @@
+#ifndef CAPE_RELATIONAL_CATALOG_H_
+#define CAPE_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace cape {
+
+/// A named registry of tables — the engine-level stand-in for a database
+/// schema. Deterministic iteration order (sorted by name).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a table; AlreadyExists when the name is taken.
+  Status RegisterTable(const std::string& name, TablePtr table);
+
+  /// Registers or replaces.
+  void RegisterOrReplaceTable(const std::string& name, TablePtr table);
+
+  Result<TablePtr> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const { return tables_.count(name) > 0; }
+
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace cape
+
+#endif  // CAPE_RELATIONAL_CATALOG_H_

@@ -1,0 +1,185 @@
+#include "relational/column.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace cape {
+
+Column::Column(DataType type) : type_(type) {}
+
+void Column::Reserve(int64_t capacity) {
+  const auto cap = static_cast<size_t>(capacity);
+  validity_.reserve(cap);
+  switch (type_) {
+    case DataType::kInt64:
+      int64_data_.reserve(cap);
+      break;
+    case DataType::kDouble:
+      double_data_.reserve(cap);
+      break;
+    case DataType::kString:
+      string_data_.reserve(cap);
+      break;
+  }
+}
+
+Status Column::AppendValue(const Value& value) {
+  if (value.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (value.type() == DataType::kInt64) {
+        AppendInt64(value.int64_value());
+        return Status::OK();
+      }
+      break;
+    case DataType::kDouble:
+      // Accept int64 into double columns (lossless for our domains).
+      if (value.is_numeric()) {
+        AppendDouble(value.AsDouble());
+        return Status::OK();
+      }
+      break;
+    case DataType::kString:
+      if (value.type() == DataType::kString) {
+        AppendString(value.string_value());
+        return Status::OK();
+      }
+      break;
+  }
+  return Status::TypeError(std::string("cannot append ") + DataTypeToString(value.type()) +
+                           " value '" + value.ToString() + "' to " +
+                           DataTypeToString(type_) + " column");
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+      int64_data_.push_back(0);
+      break;
+    case DataType::kDouble:
+      double_data_.push_back(0.0);
+      break;
+    case DataType::kString:
+      string_data_.emplace_back();
+      break;
+  }
+  validity_.push_back(0);
+}
+
+void Column::AppendInt64(int64_t v) {
+  CAPE_DCHECK(type_ == DataType::kInt64);
+  int64_data_.push_back(v);
+  validity_.push_back(1);
+}
+
+void Column::AppendDouble(double v) {
+  CAPE_DCHECK(type_ == DataType::kDouble);
+  double_data_.push_back(v);
+  validity_.push_back(1);
+}
+
+void Column::AppendString(std::string v) {
+  CAPE_DCHECK(type_ == DataType::kString);
+  string_data_.push_back(std::move(v));
+  validity_.push_back(1);
+}
+
+Value Column::GetValue(int64_t row) const {
+  if (IsNull(row)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int64(GetInt64(row));
+    case DataType::kDouble:
+      return Value::Double(GetDouble(row));
+    case DataType::kString:
+      return Value::String(GetString(row));
+  }
+  return Value::Null();
+}
+
+double Column::GetNumeric(int64_t row) const {
+  if (IsNull(row)) return 0.0;
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<double>(GetInt64(row));
+    case DataType::kDouble:
+      return GetDouble(row);
+    case DataType::kString:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+void Column::AppendFrom(const Column& src, int64_t row) {
+  CAPE_DCHECK(src.type_ == type_);
+  if (src.IsNull(row)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      int64_data_.push_back(src.int64_data_[static_cast<size_t>(row)]);
+      break;
+    case DataType::kDouble:
+      double_data_.push_back(src.double_data_[static_cast<size_t>(row)]);
+      break;
+    case DataType::kString:
+      string_data_.push_back(src.string_data_[static_cast<size_t>(row)]);
+      break;
+  }
+  validity_.push_back(1);
+}
+
+int64_t Column::CountDistinct() const {
+  switch (type_) {
+    case DataType::kInt64: {
+      std::unordered_set<int64_t> seen;
+      for (int64_t i = 0; i < size(); ++i) {
+        if (!IsNull(i)) seen.insert(GetInt64(i));
+      }
+      return static_cast<int64_t>(seen.size());
+    }
+    case DataType::kDouble: {
+      std::unordered_set<double> seen;
+      for (int64_t i = 0; i < size(); ++i) {
+        if (!IsNull(i)) seen.insert(GetDouble(i));
+      }
+      return static_cast<int64_t>(seen.size());
+    }
+    case DataType::kString: {
+      std::unordered_set<std::string> seen;
+      for (int64_t i = 0; i < size(); ++i) {
+        if (!IsNull(i)) seen.insert(GetString(i));
+      }
+      return static_cast<int64_t>(seen.size());
+    }
+  }
+  return 0;
+}
+
+Value Column::Min() const {
+  Value best = Value::Null();
+  for (int64_t i = 0; i < size(); ++i) {
+    if (IsNull(i)) continue;
+    Value v = GetValue(i);
+    if (best.is_null() || v < best) best = std::move(v);
+  }
+  return best;
+}
+
+Value Column::Max() const {
+  Value best = Value::Null();
+  for (int64_t i = 0; i < size(); ++i) {
+    if (IsNull(i)) continue;
+    Value v = GetValue(i);
+    if (best.is_null() || best < v) best = std::move(v);
+  }
+  return best;
+}
+
+}  // namespace cape

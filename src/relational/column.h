@@ -1,0 +1,72 @@
+#ifndef CAPE_RELATIONAL_COLUMN_H_
+#define CAPE_RELATIONAL_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace cape {
+
+/// Columnar storage for one attribute: a typed value vector plus a validity
+/// vector. Appending a Value of the wrong type is a TypeError; NULL appends
+/// store a default-constructed slot with validity=false.
+class Column {
+ public:
+  explicit Column(DataType type);
+
+  DataType type() const { return type_; }
+  int64_t size() const { return static_cast<int64_t>(validity_.size()); }
+
+  void Reserve(int64_t capacity);
+
+  /// Appends a value; Status::TypeError when the value's type mismatches.
+  Status AppendValue(const Value& value);
+  void AppendNull();
+
+  /// Typed fast-path appenders (no per-call type dispatch). Calling the
+  /// wrong one for this column's type is a programming error (CHECKed).
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+
+  bool IsNull(int64_t row) const { return !validity_[static_cast<size_t>(row)]; }
+
+  /// Boxed access; returns Value::Null() for null slots.
+  Value GetValue(int64_t row) const;
+
+  /// Typed access; undefined for nulls or mismatched type.
+  int64_t GetInt64(int64_t row) const { return int64_data_[static_cast<size_t>(row)]; }
+  double GetDouble(int64_t row) const { return double_data_[static_cast<size_t>(row)]; }
+  const std::string& GetString(int64_t row) const {
+    return string_data_[static_cast<size_t>(row)];
+  }
+
+  /// Numeric view of row (int64 widened to double); 0.0 for null/strings.
+  double GetNumeric(int64_t row) const;
+
+  /// Appends `src`'s value at `row` without boxing through Value. Both
+  /// columns must have the same type (CHECKed).
+  void AppendFrom(const Column& src, int64_t row);
+
+  /// Number of distinct non-null values (hash-based; O(n)).
+  int64_t CountDistinct() const;
+
+  /// Minimum / maximum as Values; Null when the column is all-null/empty.
+  Value Min() const;
+  Value Max() const;
+
+ private:
+  DataType type_;
+  std::vector<int64_t> int64_data_;
+  std::vector<double> double_data_;
+  std::vector<std::string> string_data_;
+  std::vector<uint8_t> validity_;  // 1 = valid; vector<uint8_t> beats vector<bool> here
+};
+
+}  // namespace cape
+
+#endif  // CAPE_RELATIONAL_COLUMN_H_

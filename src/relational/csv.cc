@@ -1,0 +1,204 @@
+#include "relational/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace cape {
+
+namespace {
+
+/// Splits one CSV record honoring double-quote escaping ("" inside quotes).
+Result<std::vector<std::string>> ParseCsvRecord(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote in CSV record: " + line);
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+DataType InferColumnType(const std::vector<std::vector<std::string>>& records, size_t col) {
+  bool all_int = true;
+  bool all_double = true;
+  bool any_value = false;
+  for (const auto& record : records) {
+    if (col >= record.size()) continue;
+    const std::string& field = record[col];
+    if (field.empty()) continue;
+    any_value = true;
+    if (all_int && !ParseInt64(field).ok()) all_int = false;
+    if (!all_int && all_double && !ParseDouble(field).ok()) all_double = false;
+    if (!all_int && !all_double) break;
+  }
+  if (!any_value) return DataType::kString;
+  if (all_int) return DataType::kInt64;
+  if (all_double) return DataType::kDouble;
+  return DataType::kString;
+}
+
+Result<Value> ParseField(const std::string& field, DataType type, bool empty_as_null) {
+  if (field.empty() && empty_as_null) return Value::Null();
+  switch (type) {
+    case DataType::kInt64: {
+      CAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt64(field));
+      return Value::Int64(v);
+    }
+    case DataType::kDouble: {
+      CAPE_ASSIGN_OR_RETURN(double v, ParseDouble(field));
+      return Value::Double(v);
+    }
+    case DataType::kString:
+      return Value::String(field);
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string EscapeCsvField(const std::string& field, char delim) {
+  bool needs_quotes = field.find(delim) != std::string::npos ||
+                      field.find('"') != std::string::npos ||
+                      field.find('\n') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Result<TablePtr> ReadCsvString(const std::string& text, const CsvReadOptions& options) {
+  std::vector<std::string> lines;
+  {
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) lines.push_back(std::move(line));
+    }
+  }
+  if (lines.empty()) return Status::InvalidArgument("CSV input is empty");
+
+  size_t first_data_line = 0;
+  std::vector<std::string> header;
+  if (options.has_header) {
+    CAPE_ASSIGN_OR_RETURN(header, ParseCsvRecord(lines[0], options.delimiter));
+    first_data_line = 1;
+  }
+
+  std::vector<std::vector<std::string>> records;
+  records.reserve(lines.size() - first_data_line);
+  for (size_t i = first_data_line; i < lines.size(); ++i) {
+    CAPE_ASSIGN_OR_RETURN(auto record, ParseCsvRecord(lines[i], options.delimiter));
+    records.push_back(std::move(record));
+  }
+
+  size_t num_cols = header.size();
+  if (!options.has_header) {
+    for (const auto& record : records) num_cols = std::max(num_cols, record.size());
+    header.resize(num_cols);
+    for (size_t i = 0; i < num_cols; ++i) header[i] = "c" + std::to_string(i);
+  }
+  if (num_cols == 0) return Status::InvalidArgument("CSV has no columns");
+
+  std::shared_ptr<Schema> schema = options.schema;
+  if (schema == nullptr) {
+    std::vector<Field> fields;
+    fields.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      fields.push_back(Field{header[c], InferColumnType(records, c), true});
+    }
+    schema = Schema::Make(std::move(fields));
+  } else if (static_cast<size_t>(schema->num_fields()) != num_cols) {
+    return Status::InvalidArgument("provided schema has " +
+                                   std::to_string(schema->num_fields()) + " fields, CSV has " +
+                                   std::to_string(num_cols) + " columns");
+  }
+
+  auto table = std::make_shared<Table>(schema);
+  table->Reserve(static_cast<int64_t>(records.size()));
+  Row row;
+  for (size_t r = 0; r < records.size(); ++r) {
+    const auto& record = records[r];
+    if (record.size() != num_cols) {
+      return Status::InvalidArgument("CSV row " + std::to_string(r + first_data_line + 1) +
+                                     " has " + std::to_string(record.size()) +
+                                     " fields, expected " + std::to_string(num_cols));
+    }
+    row.clear();
+    for (size_t c = 0; c < num_cols; ++c) {
+      CAPE_ASSIGN_OR_RETURN(
+          Value v, ParseField(record[c], schema->field(static_cast<int>(c)).type,
+                              options.empty_as_null));
+      row.push_back(std::move(v));
+    }
+    CAPE_RETURN_IF_ERROR(table->AppendRow(row));
+  }
+  return table;
+}
+
+Result<TablePtr> ReadCsvFile(const std::string& path, const CsvReadOptions& options) {
+  std::ifstream file(path);
+  if (!file.is_open()) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ReadCsvString(buffer.str(), options);
+}
+
+std::string WriteCsvString(const Table& table, const CsvWriteOptions& options) {
+  std::string out;
+  if (options.write_header) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      out += EscapeCsvField(table.schema()->field(c).name, options.delimiter);
+    }
+    out.push_back('\n');
+  }
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      Value v = table.GetValue(r, c);
+      if (!v.is_null()) out += EscapeCsvField(v.ToString(), options.delimiter);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvWriteOptions& options) {
+  std::ofstream file(path);
+  if (!file.is_open()) return Status::IOError("cannot open '" + path + "' for writing");
+  file << WriteCsvString(table, options);
+  if (!file.good()) return Status::IOError("error writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace cape

@@ -1,0 +1,44 @@
+#ifndef CAPE_RELATIONAL_CSV_H_
+#define CAPE_RELATIONAL_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace cape {
+
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// First line holds column names; otherwise columns are named c0, c1, ...
+  bool has_header = true;
+  /// Empty fields become NULL (otherwise empty strings).
+  bool empty_as_null = true;
+  /// When set, parse into this schema; otherwise infer types (int64 if every
+  /// non-empty field parses as int64, else double, else string).
+  std::shared_ptr<Schema> schema;
+};
+
+/// Parses CSV text into a table.
+Result<TablePtr> ReadCsvString(const std::string& text, const CsvReadOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<TablePtr> ReadCsvFile(const std::string& path, const CsvReadOptions& options = {});
+
+struct CsvWriteOptions {
+  char delimiter = ',';
+  bool write_header = true;
+};
+
+/// Serializes a table as CSV text (NULL renders as empty field; fields
+/// containing the delimiter, quotes, or newlines are quoted).
+std::string WriteCsvString(const Table& table, const CsvWriteOptions& options = {});
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvWriteOptions& options = {});
+
+}  // namespace cape
+
+#endif  // CAPE_RELATIONAL_CSV_H_

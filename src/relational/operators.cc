@@ -1,0 +1,439 @@
+#include "relational/operators.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace cape {
+
+namespace {
+
+Status ValidateColumnIndex(const Table& table, int col) {
+  if (col < 0 || col >= table.num_columns()) {
+    return Status::InvalidArgument("column index " + std::to_string(col) +
+                                   " out of range for table with " +
+                                   std::to_string(table.num_columns()) + " columns");
+  }
+  return Status::OK();
+}
+
+Status ValidateAggSpec(const Table& table, const AggregateSpec& spec) {
+  if (spec.output_name.empty()) {
+    return Status::InvalidArgument("aggregate output name must not be empty");
+  }
+  if (spec.input_col == AggregateSpec::kCountStar) {
+    if (spec.func != AggFunc::kCount) {
+      return Status::InvalidArgument(std::string(AggFuncToString(spec.func)) +
+                                     "(*) is not a valid aggregate");
+    }
+    return Status::OK();
+  }
+  CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, spec.input_col));
+  if ((spec.func == AggFunc::kSum || spec.func == AggFunc::kAvg) &&
+      !IsNumericType(table.column(spec.input_col).type())) {
+    return Status::TypeError(std::string(AggFuncToString(spec.func)) +
+                             " requires a numeric column, got " +
+                             DataTypeToString(table.column(spec.input_col).type()));
+  }
+  return Status::OK();
+}
+
+/// Output field type of one aggregate over `table`.
+DataType AggOutputType(const Table& table, const AggregateSpec& spec) {
+  switch (spec.func) {
+    case AggFunc::kCount:
+      return DataType::kInt64;
+    case AggFunc::kAvg:
+      return DataType::kDouble;
+    case AggFunc::kSum:
+      return table.column(spec.input_col).type() == DataType::kInt64 ? DataType::kInt64
+                                                                     : DataType::kDouble;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return table.column(spec.input_col).type();
+  }
+  return DataType::kDouble;
+}
+
+/// Running state of one aggregate within one group.
+struct AggState {
+  int64_t count = 0;      // non-null inputs (rows for count(*))
+  int64_t isum = 0;       // integer sum
+  double dsum = 0.0;      // double sum
+  Value min_value;        // NULL until first non-null input
+  Value max_value;
+};
+
+void UpdateAggState(const Table& table, const AggregateSpec& spec, int64_t row,
+                    AggState* state) {
+  if (spec.input_col == AggregateSpec::kCountStar) {
+    ++state->count;
+    return;
+  }
+  const Column& col = table.column(spec.input_col);
+  if (col.IsNull(row)) return;
+  ++state->count;
+  switch (spec.func) {
+    case AggFunc::kCount:
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (col.type() == DataType::kInt64) {
+        state->isum += col.GetInt64(row);
+      }
+      state->dsum += col.GetNumeric(row);
+      break;
+    case AggFunc::kMin: {
+      Value v = col.GetValue(row);
+      if (state->min_value.is_null() || v < state->min_value) state->min_value = std::move(v);
+      break;
+    }
+    case AggFunc::kMax: {
+      Value v = col.GetValue(row);
+      if (state->max_value.is_null() || state->max_value < v) state->max_value = std::move(v);
+      break;
+    }
+  }
+}
+
+Value FinalizeAggState(const Table& table, const AggregateSpec& spec, const AggState& state) {
+  switch (spec.func) {
+    case AggFunc::kCount:
+      return Value::Int64(state.count);
+    case AggFunc::kSum:
+      if (state.count == 0) return Value::Null();
+      if (spec.input_col != AggregateSpec::kCountStar &&
+          table.column(spec.input_col).type() == DataType::kInt64) {
+        return Value::Int64(state.isum);
+      }
+      return Value::Double(state.dsum);
+    case AggFunc::kAvg:
+      if (state.count == 0) return Value::Null();
+      return Value::Double(state.dsum / static_cast<double>(state.count));
+    case AggFunc::kMin:
+      return state.min_value;
+    case AggFunc::kMax:
+      return state.max_value;
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+const char* AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+GroupKeyEncoder::GroupKeyEncoder(const Table& table, std::vector<int> cols)
+    : table_(table), cols_(std::move(cols)) {}
+
+void GroupKeyEncoder::EncodeRow(int64_t row, std::string* buf) const {
+  for (int c : cols_) {
+    const Column& col = table_.column(c);
+    if (col.IsNull(row)) {
+      buf->push_back('\0');
+      continue;
+    }
+    switch (col.type()) {
+      case DataType::kInt64: {
+        buf->push_back('i');
+        int64_t v = col.GetInt64(row);
+        buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kDouble: {
+        buf->push_back('d');
+        double v = col.GetDouble(row);
+        if (v == 0.0) v = 0.0;  // canonicalize -0.0
+        buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kString: {
+        buf->push_back('s');
+        const std::string& s = col.GetString(row);
+        uint32_t len = static_cast<uint32_t>(s.size());
+        buf->append(reinterpret_cast<const char*>(&len), sizeof(len));
+        buf->append(s);
+        break;
+      }
+    }
+  }
+}
+
+Result<TablePtr> GroupByAggregate(const Table& table, const std::vector<int>& group_cols,
+                                  const std::vector<AggregateSpec>& aggs) {
+  for (int c : group_cols) CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, c));
+  for (const AggregateSpec& spec : aggs) CAPE_RETURN_IF_ERROR(ValidateAggSpec(table, spec));
+
+  // Output schema: group columns then aggregates.
+  std::vector<Field> out_fields;
+  out_fields.reserve(group_cols.size() + aggs.size());
+  for (int c : group_cols) out_fields.push_back(table.schema()->field(c));
+  for (const AggregateSpec& spec : aggs) {
+    out_fields.push_back(Field{spec.output_name, AggOutputType(table, spec), true});
+  }
+
+  GroupKeyEncoder encoder(table, group_cols);
+  std::unordered_map<std::string, size_t> group_index;
+  std::vector<int64_t> representative_row;  // first row of each group
+  std::vector<std::vector<AggState>> states;  // [group][agg]
+
+  std::string key;
+  for (int64_t row = 0; row < table.num_rows(); ++row) {
+    key.clear();
+    encoder.EncodeRow(row, &key);
+    auto [it, inserted] = group_index.emplace(key, states.size());
+    if (inserted) {
+      representative_row.push_back(row);
+      states.emplace_back(aggs.size());
+    }
+    std::vector<AggState>& group_states = states[it->second];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      UpdateAggState(table, aggs[a], row, &group_states[a]);
+    }
+  }
+
+  // Aggregation without grouping yields exactly one row even on empty input.
+  if (group_cols.empty() && states.empty()) {
+    representative_row.push_back(-1);
+    states.emplace_back(aggs.size());
+  }
+
+  auto out = std::make_shared<Table>(Schema::Make(std::move(out_fields)));
+  out->Reserve(static_cast<int64_t>(states.size()));
+  Row out_row;
+  for (size_t g = 0; g < states.size(); ++g) {
+    out_row.clear();
+    for (int c : group_cols) out_row.push_back(table.GetValue(representative_row[g], c));
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      out_row.push_back(FinalizeAggState(table, aggs[a], states[g][a]));
+    }
+    CAPE_RETURN_IF_ERROR(out->AppendRow(out_row));
+  }
+  return out;
+}
+
+Result<TablePtr> GroupByAggregate(const Table& table,
+                                  const std::vector<std::string>& group_cols,
+                                  const std::vector<AggregateSpec>& aggs) {
+  std::vector<int> indices;
+  indices.reserve(group_cols.size());
+  for (const std::string& name : group_cols) {
+    CAPE_ASSIGN_OR_RETURN(int idx, table.schema()->GetFieldIndexChecked(name));
+    indices.push_back(idx);
+  }
+  return GroupByAggregate(table, indices, aggs);
+}
+
+Result<TablePtr> Filter(const Table& table, const std::function<bool(int64_t)>& pred) {
+  std::vector<int64_t> matches;
+  for (int64_t row = 0; row < table.num_rows(); ++row) {
+    if (pred(row)) matches.push_back(row);
+  }
+  auto out = std::make_shared<Table>(table.schema());
+  out->Reserve(static_cast<int64_t>(matches.size()));
+  CAPE_RETURN_IF_ERROR(out->AppendRowsFrom(table, matches));
+  return out;
+}
+
+Result<TablePtr> FilterEquals(const Table& table,
+                              const std::vector<std::pair<int, Value>>& conditions) {
+  for (const auto& [col, value] : conditions) {
+    CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, col));
+    (void)value;
+  }
+  return Filter(table, [&](int64_t row) {
+    for (const auto& [col, value] : conditions) {
+      if (table.GetValue(row, col) != value) return false;
+    }
+    return true;
+  });
+}
+
+Result<TablePtr> Project(const Table& table, const std::vector<int>& cols) {
+  std::vector<Field> out_fields;
+  out_fields.reserve(cols.size());
+  for (int c : cols) {
+    CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, c));
+    out_fields.push_back(table.schema()->field(c));
+  }
+  auto out = std::make_shared<Table>(Schema::Make(std::move(out_fields)));
+  out->Reserve(table.num_rows());
+  for (int64_t row = 0; row < table.num_rows(); ++row) {
+    CAPE_RETURN_IF_ERROR(out->AppendRow(table.GetRowProjection(row, cols)));
+  }
+  return out;
+}
+
+Result<TablePtr> ProjectDistinct(const Table& table, const std::vector<int>& cols) {
+  std::vector<Field> out_fields;
+  out_fields.reserve(cols.size());
+  for (int c : cols) {
+    CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, c));
+    out_fields.push_back(table.schema()->field(c));
+  }
+  GroupKeyEncoder encoder(table, cols);
+  std::unordered_map<std::string, bool> seen;
+  auto out = std::make_shared<Table>(Schema::Make(std::move(out_fields)));
+  std::string key;
+  for (int64_t row = 0; row < table.num_rows(); ++row) {
+    key.clear();
+    encoder.EncodeRow(row, &key);
+    if (seen.emplace(key, true).second) {
+      CAPE_RETURN_IF_ERROR(out->AppendRow(table.GetRowProjection(row, cols)));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Typed row comparison on one column, NULL-first, no Value boxing.
+int CompareCells(const Column& col, int64_t a, int64_t b) {
+  const bool a_null = col.IsNull(a);
+  const bool b_null = col.IsNull(b);
+  if (a_null || b_null) return static_cast<int>(!a_null) - static_cast<int>(!b_null);
+  switch (col.type()) {
+    case DataType::kInt64: {
+      const int64_t x = col.GetInt64(a);
+      const int64_t y = col.GetInt64(b);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case DataType::kDouble: {
+      const double x = col.GetDouble(a);
+      const double y = col.GetDouble(b);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case DataType::kString: {
+      const int cmp = col.GetString(a).compare(col.GetString(b));
+      return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<TablePtr> SortTable(const Table& table, const std::vector<SortKey>& keys) {
+  for (const SortKey& k : keys) CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, k.col));
+  std::vector<int64_t> order(static_cast<size_t>(table.num_rows()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    for (const SortKey& k : keys) {
+      const int cmp = CompareCells(table.column(k.col), a, b);
+      if (cmp != 0) return k.ascending ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  auto out = std::make_shared<Table>(table.schema());
+  out->Reserve(table.num_rows());
+  CAPE_RETURN_IF_ERROR(out->AppendRowsFrom(table, order));
+  return out;
+}
+
+Result<TablePtr> Cube(const Table& table, const std::vector<int>& cube_cols,
+                      const std::vector<AggregateSpec>& aggs, const CubeOptions& options) {
+  const int n = static_cast<int>(cube_cols.size());
+  if (n > 20) {
+    return Status::InvalidArgument("cube over " + std::to_string(n) +
+                                   " columns would create 2^" + std::to_string(n) +
+                                   " groupings");
+  }
+  for (int c : cube_cols) CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, c));
+  for (const AggregateSpec& spec : aggs) {
+    CAPE_RETURN_IF_ERROR(ValidateAggSpec(table, spec));
+    if (spec.func == AggFunc::kAvg) {
+      return Status::NotImplemented("avg cannot be re-aggregated by CUBE");
+    }
+  }
+
+  // Phase 1: finest grouping over all cube columns, computing each aggregate
+  // as a partial (count stays count, sum stays sum, ...).
+  std::vector<AggregateSpec> partial_specs;
+  partial_specs.reserve(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    AggregateSpec p = aggs[a];
+    p.output_name = "__partial" + std::to_string(a);
+    partial_specs.push_back(std::move(p));
+  }
+  CAPE_ASSIGN_OR_RETURN(TablePtr finest, GroupByAggregate(table, cube_cols, partial_specs));
+
+  // Output schema: cube columns (nullable), aggregates, optional grouping_id.
+  std::vector<Field> out_fields;
+  for (int c : cube_cols) {
+    Field f = table.schema()->field(c);
+    f.nullable = true;
+    out_fields.push_back(std::move(f));
+  }
+  for (const AggregateSpec& spec : aggs) {
+    out_fields.push_back(Field{spec.output_name, AggOutputType(table, spec), true});
+  }
+  if (options.add_grouping_id) {
+    out_fields.push_back(Field{"grouping_id", DataType::kInt64, false});
+  }
+  auto out = std::make_shared<Table>(Schema::Make(std::move(out_fields)));
+
+  // Phase 2: for each admissible subset, re-aggregate the finest grouping.
+  // In `finest`, cube column i lives at position i and partial aggregate a at
+  // position n + a.
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    const int subset_size = __builtin_popcount(mask);
+    if (subset_size < options.min_group_size || subset_size > options.max_group_size) {
+      continue;
+    }
+    std::vector<int> subset_cols;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) subset_cols.push_back(i);
+    }
+    // Re-aggregation: count -> sum of partial counts; sum -> sum; min -> min;
+    // max -> max.
+    std::vector<AggregateSpec> rollup_specs;
+    rollup_specs.reserve(aggs.size());
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggregateSpec spec = aggs[a];
+      spec.input_col = n + static_cast<int>(a);
+      if (spec.func == AggFunc::kCount) spec.func = AggFunc::kSum;
+      rollup_specs.push_back(std::move(spec));
+    }
+    CAPE_ASSIGN_OR_RETURN(TablePtr grouped,
+                          GroupByAggregate(*finest, subset_cols, rollup_specs));
+    const int64_t grouping_id =
+        static_cast<int64_t>(~mask & ((1u << n) - 1));  // set bit = aggregated away
+    Row out_row;
+    for (int64_t row = 0; row < grouped->num_rows(); ++row) {
+      out_row.assign(static_cast<size_t>(n), Value::Null());
+      for (size_t s = 0; s < subset_cols.size(); ++s) {
+        out_row[static_cast<size_t>(subset_cols[s])] =
+            grouped->GetValue(row, static_cast<int>(s));
+      }
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        Value v = grouped->GetValue(row, static_cast<int>(subset_cols.size() + a));
+        // count over zero rows is 0, not NULL (the sum-of-partials rollup
+        // would otherwise produce NULL on an empty input).
+        if (aggs[a].func == AggFunc::kCount && v.is_null()) v = Value::Int64(0);
+        out_row.push_back(std::move(v));
+      }
+      if (options.add_grouping_id) out_row.push_back(Value::Int64(grouping_id));
+      CAPE_RETURN_IF_ERROR(out->AppendRow(out_row));
+    }
+  }
+  return out;
+}
+
+}  // namespace cape

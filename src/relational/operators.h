@@ -1,0 +1,126 @@
+#ifndef CAPE_RELATIONAL_OPERATORS_H_
+#define CAPE_RELATIONAL_OPERATORS_H_
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace cape {
+
+/// Aggregate functions supported by the engine. ARPs (Definition 2) use
+/// count/sum/min/max; avg is provided for general queries but cannot be
+/// re-aggregated by the CUBE operator.
+enum class AggFunc : int { kCount = 0, kSum = 1, kAvg = 2, kMin = 3, kMax = 4 };
+
+const char* AggFuncToString(AggFunc func);
+
+/// One aggregate to compute: `func(input_col)` named `output_name`.
+/// `input_col == kCountStar` (only valid with kCount) means count(*).
+struct AggregateSpec {
+  static constexpr int kCountStar = -1;
+
+  AggFunc func = AggFunc::kCount;
+  int input_col = kCountStar;
+  std::string output_name;
+
+  static AggregateSpec CountStar(std::string name = "count") {
+    return {AggFunc::kCount, kCountStar, std::move(name)};
+  }
+  static AggregateSpec Sum(int col, std::string name) {
+    return {AggFunc::kSum, col, std::move(name)};
+  }
+  static AggregateSpec Avg(int col, std::string name) {
+    return {AggFunc::kAvg, col, std::move(name)};
+  }
+  static AggregateSpec Min(int col, std::string name) {
+    return {AggFunc::kMin, col, std::move(name)};
+  }
+  static AggregateSpec Max(int col, std::string name) {
+    return {AggFunc::kMax, col, std::move(name)};
+  }
+};
+
+/// SELECT group_cols, aggs FROM table GROUP BY group_cols.
+///
+/// Hash aggregation; output rows appear in first-seen group order (stable,
+/// deterministic). NULL group keys form their own group (SQL semantics).
+/// Aggregates ignore NULL inputs; count(*) counts rows, count(col) counts
+/// non-null values. Empty `group_cols` produces one global row.
+Result<TablePtr> GroupByAggregate(const Table& table, const std::vector<int>& group_cols,
+                                  const std::vector<AggregateSpec>& aggs);
+
+/// Name-based convenience overload.
+Result<TablePtr> GroupByAggregate(const Table& table,
+                                  const std::vector<std::string>& group_cols,
+                                  const std::vector<AggregateSpec>& aggs);
+
+/// Rows satisfying `pred(row_index)`.
+Result<TablePtr> Filter(const Table& table,
+                        const std::function<bool(int64_t)>& pred);
+
+/// σ_{c1=v1 ∧ c2=v2 ∧ ...}: conjunctive equality selection, the shape used
+/// by retrieval queries Q_{P,f} (Section 2.2). NULL matches NULL.
+Result<TablePtr> FilterEquals(const Table& table,
+                              const std::vector<std::pair<int, Value>>& conditions);
+
+/// π over column indices (duplicates allowed, order preserved).
+Result<TablePtr> Project(const Table& table, const std::vector<int>& cols);
+
+/// Distinct projection π_cols(R) — used for frag(R, P) enumeration.
+Result<TablePtr> ProjectDistinct(const Table& table, const std::vector<int>& cols);
+
+/// One sort criterion. NULLs sort first on ascending order.
+struct SortKey {
+  int col = 0;
+  bool ascending = true;
+};
+
+/// Stable multi-key sort; returns a new materialized table.
+Result<TablePtr> SortTable(const Table& table, const std::vector<SortKey>& keys);
+
+struct CubeOptions {
+  /// Only emit groupings whose subset size is within [min, max] — mirrors
+  /// the GROUPING()-based filter CAPE applies so only |G_P| <= psi pattern
+  /// candidates are materialized (Section 4.1).
+  int min_group_size = 0;
+  int max_group_size = std::numeric_limits<int>::max();
+  /// Appends an int64 `grouping_id` column: bit i set <=> cube_cols[i] was
+  /// aggregated away in that output row (SQL GROUPING semantics).
+  bool add_grouping_id = true;
+};
+
+/// CUBE BY: computes GROUP BY over every subset of `cube_cols` (within the
+/// configured size band) in a single operator, like SQL's CUBE. Output
+/// schema: all cube columns (NULL where aggregated away), the aggregates,
+/// then `grouping_id`. Implementation computes the finest grouping once and
+/// re-aggregates coarser groupings from it, which is the standard DBMS cube
+/// optimization — and still exhibits the exponential-in-|cube_cols| group
+/// blow-up the paper measures (Figure 3a). kAvg is rejected (not
+/// re-aggregatable); ARPs never use it.
+Result<TablePtr> Cube(const Table& table, const std::vector<int>& cube_cols,
+                      const std::vector<AggregateSpec>& aggs,
+                      const CubeOptions& options = {});
+
+/// Internal helper shared by operators and the FD detector: encodes the
+/// projection of row `row` onto `cols` into a byte string such that two rows
+/// encode equal iff their projections are equal (value- and null-aware).
+class GroupKeyEncoder {
+ public:
+  GroupKeyEncoder(const Table& table, std::vector<int> cols);
+
+  /// Appends the encoding of row `row` to *buf (buf is not cleared).
+  void EncodeRow(int64_t row, std::string* buf) const;
+
+ private:
+  const Table& table_;
+  std::vector<int> cols_;
+};
+
+}  // namespace cape
+
+#endif  // CAPE_RELATIONAL_OPERATORS_H_

@@ -1,0 +1,44 @@
+#include "relational/schema.h"
+
+namespace cape {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  name_to_index_.reserve(fields_.size());
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    // First declaration wins on duplicate names; Table::Validate rejects
+    // duplicates at construction time.
+    name_to_index_.emplace(fields_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::GetFieldIndex(const std::string& name) const {
+  auto it = name_to_index_.find(name);
+  return it == name_to_index_.end() ? -1 : it->second;
+}
+
+Result<int> Schema::GetFieldIndexChecked(const std::string& name) const {
+  int idx = GetFieldIndex(name);
+  if (idx < 0) return Status::NotFound("no field named '" + name + "' in schema " + ToString());
+  return idx;
+}
+
+std::vector<std::string> Schema::field_names() const {
+  std::vector<std::string> names;
+  names.reserve(fields_.size());
+  for (const Field& f : fields_) names.push_back(f.name);
+  return names;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += DataTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cape

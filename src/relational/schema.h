@@ -1,0 +1,63 @@
+#ifndef CAPE_RELATIONAL_SCHEMA_H_
+#define CAPE_RELATIONAL_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace cape {
+
+/// A named, typed column descriptor.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+  bool nullable = true;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type && a.nullable == b.nullable;
+  }
+};
+
+/// An ordered list of fields with O(1) name lookup. Immutable once built;
+/// shared between tables via shared_ptr.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  static std::shared_ptr<Schema> Make(std::vector<Field> fields) {
+    return std::make_shared<Schema>(std::move(fields));
+  }
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or -1 when absent.
+  int GetFieldIndex(const std::string& name) const;
+
+  /// Like GetFieldIndex but returns a NotFound status for missing names.
+  Result<int> GetFieldIndexChecked(const std::string& name) const;
+
+  bool HasField(const std::string& name) const { return GetFieldIndex(name) >= 0; }
+
+  /// Names of all fields in order.
+  std::vector<std::string> field_names() const;
+
+  /// "(author: string, year: int64, ...)"
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) { return a.fields_ == b.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> name_to_index_;
+};
+
+}  // namespace cape
+
+#endif  // CAPE_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,163 @@
+#include "relational/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace cape {
+
+Table::Table(std::shared_ptr<Schema> schema) : schema_(std::move(schema)) {
+  columns_.reserve(static_cast<size_t>(schema_->num_fields()));
+  for (int i = 0; i < schema_->num_fields(); ++i) {
+    columns_.emplace_back(schema_->field(i).type);
+  }
+}
+
+Result<std::shared_ptr<Table>> Table::FromRows(std::shared_ptr<Schema> schema,
+                                               const std::vector<Row>& rows) {
+  auto table = std::make_shared<Table>(std::move(schema));
+  table->Reserve(static_cast<int64_t>(rows.size()));
+  for (const Row& row : rows) {
+    CAPE_RETURN_IF_ERROR(table->AppendRow(row));
+  }
+  return table;
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  CAPE_ASSIGN_OR_RETURN(int idx, schema_->GetFieldIndexChecked(name));
+  return &columns_[static_cast<size_t>(idx)];
+}
+
+Status Table::AppendRow(const Row& row) {
+  if (static_cast<int>(row.size()) != num_columns()) {
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " does not match schema arity " +
+                                   std::to_string(num_columns()));
+  }
+  // Validate all cells before mutating any column so a failed append leaves
+  // the table unchanged.
+  for (int i = 0; i < num_columns(); ++i) {
+    const Value& v = row[static_cast<size_t>(i)];
+    if (v.is_null()) continue;
+    const DataType col_type = columns_[static_cast<size_t>(i)].type();
+    const bool ok = (v.type() == col_type) ||
+                    (col_type == DataType::kDouble && v.is_numeric());
+    if (!ok) {
+      return Status::TypeError("cell " + std::to_string(i) + " ('" + v.ToString() +
+                               "') has type " + DataTypeToString(v.type()) +
+                               ", column expects " + DataTypeToString(col_type));
+    }
+  }
+  for (int i = 0; i < num_columns(); ++i) {
+    Status st = columns_[static_cast<size_t>(i)].AppendValue(row[static_cast<size_t>(i)]);
+    CAPE_DCHECK(st.ok());
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::Reserve(int64_t capacity) {
+  for (Column& col : columns_) col.Reserve(capacity);
+}
+
+Status Table::AppendRowsFrom(const Table& src, const std::vector<int64_t>& rows) {
+  if (src.schema() != schema_ && !(*src.schema() == *schema_)) {
+    return Status::InvalidArgument("AppendRowsFrom requires matching schemas: " +
+                                   src.schema()->ToString() + " vs " + schema_->ToString());
+  }
+  for (int64_t row : rows) {
+    if (row < 0 || row >= src.num_rows()) {
+      return Status::OutOfRange("row index " + std::to_string(row) + " out of range");
+    }
+  }
+  for (int c = 0; c < num_columns(); ++c) {
+    Column& dst = columns_[static_cast<size_t>(c)];
+    const Column& from = src.column(c);
+    for (int64_t row : rows) dst.AppendFrom(from, row);
+  }
+  num_rows_ += static_cast<int64_t>(rows.size());
+  return Status::OK();
+}
+
+Row Table::GetRow(int64_t row) const {
+  Row out;
+  out.reserve(static_cast<size_t>(num_columns()));
+  for (int i = 0; i < num_columns(); ++i) out.push_back(GetValue(row, i));
+  return out;
+}
+
+Row Table::GetRowProjection(int64_t row, const std::vector<int>& cols) const {
+  Row out;
+  out.reserve(cols.size());
+  for (int c : cols) out.push_back(GetValue(row, c));
+  return out;
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  const int64_t shown = std::min(max_rows, num_rows());
+  std::vector<size_t> widths;
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  for (int c = 0; c < num_columns(); ++c) {
+    header.push_back(schema_->field(c).name);
+    widths.push_back(header.back().size());
+  }
+  for (int64_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row_cells;
+    for (int c = 0; c < num_columns(); ++c) {
+      row_cells.push_back(GetValue(r, c).ToString());
+      widths[static_cast<size_t>(c)] =
+          std::max(widths[static_cast<size_t>(c)], row_cells.back().size());
+    }
+    cells.push_back(std::move(row_cells));
+  }
+  auto render_row = [&](const std::vector<std::string>& row_cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < row_cells.size(); ++c) {
+      line += " " + row_cells[c];
+      line.append(widths[c] - row_cells[c].size() + 1, ' ');
+      line += "|";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header);
+  std::string sep = "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    sep.append(widths[c] + 2, '-');
+    sep += "|";
+  }
+  out += sep + "\n";
+  for (const auto& row_cells : cells) out += render_row(row_cells);
+  if (shown < num_rows()) {
+    out += "... (" + std::to_string(num_rows() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+Status Table::Validate() const {
+  std::unordered_set<std::string> names;
+  for (int i = 0; i < schema_->num_fields(); ++i) {
+    if (!names.insert(schema_->field(i).name).second) {
+      return Status::InvalidArgument("duplicate field name '" + schema_->field(i).name + "'");
+    }
+  }
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[static_cast<size_t>(i)].size() != num_rows_) {
+      return Status::Internal("column " + std::to_string(i) + " has " +
+                              std::to_string(columns_[static_cast<size_t>(i)].size()) +
+                              " rows, table has " + std::to_string(num_rows_));
+    }
+    if (columns_[static_cast<size_t>(i)].type() != schema_->field(i).type) {
+      return Status::Internal("column " + std::to_string(i) + " type mismatch with schema");
+    }
+  }
+  return Status::OK();
+}
+
+TablePtr MakeEmptyTable(std::vector<Field> fields) {
+  return std::make_shared<Table>(Schema::Make(std::move(fields)));
+}
+
+}  // namespace cape

@@ -1,0 +1,80 @@
+#ifndef CAPE_RELATIONAL_TABLE_H_
+#define CAPE_RELATIONAL_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/column.h"
+#include "relational/schema.h"
+
+namespace cape {
+
+/// A materialized row: one Value per schema field.
+using Row = std::vector<Value>;
+
+/// An immutable-by-convention, in-memory columnar relation.
+///
+/// Tables are built by appending rows (or via operators in operators.h)
+/// and then treated as read-only; they are shared via shared_ptr.
+class Table {
+ public:
+  explicit Table(std::shared_ptr<Schema> schema);
+
+  /// Builds a table from rows, validating arity and types.
+  static Result<std::shared_ptr<Table>> FromRows(std::shared_ptr<Schema> schema,
+                                                 const std::vector<Row>& rows);
+
+  const std::shared_ptr<Schema>& schema() const { return schema_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const { return num_rows_; }
+
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  Column& mutable_column(int i) { return columns_[static_cast<size_t>(i)]; }
+
+  /// Column lookup by name; NotFound for unknown names.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Appends one row; the row must have one Value per column of compatible
+  /// type (NULLs allowed anywhere).
+  Status AppendRow(const Row& row);
+
+  /// Pre-sizes all columns.
+  void Reserve(int64_t capacity);
+
+  /// Bulk-appends the given rows of `src`, which must share this table's
+  /// schema (by pointer or by equality). Column-at-a-time, no Value boxing
+  /// — the fast path for selection, sorting and limits.
+  Status AppendRowsFrom(const Table& src, const std::vector<int64_t>& rows);
+
+  Value GetValue(int64_t row, int col) const { return column(col).GetValue(row); }
+
+  /// Materializes row `row` as a vector of Values.
+  Row GetRow(int64_t row) const;
+
+  /// Projection of row `row` onto the given column indices.
+  Row GetRowProjection(int64_t row, const std::vector<int>& cols) const;
+
+  /// Renders up to `max_rows` rows as an aligned ASCII table for debugging
+  /// and example output.
+  std::string ToString(int64_t max_rows = 20) const;
+
+  /// Verifies internal consistency (column sizes match, no duplicate field
+  /// names). Intended for tests and after bulk construction.
+  Status Validate() const;
+
+ private:
+  std::shared_ptr<Schema> schema_;
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+/// Convenience: builds a schema and empty table in one call.
+TablePtr MakeEmptyTable(std::vector<Field> fields);
+
+}  // namespace cape
+
+#endif  // CAPE_RELATIONAL_TABLE_H_

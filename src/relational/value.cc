@@ -1,0 +1,73 @@
+#include "relational/value.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace cape {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  switch (type()) {
+    case DataType::kInt64:
+      return std::to_string(int64_value());
+    case DataType::kDouble:
+      return FormatDouble(double_value());
+    case DataType::kString:
+      return string_value();
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  const bool a_null = is_null();
+  const bool b_null = other.is_null();
+  if (a_null || b_null) {
+    // NULL == NULL, NULL < non-NULL.
+    return static_cast<int>(!a_null) - static_cast<int>(!b_null);
+  }
+  const bool a_num = is_numeric();
+  const bool b_num = other.is_numeric();
+  if (a_num && b_num) {
+    // Compare exactly when both are int64 to avoid double rounding.
+    if (type() == DataType::kInt64 && other.type() == DataType::kInt64) {
+      const int64_t a = int64_value();
+      const int64_t b = other.int64_value();
+      return (a < b) ? -1 : (a > b) ? 1 : 0;
+    }
+    const double a = AsDouble();
+    const double b = other.AsDouble();
+    return (a < b) ? -1 : (a > b) ? 1 : 0;
+  }
+  if (a_num != b_num) return a_num ? -1 : 1;  // numeric < string
+  return string_value().compare(other.string_value()) < 0
+             ? -1
+             : (string_value() == other.string_value() ? 0 : 1);
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9ae16a3b2f90404fULL;
+  if (is_numeric()) {
+    double d = AsDouble();
+    if (d == 0.0) d = 0.0;  // normalize -0.0 to +0.0
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return HashCombine(0x51afd7ed558ccd4dULL, static_cast<size_t>(bits));
+  }
+  const std::string& s = string_value();
+  return HashCombine(0xc2b2ae3d27d4eb4fULL, HashBytes(s.data(), s.size()));
+}
+
+}  // namespace cape

@@ -1,0 +1,105 @@
+#ifndef CAPE_RELATIONAL_VALUE_H_
+#define CAPE_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/hash.h"
+
+namespace cape {
+
+/// Physical type of a column (and of a non-null Value).
+enum class DataType : int {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+const char* DataTypeToString(DataType type);
+
+/// Returns true for types usable as regression predictors / aggregation
+/// inputs without coercion.
+inline bool IsNumericType(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble;
+}
+
+/// A dynamically-typed cell value: NULL, int64, double, or string.
+///
+/// Value is the boundary type of the engine: operators use typed column
+/// storage internally, but rows, group keys, pattern fragments, and user
+/// questions are expressed with Values. Values order NULL-first and compare
+/// int64/double numerically across types (Int64(2) == Double(2.0)); Hash()
+/// is consistent with that equality by hashing numerics through their double
+/// representation (int64 values beyond 2^53 may collide with near doubles,
+/// which only costs a hash-bucket probe, never a wrong equality).
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() = default;
+
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  /// Type of a non-null value. Calling on NULL is a programming error;
+  /// returns kInt64 as a harmless default in release builds.
+  DataType type() const {
+    if (std::holds_alternative<int64_t>(data_)) return DataType::kInt64;
+    if (std::holds_alternative<double>(data_)) return DataType::kDouble;
+    return DataType::kString;
+  }
+
+  bool is_numeric() const {
+    return std::holds_alternative<int64_t>(data_) || std::holds_alternative<double>(data_);
+  }
+
+  /// Typed access; undefined when the alternative does not match.
+  int64_t int64_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+
+  /// Numeric coercion for regression/aggregation; 0.0 for NULL/strings.
+  double AsDouble() const {
+    if (std::holds_alternative<int64_t>(data_)) {
+      return static_cast<double>(std::get<int64_t>(data_));
+    }
+    if (std::holds_alternative<double>(data_)) return std::get<double>(data_);
+    return 0.0;
+  }
+
+  /// Renders the value for display ("NULL", "42", "3.5", "SIGKDD").
+  std::string ToString() const;
+
+  /// Total order: NULL < everything; numerics compare by value across
+  /// int64/double; strings lexicographic; numeric < string.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.Compare(b) == 0; }
+  friend bool operator!=(const Value& a, const Value& b) { return a.Compare(b) != 0; }
+  friend bool operator<(const Value& a, const Value& b) { return a.Compare(b) < 0; }
+
+  /// Hash consistent with operator== within a single DataType.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace cape
+
+#endif  // CAPE_RELATIONAL_VALUE_H_

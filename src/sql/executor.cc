@@ -1,0 +1,190 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace cape {
+
+namespace {
+
+Result<TablePtr> ApplyWhere(TablePtr table, const std::vector<WherePredicate>& where) {
+  if (where.empty()) return table;
+  struct Bound {
+    int column;
+    WherePredicate::Op op;
+    Value literal;
+  };
+  std::vector<Bound> bounds;
+  for (const WherePredicate& pred : where) {
+    CAPE_ASSIGN_OR_RETURN(int column, table->schema()->GetFieldIndexChecked(pred.column));
+    bounds.push_back(Bound{column, pred.op, pred.literal});
+  }
+  return Filter(*table, [table, bounds](int64_t row) {
+    for (const Bound& b : bounds) {
+      const Value v = table->GetValue(row, b.column);
+      // SQL three-valued logic: comparisons with NULL are not true (except
+      // our '=' which treats NULL = NULL as a match, mirroring FilterEquals).
+      const int cmp = v.Compare(b.literal);
+      bool ok = false;
+      switch (b.op) {
+        case WherePredicate::Op::kEq:
+          ok = cmp == 0;
+          break;
+        case WherePredicate::Op::kNe:
+          ok = cmp != 0 && !v.is_null();
+          break;
+        case WherePredicate::Op::kLt:
+          ok = cmp < 0 && !v.is_null();
+          break;
+        case WherePredicate::Op::kLe:
+          ok = cmp <= 0 && !v.is_null();
+          break;
+        case WherePredicate::Op::kGt:
+          ok = cmp > 0 && !v.is_null();
+          break;
+        case WherePredicate::Op::kGe:
+          ok = cmp >= 0 && !v.is_null();
+          break;
+      }
+      if (!ok) return false;
+    }
+    return true;
+  });
+}
+
+Result<AggregateSpec> ToAggregateSpec(const Table& table, const SelectItem& item) {
+  AggregateSpec spec;
+  spec.func = item.agg;
+  spec.output_name = item.DefaultName();
+  if (item.column == "*") {
+    spec.input_col = AggregateSpec::kCountStar;
+  } else {
+    CAPE_ASSIGN_OR_RETURN(spec.input_col, table.schema()->GetFieldIndexChecked(item.column));
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<TablePtr> ExecuteSelect(const Catalog& catalog, const SelectQuery& query) {
+  CAPE_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(query.table));
+  CAPE_ASSIGN_OR_RETURN(table, ApplyWhere(table, query.where));
+
+  const bool has_aggregates =
+      std::any_of(query.items.begin(), query.items.end(),
+                  [](const SelectItem& item) { return item.is_aggregate; });
+
+  TablePtr result;
+  if (has_aggregates || !query.group_by.empty()) {
+    // Grouped (or global) aggregation: every non-aggregate item must be a
+    // group-by column.
+    std::vector<int> group_cols;
+    for (const std::string& name : query.group_by) {
+      CAPE_ASSIGN_OR_RETURN(int idx, table->schema()->GetFieldIndexChecked(name));
+      group_cols.push_back(idx);
+    }
+    std::vector<AggregateSpec> specs;
+    std::vector<SelectItem> output_order = query.items;
+    for (const SelectItem& item : query.items) {
+      if (item.is_aggregate) {
+        CAPE_ASSIGN_OR_RETURN(AggregateSpec spec, ToAggregateSpec(*table, item));
+        specs.push_back(std::move(spec));
+        continue;
+      }
+      if (item.column == "*") {
+        return Status::InvalidArgument("SELECT * cannot be combined with GROUP BY");
+      }
+      if (std::find(query.group_by.begin(), query.group_by.end(), item.column) ==
+          query.group_by.end()) {
+        return Status::InvalidArgument("column '" + item.column +
+                                       "' must appear in GROUP BY or inside an aggregate");
+      }
+    }
+    CAPE_ASSIGN_OR_RETURN(TablePtr grouped, GroupByAggregate(*table, group_cols, specs));
+    // Reorder/duplicate output columns to match the select list. In
+    // `grouped`, group column i sits at position of group_by order; the
+    // j-th aggregate at group_cols.size() + j.
+    std::vector<int> projection;
+    size_t agg_index = 0;
+    for (const SelectItem& item : query.items) {
+      if (item.is_aggregate) {
+        projection.push_back(static_cast<int>(group_cols.size() + agg_index));
+        ++agg_index;
+      } else {
+        const auto it =
+            std::find(query.group_by.begin(), query.group_by.end(), item.column);
+        projection.push_back(static_cast<int>(it - query.group_by.begin()));
+      }
+    }
+    CAPE_ASSIGN_OR_RETURN(result, Project(*grouped, projection));
+    // Apply aliases for group columns (aggregates already carry their name).
+    std::vector<Field> fields;
+    for (size_t i = 0; i < query.items.size(); ++i) {
+      Field f = result->schema()->field(static_cast<int>(i));
+      f.name = query.items[i].DefaultName();
+      fields.push_back(std::move(f));
+    }
+    auto renamed = std::make_shared<Table>(Schema::Make(std::move(fields)));
+    renamed->Reserve(result->num_rows());
+    for (int64_t row = 0; row < result->num_rows(); ++row) {
+      CAPE_RETURN_IF_ERROR(renamed->AppendRow(result->GetRow(row)));
+    }
+    result = renamed;
+  } else {
+    // Plain projection.
+    if (query.items.size() == 1 && query.items[0].column == "*") {
+      result = table;
+    } else {
+      std::vector<int> projection;
+      std::vector<Field> fields;
+      for (const SelectItem& item : query.items) {
+        if (item.column == "*") {
+          return Status::InvalidArgument("'*' must be the only select item");
+        }
+        CAPE_ASSIGN_OR_RETURN(int idx, table->schema()->GetFieldIndexChecked(item.column));
+        projection.push_back(idx);
+      }
+      CAPE_ASSIGN_OR_RETURN(result, Project(*table, projection));
+      if (std::any_of(query.items.begin(), query.items.end(),
+                      [](const SelectItem& i) { return !i.alias.empty(); })) {
+        std::vector<Field> renamed_fields;
+        for (size_t i = 0; i < query.items.size(); ++i) {
+          Field f = result->schema()->field(static_cast<int>(i));
+          f.name = query.items[i].DefaultName();
+          renamed_fields.push_back(std::move(f));
+        }
+        auto renamed = std::make_shared<Table>(Schema::Make(std::move(renamed_fields)));
+        renamed->Reserve(result->num_rows());
+        for (int64_t row = 0; row < result->num_rows(); ++row) {
+          CAPE_RETURN_IF_ERROR(renamed->AppendRow(result->GetRow(row)));
+        }
+        result = renamed;
+      }
+    }
+  }
+
+  if (query.order_by.has_value()) {
+    CAPE_ASSIGN_OR_RETURN(int idx, result->schema()->GetFieldIndexChecked(*query.order_by));
+    CAPE_ASSIGN_OR_RETURN(result, SortTable(*result, {SortKey{idx, query.order_ascending}}));
+  }
+  if (query.limit.has_value() && *query.limit < result->num_rows()) {
+    auto limited = std::make_shared<Table>(result->schema());
+    limited->Reserve(*query.limit);
+    for (int64_t row = 0; row < *query.limit; ++row) {
+      CAPE_RETURN_IF_ERROR(limited->AppendRow(result->GetRow(row)));
+    }
+    result = limited;
+  }
+  return result;
+}
+
+Result<UserQuestion> BuildQuestion(const Catalog& catalog,
+                                   const ExplainWhyCommand& command) {
+  CAPE_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(command.table));
+  const std::string agg_attr = command.agg_column == "*" ? "" : command.agg_column;
+  return MakeUserQuestion(table, command.group_by, command.group_values, command.agg,
+                          agg_attr.empty() ? "*" : agg_attr, command.direction);
+}
+
+}  // namespace cape

@@ -1,0 +1,25 @@
+#ifndef CAPE_SQL_EXECUTOR_H_
+#define CAPE_SQL_EXECUTOR_H_
+
+#include "common/result.h"
+#include "explain/explainer.h"
+#include "relational/catalog.h"
+#include "sql/parser.h"
+
+namespace cape {
+
+/// Evaluates a parsed SELECT against a catalog using the engine operators
+/// (selection -> aggregation/projection -> sort -> limit). Supported shape:
+/// conjunctive comparison predicates, optional GROUP BY with any mix of
+/// group columns and aggregates, SELECT * / plain projections without
+/// grouping, ORDER BY one output column, LIMIT.
+Result<TablePtr> ExecuteSelect(const Catalog& catalog, const SelectQuery& query);
+
+/// Builds the Definition-1 user question described by an EXPLAIN WHY
+/// command (resolving the table via the catalog and validating that the
+/// tuple is a query answer).
+Result<UserQuestion> BuildQuestion(const Catalog& catalog, const ExplainWhyCommand& command);
+
+}  // namespace cape
+
+#endif  // CAPE_SQL_EXECUTOR_H_

@@ -1,0 +1,192 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace cape {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",  "WHERE", "GROUP", "BY",    "AND",  "AS",    "ORDER",
+      "ASC",    "DESC",  "LIMIT", "COUNT", "SUM",   "AVG",  "MIN",   "MAX",
+      "EXPLAIN", "WHY",  "IS",    "LOW",   "HIGH",  "FOR",  "TOP",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string ToUpperAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+
+    if (IsIdentStart(c)) {
+      size_t begin = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      const std::string word = sql.substr(begin, i - begin);
+      const std::string upper = ToUpperAscii(word);
+      if (Keywords().count(upper) > 0) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = ToLowerAscii(word);
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '"') {  // quoted identifier, "" escapes a quote
+      ++i;
+      std::string ident;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '"') {
+          if (i + 1 < n && sql[i + 1] == '"') {
+            ident.push_back('"');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        ident.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated quoted identifier at offset " +
+                                       std::to_string(token.position));
+      }
+      token.type = TokenType::kIdentifier;
+      token.text = std::move(ident);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '\'') {  // string literal, '' escapes a quote
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(token.position));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(value);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t begin = i;
+      if (c == '-') ++i;
+      bool has_dot = false;
+      bool has_exp = false;
+      while (i < n) {
+        const char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.' && !has_dot && !has_exp) {
+          has_dot = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && !has_exp && i + 1 < n) {
+          has_exp = true;
+          ++i;
+          if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        } else {
+          break;
+        }
+      }
+      const std::string number = sql.substr(begin, i - begin);
+      if (has_dot || has_exp) {
+        CAPE_ASSIGN_OR_RETURN(token.double_value, ParseDouble(number));
+        token.type = TokenType::kDouble;
+      } else {
+        CAPE_ASSIGN_OR_RETURN(token.int_value, ParseInt64(number));
+        token.type = TokenType::kInteger;
+      }
+      token.text = number;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Multi-char operators first.
+    auto starts_with = [&](const char* op) {
+      return sql.compare(i, std::char_traits<char>::length(op), op) == 0;
+    };
+    const char* two_char_ops[] = {"<=", ">=", "!=", "<>"};
+    bool matched = false;
+    for (const char* op : two_char_ops) {
+      if (starts_with(op)) {
+        token.type = TokenType::kSymbol;
+        token.text = (std::string(op) == "<>") ? "!=" : op;
+        i += 2;
+        tokens.push_back(std::move(token));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    if (std::string("(),;*=<>").find(c) != std::string::npos) {
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace cape

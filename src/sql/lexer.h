@@ -1,0 +1,43 @@
+#ifndef CAPE_SQL_LEXER_H_
+#define CAPE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cape {
+
+enum class TokenType : int {
+  kIdentifier = 0,  // bare or "quoted"
+  kString = 1,      // '...'
+  kInteger = 2,
+  kDouble = 3,
+  kSymbol = 4,   // ( ) , ; * = != < <= > >=
+  kKeyword = 5,  // SELECT FROM WHERE ... (uppercased in `text`)
+  kEnd = 6,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;          // identifier/symbol/keyword spelling
+  int64_t int_value = 0;     // kInteger
+  double double_value = 0;   // kDouble
+  size_t position = 0;       // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes a SQL statement. Keywords are case-insensitive and uppercased;
+/// bare identifiers are lowercased (SQL folding); quoted identifiers keep
+/// their exact spelling. String literals use single quotes with '' escaping.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace cape
+
+#endif  // CAPE_SQL_LEXER_H_

@@ -1,0 +1,32 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cape {
+
+double Mean(const std::vector<double>& xs) {
+  RunningStats stats;
+  for (double x : xs) stats.Add(x);
+  return stats.mean();
+}
+
+double Variance(const std::vector<double>& xs) {
+  RunningStats stats;
+  for (double x : xs) stats.Add(x);
+  return stats.variance();
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<long>(mid), xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(), xs.begin() + static_cast<long>(mid));
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace cape

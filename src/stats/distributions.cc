@@ -1,0 +1,79 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <limits>
+
+namespace cape {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-14;
+constexpr double kTiny = 1e-300;
+
+/// P(a, x) by series expansion; converges quickly for x < a + 1.
+double GammaPBySeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Q(a, x) by Lentz's continued fraction; converges quickly for x >= a + 1.
+double GammaQByContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  if (a <= 0.0 || std::isnan(a) || std::isnan(x)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (x <= 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPBySeries(a, x);
+  return 1.0 - GammaQByContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  if (a <= 0.0 || std::isnan(a) || std::isnan(x)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (x <= 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPBySeries(a, x);
+  return GammaQByContinuedFraction(a, x);
+}
+
+double ChiSquareCdf(double x, double dof) {
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(dof / 2.0, x / 2.0);
+}
+
+double ChiSquareSf(double x, double dof) {
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(dof / 2.0, x / 2.0);
+}
+
+}  // namespace cape

@@ -1,0 +1,23 @@
+#ifndef CAPE_STATS_DISTRIBUTIONS_H_
+#define CAPE_STATS_DISTRIBUTIONS_H_
+
+namespace cape {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+/// Series expansion for x < a+1, continued fraction otherwise (Numerical
+/// Recipes style). Accuracy ~1e-12, sufficient for goodness-of-fit use.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// CDF of the chi-square distribution with `dof` degrees of freedom.
+double ChiSquareCdf(double x, double dof);
+
+/// Survival function (upper tail) of chi-square: the p-value of a Pearson
+/// statistic `x` with `dof` degrees of freedom.
+double ChiSquareSf(double x, double dof);
+
+}  // namespace cape
+
+#endif  // CAPE_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace cape {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopySharesState) {
+  Status a = Status::NotFound("gone");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "gone");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, OkStatusIsNormalizedToInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "payload");
+}
+
+Result<int> Divide(int a, int b) {
+  if (b == 0) return Status::InvalidArgument("division by zero");
+  return a / b;
+}
+
+Result<int> UseAssignOrReturn(int a, int b) {
+  CAPE_ASSIGN_OR_RETURN(int q, Divide(a, b));
+  return q + 1;
+}
+
+Status UseReturnIfError(int b) {
+  CAPE_RETURN_IF_ERROR(Divide(10, b).status());
+  return Status::OK();
+}
+
+TEST(MacrosTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*UseAssignOrReturn(10, 2), 6);
+  EXPECT_TRUE(UseAssignOrReturn(10, 0).status().IsInvalidArgument());
+}
+
+TEST(MacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UseReturnIfError(2).ok());
+  EXPECT_TRUE(UseReturnIfError(0).IsInvalidArgument());
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(SplitString("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString("xyz", ','), (std::vector<std::string>{"xyz"}));
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"a", "", "bc", "d"};
+  EXPECT_EQ(SplitString(JoinStrings(parts, "|"), '|'), parts);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimWhitespace("  x y  "), "x y");
+  EXPECT_EQ(TrimWhitespace("\t\n"), "");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+}
+
+TEST(StringUtilTest, CaseAndAffixes) {
+  EXPECT_EQ(ToLowerAscii("SIGKDD-2019"), "sigkdd-2019");
+  EXPECT_TRUE(StartsWith("pattern_set.h", "pattern"));
+  EXPECT_FALSE(StartsWith("x", "xyz"));
+  EXPECT_TRUE(EndsWith("table.cc", ".cc"));
+  EXPECT_FALSE(EndsWith(".cc", "table.cc"));
+}
+
+TEST(StringUtilTest, ParseInt64Strict) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("  -7 "), -7);
+  EXPECT_TRUE(ParseInt64("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInt64("12x").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInt64("9999999999999999999999").status().IsOutOfRange());
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_TRUE(ParseDouble("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDouble("1.2.3").status().IsInvalidArgument());
+}
+
+TEST(StringUtilTest, FormatDoubleRoundTrips) {
+  for (double v : {0.0, 1.0, -3.25, 0.1, 1e-9, 123456789.123, -2.5e17}) {
+    EXPECT_DOUBLE_EQ(*ParseDouble(FormatDouble(v)), v) << v;
+  }
+}
+
+TEST(StringUtilTest, StringFormat) {
+  EXPECT_EQ(StringFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringFormat("%.2f", 3.14159), "3.14");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(watch.ElapsedNanos(), 0);
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+}
+
+TEST(StopwatchTest, ScopedTimerAccumulates) {
+  int64_t acc = 0;
+  {
+    ScopedTimer t(&acc);
+    volatile double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink += i;
+  }
+  EXPECT_GT(acc, 0);
+  int64_t first = acc;
+  {
+    ScopedTimer t(&acc);
+  }
+  EXPECT_GE(acc, first);
+}
+
+TEST(HashTest, CombineIsOrderSensitive) {
+  size_t a = HashCombine(HashValue(1), HashValue(2));
+  size_t b = HashCombine(HashValue(2), HashValue(1));
+  EXPECT_NE(a, b);
+}
+
+TEST(HashTest, BytesHashMatchesForEqualContent) {
+  std::string x = "hello";
+  std::string y = "hello";
+  EXPECT_EQ(HashBytes(x.data(), x.size()), HashBytes(y.data(), y.size()));
+  EXPECT_NE(HashBytes(x.data(), x.size()), HashBytes(x.data(), x.size() - 1));
+}
+
+}  // namespace
+}  // namespace cape

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "relational/csv.h"
+
+namespace cape {
+namespace {
+
+TEST(CsvReadTest, InfersTypes) {
+  auto result = ReadCsvString("name,year,score\nAX,2007,1.5\nAY,2008,2\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& t = **result;
+  EXPECT_EQ(t.schema()->field(0).type, DataType::kString);
+  EXPECT_EQ(t.schema()->field(1).type, DataType::kInt64);
+  EXPECT_EQ(t.schema()->field(2).type, DataType::kDouble);
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.GetValue(1, 1), Value::Int64(2008));
+  EXPECT_EQ(t.GetValue(1, 2), Value::Double(2.0));
+}
+
+TEST(CsvReadTest, EmptyFieldsBecomeNull) {
+  auto result = ReadCsvString("a,b\n1,\n,2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE((*result)->GetValue(0, 1).is_null());
+  EXPECT_TRUE((*result)->GetValue(1, 0).is_null());
+}
+
+TEST(CsvReadTest, QuotedFieldsWithDelimitersAndEscapes) {
+  auto result = ReadCsvString("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->GetValue(0, 0), Value::String("x,y"));
+  EXPECT_EQ((*result)->GetValue(0, 1), Value::String("he said \"hi\""));
+}
+
+TEST(CsvReadTest, NoHeaderGeneratesColumnNames) {
+  CsvReadOptions options;
+  options.has_header = false;
+  auto result = ReadCsvString("1,a\n2,b\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->schema()->field(0).name, "c0");
+  EXPECT_EQ((*result)->schema()->field(1).name, "c1");
+  EXPECT_EQ((*result)->num_rows(), 2);
+}
+
+TEST(CsvReadTest, ExplicitSchemaOverridesInference) {
+  CsvReadOptions options;
+  options.schema = Schema::Make({Field{"k", DataType::kString, true},
+                                 Field{"v", DataType::kString, true}});
+  auto result = ReadCsvString("k,v\n1,2\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->GetValue(0, 0), Value::String("1"));
+}
+
+TEST(CsvReadTest, Errors) {
+  EXPECT_TRUE(ReadCsvString("").status().IsInvalidArgument());
+  EXPECT_TRUE(ReadCsvString("a,b\n1\n").status().IsInvalidArgument());  // ragged row
+  EXPECT_TRUE(ReadCsvString("a\n\"unterminated\n").status().IsInvalidArgument());
+  CsvReadOptions options;
+  options.schema = Schema::Make({Field{"only", DataType::kInt64, true}});
+  EXPECT_TRUE(ReadCsvString("a,b\n1,2\n", options).status().IsInvalidArgument());
+}
+
+TEST(CsvReadTest, CarriageReturnsStripped) {
+  auto result = ReadCsvString("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->GetValue(0, 1), Value::Int64(2));
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  auto table = MakeEmptyTable({Field{"name", DataType::kString, true},
+                               Field{"year", DataType::kInt64, true}});
+  ASSERT_TRUE(table->AppendRow({Value::String("a,b \"x\""), Value::Int64(3)}).ok());
+  ASSERT_TRUE(table->AppendRow({Value::Null(), Value::Int64(-1)}).ok());
+  std::string csv = WriteCsvString(*table);
+  auto back = ReadCsvString(csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ((*back)->GetValue(0, 0), Value::String("a,b \"x\""));
+  EXPECT_EQ((*back)->GetValue(0, 1), Value::Int64(3));
+  EXPECT_TRUE((*back)->GetValue(1, 0).is_null());
+}
+
+TEST(CsvFileTest, WriteAndReadFile) {
+  auto table = MakeEmptyTable({Field{"x", DataType::kInt64, true}});
+  ASSERT_TRUE(table->AppendRow({Value::Int64(11)}).ok());
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cape_csv_test.csv").string();
+  ASSERT_TRUE(WriteCsvFile(*table, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->GetValue(0, 0), Value::Int64(11));
+  std::remove(path.c_str());
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/no.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace cape

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "datagen/crime.h"
+#include "datagen/dblp.h"
+#include "datagen/ground_truth.h"
+#include "relational/csv.h"
+#include "relational/operators.h"
+
+namespace cape {
+namespace {
+
+int64_t CountWhere(const Table& table, std::vector<std::pair<std::string, Value>> conds) {
+  std::vector<std::pair<int, Value>> indexed;
+  for (auto& [name, value] : conds) {
+    int idx = table.schema()->GetFieldIndex(name);
+    EXPECT_GE(idx, 0) << name;
+    indexed.emplace_back(idx, value);
+  }
+  auto filtered = FilterEquals(table, indexed);
+  EXPECT_TRUE(filtered.ok());
+  return (*filtered)->num_rows();
+}
+
+TEST(DblpGeneratorTest, SchemaAndSize) {
+  DblpOptions options;
+  options.num_rows = 2000;
+  auto table = GenerateDblp(options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->num_rows(), 2000);
+  EXPECT_EQ((*table)->schema()->ToString(),
+            "(author: string, pubid: string, year: int64, venue: string)");
+  EXPECT_TRUE((*table)->Validate().ok());
+}
+
+TEST(DblpGeneratorTest, Deterministic) {
+  DblpOptions options;
+  options.num_rows = 1500;
+  options.seed = 99;
+  auto a = GenerateDblp(options);
+  auto b = GenerateDblp(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(WriteCsvString(**a), WriteCsvString(**b));
+  options.seed = 100;
+  auto c = GenerateDblp(options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(WriteCsvString(**a), WriteCsvString(**c));
+}
+
+TEST(DblpGeneratorTest, PlantedRunningExampleCounts) {
+  DblpOptions options;
+  options.num_rows = 5000;
+  auto table = GenerateDblp(options);
+  ASSERT_TRUE(table.ok());
+  // The phi0 outlier and its engineered counterbalances (dblp.cc).
+  auto count = [&](const char* venue, int year) {
+    return CountWhere(**table, {{"author", Value::String(kDblpPlantedAuthor)},
+                                {"venue", Value::String(venue)},
+                                {"year", Value::Int64(year)}});
+  };
+  EXPECT_EQ(count("SIGKDD", 2007), 1);
+  EXPECT_EQ(count("SIGKDD", 2012), 9);
+  EXPECT_EQ(count("ICDE", 2007), 10);
+  EXPECT_EQ(count("ICDE", 2006), 8);
+  EXPECT_EQ(count("ICDM", 2007), 5);
+  EXPECT_EQ(count("TKDE", 2012), 1);
+  EXPECT_EQ(count("VLDB", 2008), 1);
+}
+
+TEST(DblpGeneratorTest, PlantingCanBeDisabled) {
+  DblpOptions options;
+  options.num_rows = 1000;
+  options.plant_running_example = false;
+  auto table = GenerateDblp(options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(CountWhere(**table, {{"author", Value::String(kDblpPlantedAuthor)}}), 0);
+}
+
+TEST(DblpGeneratorTest, YearRangeRespected) {
+  DblpOptions options;
+  options.num_rows = 1200;
+  options.plant_running_example = false;  // planted rows use their own years
+  options.year_min = 2005;
+  options.year_max = 2008;
+  auto table = GenerateDblp(options);
+  ASSERT_TRUE(table.ok());
+  const Column* years = *(*table)->ColumnByName("year");
+  EXPECT_EQ(years->Min(), Value::Int64(2005));
+  EXPECT_GE(2008, years->Max().int64_value());
+}
+
+TEST(DblpGeneratorTest, InvalidOptionsRejected) {
+  DblpOptions options;
+  options.num_rows = 0;
+  EXPECT_TRUE(GenerateDblp(options).status().IsInvalidArgument());
+  options.num_rows = 10;
+  options.num_venues = 0;
+  EXPECT_TRUE(GenerateDblp(options).status().IsInvalidArgument());
+  options.num_venues = 5;
+  options.year_min = 2010;
+  options.year_max = 2005;
+  EXPECT_TRUE(GenerateDblp(options).status().IsInvalidArgument());
+}
+
+TEST(CrimeGeneratorTest, AttributeCountVariants) {
+  for (int num_attrs : {4, 7, 11}) {
+    CrimeOptions options;
+    options.num_rows = 800;
+    options.num_attrs = num_attrs;
+    auto table = GenerateCrime(options);
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    EXPECT_EQ((*table)->num_columns(), num_attrs);
+    EXPECT_EQ((*table)->num_rows(), 800);
+    EXPECT_TRUE((*table)->Validate().ok());
+  }
+}
+
+TEST(CrimeGeneratorTest, PlantedHierarchyFdsHold) {
+  CrimeOptions options;
+  options.num_rows = 3000;
+  options.num_attrs = 11;
+  auto table = GenerateCrime(options);
+  ASSERT_TRUE(table.ok());
+  const Table& t = **table;
+  const int community = t.schema()->GetFieldIndex("community");
+  const int district = t.schema()->GetFieldIndex("district");
+  const int beat = t.schema()->GetFieldIndex("beat");
+  const int ward = t.schema()->GetFieldIndex("ward");
+  const int month = t.schema()->GetFieldIndex("month");
+  const int week = t.schema()->GetFieldIndex("week");
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    const int64_t c = t.GetValue(r, community).int64_value();
+    EXPECT_EQ(t.GetValue(r, district).int64_value(), (c - 1) / 4 + 1);
+    EXPECT_EQ(t.GetValue(r, ward).int64_value(), (c - 1) / 2 + 1);
+    EXPECT_EQ(t.GetValue(r, beat).int64_value() / 10, c);  // beat -> community
+    const int64_t w = t.GetValue(r, week).int64_value();
+    EXPECT_EQ((w - 1) / 4 + 1, t.GetValue(r, month).int64_value());  // week -> month
+  }
+}
+
+TEST(CrimeGeneratorTest, PlantedScenarioShape) {
+  CrimeOptions options;
+  options.num_rows = 10000;
+  auto table = GenerateCrime(options);
+  ASSERT_TRUE(table.ok());
+  auto count = [&](const char* type, int community, int year) {
+    return CountWhere(**table, {{"primary_type", Value::String(type)},
+                                {"community", Value::Int64(community)},
+                                {"year", Value::Int64(year)}});
+  };
+  // Planted floor + background: the dip/spike shape must be present.
+  const int64_t dip = count("Battery", 26, 2011);
+  const int64_t spike = count("Battery", 26, 2012);
+  EXPECT_LT(dip, spike);
+  EXPECT_GE(spike, 20);
+  EXPECT_LT(dip, count("Battery", 26, 2010));
+  // Adjacent community 25 spikes in 2011 (Table 5 explanation 3).
+  EXPECT_GT(count("Battery", 25, 2011), count("Battery", 25, 2010));
+  // Assault in the same area spikes in 2011 (Table 5 explanation 5).
+  EXPECT_GT(count("Assault", 26, 2011), count("Assault", 26, 2010));
+}
+
+TEST(CrimeGeneratorTest, Deterministic) {
+  CrimeOptions options;
+  options.num_rows = 600;
+  auto a = GenerateCrime(options);
+  auto b = GenerateCrime(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(WriteCsvString(**a), WriteCsvString(**b));
+}
+
+TEST(CrimeGeneratorTest, InvalidOptionsRejected) {
+  CrimeOptions options;
+  options.num_attrs = 3;
+  EXPECT_TRUE(GenerateCrime(options).status().IsInvalidArgument());
+  options.num_attrs = 12;
+  EXPECT_TRUE(GenerateCrime(options).status().IsInvalidArgument());
+  options.num_attrs = 5;
+  options.num_rows = -1;
+  EXPECT_TRUE(GenerateCrime(options).status().IsInvalidArgument());
+}
+
+GroundTruthOptions CrimeGroundTruthOptions() {
+  GroundTruthOptions options;
+  options.group_by = {"primary_type", "community", "year"};
+  options.num_questions = 5;
+  options.counterbalances_per_question = 3;
+  options.min_cell_rows = 6;
+  return options;
+}
+
+TEST(GroundTruthTest, InjectionCreatesDentsAndSpikes) {
+  CrimeOptions crime;
+  crime.num_rows = 20000;
+  crime.num_communities = 10;
+  crime.num_types = 6;
+  auto base = GenerateCrime(crime);
+  ASSERT_TRUE(base.ok());
+
+  auto injected = InjectGroundTruth(**base, CrimeGroundTruthOptions());
+  ASSERT_TRUE(injected.ok()) << injected.status().ToString();
+  EXPECT_EQ(injected->cases.size(), 5u);
+
+  for (const GroundTruthCase& c : injected->cases) {
+    // The question is a valid `low` question against the modified table.
+    EXPECT_EQ(c.question.dir, Direction::kLow);
+    EXPECT_GT(c.question.result_value, 0.0);
+    EXPECT_EQ(c.counterbalances.size(), 3u);
+
+    // The dented cell has fewer rows than in the base table; counterbalance
+    // cells have more.
+    const std::vector<int> g = c.question.group_attrs.ToIndices();
+    std::vector<std::pair<int, Value>> conds;
+    for (size_t i = 0; i < g.size(); ++i) {
+      conds.emplace_back(g[i], c.question.group_values[i]);
+    }
+    auto base_dent = FilterEquals(**base, conds);
+    auto new_dent = FilterEquals(*injected->table, conds);
+    ASSERT_TRUE(base_dent.ok());
+    ASSERT_TRUE(new_dent.ok());
+    EXPECT_LT((*new_dent)->num_rows(), (*base_dent)->num_rows());
+
+    for (const PlantedCounterbalance& cb : c.counterbalances) {
+      std::vector<std::pair<int, Value>> cb_conds;
+      const std::vector<int> cb_attrs = cb.attrs.ToIndices();
+      for (size_t i = 0; i < cb_attrs.size(); ++i) {
+        cb_conds.emplace_back(cb_attrs[i], cb.values[i]);
+      }
+      auto base_cb = FilterEquals(**base, cb_conds);
+      auto new_cb = FilterEquals(*injected->table, cb_conds);
+      ASSERT_TRUE(base_cb.ok());
+      ASSERT_TRUE(new_cb.ok());
+      EXPECT_GT((*new_cb)->num_rows(), (*base_cb)->num_rows());
+    }
+  }
+}
+
+TEST(GroundTruthTest, RequiresEnoughFragments) {
+  CrimeOptions crime;
+  crime.num_rows = 300;
+  crime.num_communities = 3;
+  crime.num_types = 2;
+  auto base = GenerateCrime(crime);
+  ASSERT_TRUE(base.ok());
+  GroundTruthOptions options = CrimeGroundTruthOptions();
+  options.num_questions = 500;  // impossible
+  EXPECT_TRUE(InjectGroundTruth(**base, options).status().IsInvalidArgument());
+  options.group_by = {"year"};
+  EXPECT_TRUE(InjectGroundTruth(**base, options).status().IsInvalidArgument());
+}
+
+TEST(GroundTruthTest, PrecisionMeasure) {
+  // Build one synthetic case with known counterbalances.
+  GroundTruthCase c;
+  PlantedCounterbalance cb;
+  cb.attrs = AttrSet::FromIndices({0, 1});
+  cb.values = {Value::String("Battery"), Value::Int64(2012)};
+  c.counterbalances.push_back(cb);
+
+  Explanation hit;
+  hit.tuple_attrs = AttrSet::FromIndices({0, 1});
+  hit.tuple_values = {Value::String("Battery"), Value::Int64(2012)};
+  Explanation finer_hit;  // covers the counterbalance with an extra attr
+  finer_hit.tuple_attrs = AttrSet::FromIndices({0, 1, 2});
+  finer_hit.tuple_values = {Value::String("Battery"), Value::Int64(2012),
+                            Value::String("extra")};
+  Explanation miss;
+  miss.tuple_attrs = AttrSet::FromIndices({0, 1});
+  miss.tuple_values = {Value::String("Theft"), Value::Int64(2012)};
+  Explanation coarser_miss;  // does not cover all counterbalance attrs
+  coarser_miss.tuple_attrs = AttrSet::FromIndices({0});
+  coarser_miss.tuple_values = {Value::String("Battery")};
+
+  std::vector<GroundTruthCase> cases = {c};
+  std::vector<std::vector<Explanation>> per_case = {
+      {hit, finer_hit, miss, coarser_miss}};
+  EXPECT_DOUBLE_EQ(GroundTruthPrecision(cases, per_case, 4), 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(GroundTruthPrecision(cases, per_case, 1), 1.0);
+  EXPECT_DOUBLE_EQ(GroundTruthPrecision({}, {}, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace cape

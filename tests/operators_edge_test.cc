@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "relational/catalog.h"
+#include "relational/csv.h"
+#include "relational/operators.h"
+#include "relational/table.h"
+
+namespace cape {
+namespace {
+
+TablePtr SmallTable() {
+  auto table = MakeEmptyTable({Field{"k", DataType::kString, true},
+                               Field{"v", DataType::kInt64, true}});
+  auto add = [&](Value k, Value v) {
+    EXPECT_TRUE(table->AppendRow({std::move(k), std::move(v)}).ok());
+  };
+  add(Value::String("b"), Value::Int64(1));
+  add(Value::String("a"), Value::Int64(2));
+  add(Value::String("b"), Value::Int64(3));
+  add(Value::Null(), Value::Int64(4));
+  add(Value::String("a"), Value::Null());
+  return table;
+}
+
+TEST(SortEdgeTest, DescendingPutsNullsLast) {
+  auto table = SmallTable();
+  auto sorted = SortTable(*table, {SortKey{0, false}});
+  ASSERT_TRUE(sorted.ok());
+  // Descending: b, b, a, a, NULL (nulls sort first ascending => last desc).
+  EXPECT_EQ((*sorted)->GetValue(0, 0), Value::String("b"));
+  EXPECT_TRUE((*sorted)->GetValue(4, 0).is_null());
+}
+
+TEST(SortEdgeTest, StableWithinEqualKeys) {
+  auto table = SmallTable();
+  auto sorted = SortTable(*table, {SortKey{0, true}});
+  ASSERT_TRUE(sorted.ok());
+  // The two "b" rows keep their original relative order (v=1 before v=3).
+  EXPECT_EQ((*sorted)->GetValue(1, 1), Value::Int64(2));  // first "a" row
+  EXPECT_EQ((*sorted)->GetValue(3, 1), Value::Int64(1));
+  EXPECT_EQ((*sorted)->GetValue(4, 1), Value::Int64(3));
+}
+
+TEST(SortEdgeTest, EmptyTableAndNoKeys) {
+  auto empty = MakeEmptyTable({Field{"x", DataType::kInt64, true}});
+  auto sorted = SortTable(*empty, {SortKey{0, true}});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ((*sorted)->num_rows(), 0);
+
+  auto table = SmallTable();
+  auto identity = SortTable(*table, {});
+  ASSERT_TRUE(identity.ok());
+  EXPECT_EQ((*identity)->num_rows(), table->num_rows());
+  EXPECT_EQ((*identity)->GetValue(0, 0), table->GetValue(0, 0));
+}
+
+TEST(CubeEdgeTest, EmptyBandYieldsNoRows) {
+  auto table = SmallTable();
+  CubeOptions options;
+  options.min_group_size = 3;  // > number of cube columns
+  auto cube = Cube(*table, {0}, {AggregateSpec::CountStar("n")}, options);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ((*cube)->num_rows(), 0);
+}
+
+TEST(CubeEdgeTest, WithoutGroupingIdColumn) {
+  auto table = SmallTable();
+  CubeOptions options;
+  options.add_grouping_id = false;
+  auto cube = Cube(*table, {0}, {AggregateSpec::CountStar("n")}, options);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ((*cube)->num_columns(), 2);  // k, n only
+}
+
+TEST(CubeEdgeTest, EmptyInputTable) {
+  auto empty = MakeEmptyTable({Field{"x", DataType::kInt64, true}});
+  auto cube = Cube(*empty, {0}, {AggregateSpec::CountStar("n")});
+  ASSERT_TRUE(cube.ok());
+  // Only the global grouping produces a row (count = 0).
+  ASSERT_EQ((*cube)->num_rows(), 1);
+  EXPECT_EQ((*cube)->GetValue(0, 1), Value::Int64(0));
+}
+
+TEST(CubeEdgeTest, TooManyColumnsRejected) {
+  std::vector<Field> fields;
+  for (int i = 0; i < 21; ++i) {
+    fields.push_back(Field{"c" + std::to_string(i), DataType::kInt64, true});
+  }
+  auto wide = MakeEmptyTable(std::move(fields));
+  std::vector<int> cols;
+  for (int i = 0; i < 21; ++i) cols.push_back(i);
+  EXPECT_TRUE(Cube(*wide, cols, {AggregateSpec::CountStar("n")})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FilterEdgeTest, NoConditionsKeepsEverything) {
+  auto table = SmallTable();
+  auto all = FilterEquals(*table, {});
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ((*all)->num_rows(), table->num_rows());
+}
+
+TEST(ProjectEdgeTest, DuplicateColumnsAllowed) {
+  auto table = SmallTable();
+  auto doubled = Project(*table, {1, 1});
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ((*doubled)->num_columns(), 2);
+  EXPECT_EQ((*doubled)->GetValue(0, 0), (*doubled)->GetValue(0, 1));
+}
+
+TEST(ProjectDistinctEdgeTest, MultiColumnWithNulls) {
+  auto table = SmallTable();
+  auto distinct = ProjectDistinct(*table, {0});
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ((*distinct)->num_rows(), 3);  // "b", "a", NULL
+}
+
+TEST(GroupByEdgeTest, FirstSeenGroupOrderIsDeterministic) {
+  auto table = SmallTable();
+  auto grouped = GroupByAggregate(*table, std::vector<int>{0},
+                                  {AggregateSpec::CountStar("n")});
+  ASSERT_TRUE(grouped.ok());
+  // Order of appearance: b, a, NULL.
+  EXPECT_EQ((*grouped)->GetValue(0, 0), Value::String("b"));
+  EXPECT_EQ((*grouped)->GetValue(1, 0), Value::String("a"));
+  EXPECT_TRUE((*grouped)->GetValue(2, 0).is_null());
+}
+
+TEST(GroupByEdgeTest, MinMaxOverStringsWork) {
+  auto table = SmallTable();
+  auto grouped = GroupByAggregate(
+      *table, std::vector<int>{},
+      {AggregateSpec::Min(0, "lo"), AggregateSpec::Max(0, "hi")});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ((*grouped)->GetValue(0, 0), Value::String("a"));
+  EXPECT_EQ((*grouped)->GetValue(0, 1), Value::String("b"));
+}
+
+TEST(CatalogTest, RegisterGetDropList) {
+  Catalog catalog;
+  auto t1 = SmallTable();
+  auto t2 = SmallTable();
+  ASSERT_TRUE(catalog.RegisterTable("pub", t1).ok());
+  EXPECT_TRUE(catalog.RegisterTable("pub", t2).IsAlreadyExists());
+  EXPECT_TRUE(catalog.RegisterTable("bad", nullptr).IsInvalidArgument());
+  catalog.RegisterOrReplaceTable("pub", t2);
+  ASSERT_TRUE(catalog.GetTable("pub").ok());
+  EXPECT_EQ(*catalog.GetTable("pub"), t2);
+  EXPECT_TRUE(catalog.HasTable("pub"));
+  EXPECT_FALSE(catalog.HasTable("nope"));
+  EXPECT_TRUE(catalog.GetTable("nope").status().IsNotFound());
+
+  catalog.RegisterOrReplaceTable("crime", t1);
+  EXPECT_EQ(catalog.TableNames(), (std::vector<std::string>{"crime", "pub"}));
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_TRUE(catalog.DropTable("crime").ok());
+  EXPECT_TRUE(catalog.DropTable("crime").IsNotFound());
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(CsvEdgeTest, SemicolonDelimiter) {
+  CsvReadOptions options;
+  options.delimiter = ';';
+  auto table = ReadCsvString("a;b\n1;x\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->GetValue(0, 0), Value::Int64(1));
+  EXPECT_EQ((*table)->GetValue(0, 1), Value::String("x"));
+
+  CsvWriteOptions write_options;
+  write_options.delimiter = ';';
+  const std::string out = WriteCsvString(**table, write_options);
+  EXPECT_EQ(out, "a;b\n1;x\n");
+}
+
+}  // namespace
+}  // namespace cape

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "relational/operators.h"
+#include "relational/table.h"
+
+namespace cape {
+namespace {
+
+/// The running-example publications of Figure 1.
+TablePtr FigureOneTable() {
+  auto table = MakeEmptyTable({Field{"author", DataType::kString, false},
+                               Field{"pubid", DataType::kString, false},
+                               Field{"year", DataType::kInt64, false},
+                               Field{"venue", DataType::kString, false}});
+  auto add = [&](const char* a, const char* p, int y, const char* v) {
+    EXPECT_TRUE(table
+                    ->AppendRow({Value::String(a), Value::String(p), Value::Int64(y),
+                                 Value::String(v)})
+                    .ok());
+  };
+  add("AX", "P1", 2004, "SIGKDD");
+  add("AX", "P2", 2004, "SIGKDD");
+  add("AX", "P3", 2005, "SIGKDD");
+  add("AX", "P4", 2005, "SIGKDD");
+  add("AX", "P5", 2005, "ICDE");
+  add("AY", "P2", 2004, "SIGKDD");
+  add("AY", "P6", 2004, "ICDE");
+  add("AY", "P7", 2004, "ICDM");
+  add("AY", "P8", 2005, "ICDE");
+  add("AZ", "P9", 2004, "SIGMOD");
+  return table;
+}
+
+TEST(GroupByTest, CountPerAuthorYear) {
+  auto table = FigureOneTable();
+  auto result = GroupByAggregate(*table, std::vector<std::string>{"author", "year"},
+                                 {AggregateSpec::CountStar("cnt")});
+  ASSERT_TRUE(result.ok());
+  const Table& out = **result;
+  EXPECT_EQ(out.num_rows(), 5);  // (AX,2004) (AX,2005) (AY,2004) (AY,2005) (AZ,2004)
+  std::map<std::pair<std::string, int64_t>, int64_t> counts;
+  for (int64_t r = 0; r < out.num_rows(); ++r) {
+    counts[{out.GetValue(r, 0).string_value(), out.GetValue(r, 1).int64_value()}] =
+        out.GetValue(r, 2).int64_value();
+  }
+  EXPECT_EQ((counts[{"AX", 2004}]), 2);
+  EXPECT_EQ((counts[{"AX", 2005}]), 3);
+  EXPECT_EQ((counts[{"AY", 2004}]), 3);
+  EXPECT_EQ((counts[{"AY", 2005}]), 1);
+  EXPECT_EQ((counts[{"AZ", 2004}]), 1);
+}
+
+TEST(GroupByTest, EmptyGroupColsGivesGlobalAggregate) {
+  auto table = FigureOneTable();
+  auto result =
+      GroupByAggregate(*table, std::vector<int>{}, {AggregateSpec::CountStar("cnt")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 1);
+  EXPECT_EQ((*result)->GetValue(0, 0), Value::Int64(10));
+}
+
+TEST(GroupByTest, GlobalAggregateOnEmptyInputYieldsOneRow) {
+  auto empty = MakeEmptyTable({Field{"x", DataType::kInt64, false}});
+  auto result =
+      GroupByAggregate(*empty, std::vector<int>{}, {AggregateSpec::CountStar("cnt")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 1);
+  EXPECT_EQ((*result)->GetValue(0, 0), Value::Int64(0));
+}
+
+TablePtr NumbersTable() {
+  auto table = MakeEmptyTable({Field{"k", DataType::kString, false},
+                               Field{"v", DataType::kInt64, true},
+                               Field{"w", DataType::kDouble, true}});
+  auto add = [&](const char* k, Value v, Value w) {
+    EXPECT_TRUE(table->AppendRow({Value::String(k), std::move(v), std::move(w)}).ok());
+  };
+  add("a", Value::Int64(1), Value::Double(0.5));
+  add("a", Value::Int64(3), Value::Null());
+  add("a", Value::Null(), Value::Double(1.5));
+  add("b", Value::Int64(10), Value::Double(2.0));
+  add("b", Value::Null(), Value::Null());
+  return table;
+}
+
+TEST(GroupByTest, SumAvgMinMaxWithNulls) {
+  auto table = NumbersTable();
+  auto result = GroupByAggregate(
+      *table, {"k"},
+      {AggregateSpec::CountStar("n"), AggregateSpec{AggFunc::kCount, 1, "nv"},
+       AggregateSpec::Sum(1, "sv"), AggregateSpec::Avg(1, "av"),
+       AggregateSpec::Min(1, "minv"), AggregateSpec::Max(1, "maxv"),
+       AggregateSpec::Sum(2, "sw")});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& out = **result;
+  ASSERT_EQ(out.num_rows(), 2);
+  // Group "a" first (first-seen order).
+  EXPECT_EQ(out.GetValue(0, 0), Value::String("a"));
+  EXPECT_EQ(out.GetValue(0, 1), Value::Int64(3));   // count(*)
+  EXPECT_EQ(out.GetValue(0, 2), Value::Int64(2));   // count(v): nulls excluded
+  EXPECT_EQ(out.GetValue(0, 3), Value::Int64(4));   // sum(v) int64
+  EXPECT_EQ(out.GetValue(0, 4), Value::Double(2.0));  // avg(v)
+  EXPECT_EQ(out.GetValue(0, 5), Value::Int64(1));   // min
+  EXPECT_EQ(out.GetValue(0, 6), Value::Int64(3));   // max
+  EXPECT_EQ(out.GetValue(0, 7), Value::Double(2.0));  // sum(w) double
+}
+
+TEST(GroupByTest, AllNullSumIsNull) {
+  auto table = MakeEmptyTable({Field{"k", DataType::kString, false},
+                               Field{"v", DataType::kInt64, true}});
+  ASSERT_TRUE(table->AppendRow({Value::String("a"), Value::Null()}).ok());
+  auto result = GroupByAggregate(*table, std::vector<std::string>{"k"}, {AggregateSpec::Sum(1, "s")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE((*result)->GetValue(0, 1).is_null());
+}
+
+TEST(GroupByTest, NullGroupKeysFormTheirOwnGroup) {
+  auto table = MakeEmptyTable({Field{"k", DataType::kString, true}});
+  ASSERT_TRUE(table->AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(table->AppendRow({Value::String("x")}).ok());
+  ASSERT_TRUE(table->AppendRow({Value::Null()}).ok());
+  auto result = GroupByAggregate(*table, std::vector<std::string>{"k"}, {AggregateSpec::CountStar("n")});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->num_rows(), 2);
+  EXPECT_TRUE((*result)->GetValue(0, 0).is_null());
+  EXPECT_EQ((*result)->GetValue(0, 1), Value::Int64(2));
+}
+
+TEST(GroupByTest, SumOverStringColumnIsTypeError) {
+  auto table = FigureOneTable();
+  auto result = GroupByAggregate(*table, std::vector<std::string>{"author"}, {AggregateSpec::Sum(3, "s")});
+  EXPECT_TRUE(result.status().IsTypeError());
+}
+
+TEST(GroupByTest, BadColumnIndexRejected) {
+  auto table = FigureOneTable();
+  EXPECT_TRUE(GroupByAggregate(*table, std::vector<int>{99},
+                               {AggregateSpec::CountStar("n")})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GroupByAggregate(*table, std::vector<std::string>{"nope"}, {AggregateSpec::CountStar("n")})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(FilterTest, PredicateAndEquality) {
+  auto table = FigureOneTable();
+  auto by_pred = Filter(*table, [&](int64_t row) {
+    return table->GetValue(row, 2) == Value::Int64(2004);
+  });
+  ASSERT_TRUE(by_pred.ok());
+  EXPECT_EQ((*by_pred)->num_rows(), 6);
+
+  auto by_eq = FilterEquals(*table, {{0, Value::String("AX")}, {2, Value::Int64(2005)}});
+  ASSERT_TRUE(by_eq.ok());
+  EXPECT_EQ((*by_eq)->num_rows(), 3);
+}
+
+TEST(FilterTest, NullMatchesNullInFilterEquals) {
+  auto table = MakeEmptyTable({Field{"k", DataType::kString, true}});
+  ASSERT_TRUE(table->AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(table->AppendRow({Value::String("x")}).ok());
+  auto result = FilterEquals(*table, {{0, Value::Null()}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 1);
+}
+
+TEST(ProjectTest, SelectsAndReorders) {
+  auto table = FigureOneTable();
+  auto result = Project(*table, {2, 0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->schema()->field(0).name, "year");
+  EXPECT_EQ((*result)->schema()->field(1).name, "author");
+  EXPECT_EQ((*result)->GetValue(0, 0), Value::Int64(2004));
+  EXPECT_EQ((*result)->num_rows(), table->num_rows());
+}
+
+TEST(ProjectDistinctTest, MatchesPaperFragments) {
+  auto table = FigureOneTable();
+  auto result = ProjectDistinct(*table, {0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 3);  // frag(Pub, P1) = {AX, AY, AZ}
+}
+
+TEST(SortTest, MultiKeyStable) {
+  auto table = FigureOneTable();
+  auto result = SortTable(*table, {SortKey{0, true}, SortKey{2, false}});
+  ASSERT_TRUE(result.ok());
+  const Table& out = **result;
+  // First rows: AX sorted by year descending.
+  EXPECT_EQ(out.GetValue(0, 0), Value::String("AX"));
+  EXPECT_EQ(out.GetValue(0, 2), Value::Int64(2005));
+  EXPECT_EQ(out.GetValue(4, 2), Value::Int64(2004));
+  // Stability: equal keys keep original relative order (P3 before P4).
+  EXPECT_EQ(out.GetValue(0, 1), Value::String("P3"));
+  EXPECT_EQ(out.GetValue(1, 1), Value::String("P4"));
+}
+
+TEST(SortTest, NullsFirstAscending) {
+  auto table = MakeEmptyTable({Field{"v", DataType::kInt64, true}});
+  ASSERT_TRUE(table->AppendRow({Value::Int64(5)}).ok());
+  ASSERT_TRUE(table->AppendRow({Value::Null()}).ok());
+  auto result = SortTable(*table, {SortKey{0, true}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE((*result)->GetValue(0, 0).is_null());
+}
+
+TEST(CubeTest, GroupingIdAndSubsetBand) {
+  auto table = FigureOneTable();
+  CubeOptions options;
+  options.min_group_size = 1;
+  options.max_group_size = 2;
+  auto result = Cube(*table, {0, 2, 3}, {AggregateSpec::CountStar("cnt")}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& out = **result;
+  // Schema: author, year, venue, cnt, grouping_id.
+  EXPECT_EQ(out.num_columns(), 5);
+  // No grouping of size 0 or 3 was emitted.
+  for (int64_t r = 0; r < out.num_rows(); ++r) {
+    int64_t gid = out.GetValue(r, 4).int64_value();
+    int kept = 3 - __builtin_popcountll(static_cast<uint64_t>(gid));
+    EXPECT_GE(kept, 1);
+    EXPECT_LE(kept, 2);
+  }
+}
+
+TEST(CubeTest, AvgRejected) {
+  auto table = NumbersTable();
+  auto result = Cube(*table, {0}, {AggregateSpec::Avg(1, "a")});
+  EXPECT_TRUE(result.status().IsNotImplemented());
+}
+
+/// Property: every CUBE grouping equals the corresponding direct GROUP BY.
+class CubeEquivalenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CubeEquivalenceProperty, CubeMatchesDirectGroupBy) {
+  // Random table with 3 group columns and 1 numeric column.
+  std::mt19937_64 rng(GetParam());
+  auto table = MakeEmptyTable({Field{"a", DataType::kInt64, false},
+                               Field{"b", DataType::kString, false},
+                               Field{"c", DataType::kInt64, false},
+                               Field{"x", DataType::kInt64, true}});
+  const char* bs[] = {"p", "q", "r"};
+  for (int i = 0; i < 200; ++i) {
+    Row row{Value::Int64(static_cast<int64_t>(rng() % 4)), Value::String(bs[rng() % 3]),
+            Value::Int64(static_cast<int64_t>(rng() % 5)),
+            (rng() % 10 == 0) ? Value::Null()
+                              : Value::Int64(static_cast<int64_t>(rng() % 100))};
+    ASSERT_TRUE(table->AppendRow(row).ok());
+  }
+  std::vector<AggregateSpec> aggs = {AggregateSpec::CountStar("cnt"),
+                                     AggregateSpec::Sum(3, "sx"),
+                                     AggregateSpec::Min(3, "mn"),
+                                     AggregateSpec::Max(3, "mx")};
+  auto cube = Cube(*table, {0, 1, 2}, aggs);
+  ASSERT_TRUE(cube.ok());
+
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    std::vector<int> subset;
+    for (int i = 0; i < 3; ++i) {
+      if (mask & (1u << i)) subset.push_back(i);
+    }
+    auto direct = GroupByAggregate(*table, subset, aggs);
+    ASSERT_TRUE(direct.ok());
+    const int64_t wanted_gid = static_cast<int64_t>(~mask & 7u);
+    // Collect cube rows for this grouping keyed by group values.
+    std::map<std::string, Row> cube_rows;
+    const Table& c = **cube;
+    // Cube schema: a, b, c, cnt, sx, mn, mx, grouping_id.
+    for (int64_t r = 0; r < c.num_rows(); ++r) {
+      if (c.GetValue(r, 7) != Value::Int64(wanted_gid)) continue;
+      std::string key;
+      for (int s : subset) key += c.GetValue(r, s).ToString() + "|";
+      Row aggs_row;
+      for (int a = 0; a < 4; ++a) aggs_row.push_back(c.GetValue(r, 3 + a));
+      cube_rows[key] = aggs_row;
+    }
+    const Table& d = **direct;
+    ASSERT_EQ(static_cast<int64_t>(cube_rows.size()), d.num_rows()) << "mask=" << mask;
+    for (int64_t r = 0; r < d.num_rows(); ++r) {
+      std::string key;
+      for (size_t s = 0; s < subset.size(); ++s) {
+        key += d.GetValue(r, static_cast<int>(s)).ToString() + "|";
+      }
+      ASSERT_TRUE(cube_rows.count(key)) << "mask=" << mask << " key=" << key;
+      const Row& expected = cube_rows[key];
+      for (size_t a = 0; a < 4; ++a) {
+        EXPECT_EQ(expected[a], d.GetValue(r, static_cast<int>(subset.size() + a)))
+            << "mask=" << mask << " agg=" << a;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CubeEquivalenceProperty,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace cape

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "pattern/pattern.h"
+#include "pattern/pattern_set.h"
+
+namespace cape {
+namespace {
+
+std::shared_ptr<Schema> PubSchema() {
+  return Schema::Make({Field{"author", DataType::kString, false},
+                       Field{"pubid", DataType::kString, false},
+                       Field{"year", DataType::kInt64, false},
+                       Field{"venue", DataType::kString, false}});
+}
+
+Pattern P1() {  // [author] : year ~Const~> count(*)
+  return Pattern{AttrSet::Single(0), AttrSet::Single(2), AggFunc::kCount,
+                 Pattern::kCountStar, ModelType::kConst};
+}
+
+Pattern P2() {  // [author, venue] : year ~Const~> count(*)
+  return Pattern{AttrSet::FromIndices({0, 3}), AttrSet::Single(2), AggFunc::kCount,
+                 Pattern::kCountStar, ModelType::kConst};
+}
+
+TEST(PatternTest, WellFormedness) {
+  EXPECT_TRUE(P1().IsWellFormed());
+  EXPECT_TRUE(P2().IsWellFormed());
+
+  Pattern empty_f = P1();
+  empty_f.partition_attrs = AttrSet();
+  EXPECT_FALSE(empty_f.IsWellFormed());
+
+  Pattern overlap = P1();
+  overlap.predictor_attrs = AttrSet::Single(0);
+  EXPECT_FALSE(overlap.IsWellFormed());
+
+  Pattern count_with_attr = P1();
+  count_with_attr.agg_attr = 2;
+  EXPECT_FALSE(count_with_attr.IsWellFormed());
+
+  Pattern sum_star = P1();
+  sum_star.agg = AggFunc::kSum;
+  EXPECT_FALSE(sum_star.IsWellFormed());  // sum requires a real attribute
+
+  Pattern sum_in_g = P1();
+  sum_in_g.agg = AggFunc::kSum;
+  sum_in_g.agg_attr = 2;  // year is a predictor
+  EXPECT_FALSE(sum_in_g.IsWellFormed());
+
+  Pattern sum_ok = P1();
+  sum_ok.agg = AggFunc::kSum;
+  sum_ok.agg_attr = 1;
+  EXPECT_TRUE(sum_ok.IsWellFormed());
+}
+
+TEST(PatternTest, RefinementRelation) {
+  // P2 refines P1 (Example 4); not vice versa.
+  EXPECT_TRUE(P2().IsRefinementOf(P1()));
+  EXPECT_FALSE(P1().IsRefinementOf(P2()));
+  // Every pattern refines itself (F' = F).
+  EXPECT_TRUE(P1().IsRefinementOf(P1()));
+  // Refinement tolerates a different model type (Definition 6).
+  Pattern lin = P2();
+  lin.model = ModelType::kLinear;
+  EXPECT_TRUE(lin.IsRefinementOf(P1()));
+  // Different predictors break refinement.
+  Pattern diff_v = P2();
+  diff_v.predictor_attrs = AttrSet::Single(1);
+  EXPECT_FALSE(diff_v.IsRefinementOf(P1()));
+  // Different aggregate breaks refinement.
+  Pattern diff_agg = P2();
+  diff_agg.agg = AggFunc::kSum;
+  diff_agg.agg_attr = 1;
+  EXPECT_FALSE(diff_agg.IsRefinementOf(P1()));
+}
+
+TEST(PatternTest, GroupAttrs) {
+  EXPECT_EQ(P2().GroupAttrs(), AttrSet::FromIndices({0, 2, 3}));
+}
+
+TEST(PatternTest, ToStringUsesPaperNotation) {
+  auto schema = PubSchema();
+  EXPECT_EQ(P1().ToString(*schema), "[author] : year ~Const~> count(*)");
+  EXPECT_EQ(P2().ToString(*schema), "[author, venue] : year ~Const~> count(*)");
+  Pattern sum = P1();
+  sum.agg = AggFunc::kSum;
+  sum.agg_attr = 1;
+  sum.model = ModelType::kLinear;
+  EXPECT_EQ(sum.ToString(*schema), "[author] : year ~Lin~> sum(pubid)");
+}
+
+TEST(PatternTest, EqualityAndHash) {
+  EXPECT_EQ(P1(), P1());
+  EXPECT_EQ(P1().Hash(), P1().Hash());
+  Pattern lin = P1();
+  lin.model = ModelType::kLinear;
+  EXPECT_FALSE(P1() == lin);
+  EXPECT_NE(P1().Hash(), lin.Hash());
+}
+
+TEST(EncodeRowKeyTest, EqualRowsEncodeEqual) {
+  Row a{Value::String("AX"), Value::Int64(2007)};
+  Row b{Value::String("AX"), Value::Int64(2007)};
+  Row c{Value::String("AX"), Value::Int64(2008)};
+  EXPECT_EQ(EncodeRowKey(a), EncodeRowKey(b));
+  EXPECT_NE(EncodeRowKey(a), EncodeRowKey(c));
+  // Cross-type numeric equality is preserved (Value::operator==).
+  EXPECT_EQ(EncodeRowKey({Value::Int64(2)}), EncodeRowKey({Value::Double(2.0)}));
+  EXPECT_NE(EncodeRowKey({Value::Null()}), EncodeRowKey({Value::Int64(0)}));
+}
+
+GlobalPattern MakeGlobal(Pattern p, std::vector<std::string> fragments) {
+  GlobalPattern gp;
+  gp.pattern = p;
+  for (const std::string& f : fragments) {
+    LocalPattern local;
+    local.fragment = {Value::String(f)};
+    local.support = 5;
+    local.max_positive_dev = 2.0;
+    local.min_negative_dev = -1.0;
+    gp.locals.push_back(std::move(local));
+  }
+  gp.num_fragments = static_cast<int64_t>(fragments.size());
+  gp.num_supported = gp.num_fragments;
+  gp.num_holding = gp.num_fragments;
+  gp.global_confidence = 1.0;
+  return gp;
+}
+
+TEST(PatternSetTest, FindAndLocalLookup) {
+  PatternSet set;
+  set.Add(MakeGlobal(P1(), {"AX", "AY"}));
+  EXPECT_EQ(set.size(), 1u);
+  const GlobalPattern* found = set.Find(P1());
+  ASSERT_NE(found, nullptr);
+  EXPECT_NE(found->FindLocal({Value::String("AX")}), nullptr);
+  EXPECT_EQ(found->FindLocal({Value::String("AZ")}), nullptr);
+  EXPECT_EQ(set.Find(P2()), nullptr);
+}
+
+TEST(PatternSetTest, NumLocalPatternsAndTruncation) {
+  PatternSet set;
+  set.Add(MakeGlobal(P1(), {"A", "B", "C"}));
+  set.Add(MakeGlobal(P2(), {"D", "E"}));
+  EXPECT_EQ(set.NumLocalPatterns(), 5);
+
+  PatternSet t = set.Truncated(4);
+  EXPECT_EQ(t.NumLocalPatterns(), 4);
+  EXPECT_EQ(t.size(), 2u);
+
+  PatternSet t2 = set.Truncated(2);
+  EXPECT_EQ(t2.NumLocalPatterns(), 2);
+  EXPECT_EQ(t2.size(), 1u);
+
+  PatternSet all = set.Truncated(100);
+  EXPECT_EQ(all.NumLocalPatterns(), 5);
+}
+
+TEST(PatternSetTest, TruncatedSetsKeepWorkingIndexes) {
+  PatternSet set;
+  set.Add(MakeGlobal(P1(), {"A", "B", "C"}));
+  PatternSet t = set.Truncated(2);
+  const GlobalPattern* found = t.Find(P1());
+  ASSERT_NE(found, nullptr);
+  EXPECT_NE(found->FindLocal({Value::String("A")}), nullptr);
+  EXPECT_EQ(found->FindLocal({Value::String("C")}), nullptr);  // truncated away
+}
+
+TEST(PatternSetTest, ToStringListsPatterns) {
+  PatternSet set;
+  set.Add(MakeGlobal(P1(), {"A"}));
+  std::string rendered = set.ToString(*PubSchema());
+  EXPECT_NE(rendered.find("[author] : year ~Const~> count(*)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cape

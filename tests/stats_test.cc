@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/regression.h"
+
+namespace cape {
+namespace {
+
+TEST(DistributionsTest, GammaPAndQSumToOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0, 100.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0, 1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(DistributionsTest, GammaPBoundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(2.0, 1e6), 1.0, 1e-12);
+  EXPECT_TRUE(std::isnan(RegularizedGammaP(-1.0, 1.0)));
+}
+
+TEST(DistributionsTest, ChiSquareKnownValues) {
+  // Chi-square with 1 dof: CDF(x) = erf(sqrt(x/2)).
+  EXPECT_NEAR(ChiSquareCdf(1.0, 1.0), 0.6826894921, 1e-8);
+  // Chi-square with 2 dof is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+  EXPECT_NEAR(ChiSquareCdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(ChiSquareSf(2.0, 2.0), std::exp(-1.0), 1e-10);
+  // Median of chi-square(k) is approximately k(1-2/(9k))^3.
+  const double median5 = 5.0 * std::pow(1.0 - 2.0 / 45.0, 3);
+  EXPECT_NEAR(ChiSquareCdf(median5, 5.0), 0.5, 0.01);
+}
+
+TEST(DistributionsTest, ChiSquareSfMonotonicallyDecreasing) {
+  double prev = 1.0;
+  for (double x = 0.0; x < 50.0; x += 0.5) {
+    double sf = ChiSquareSf(x, 9.0);
+    EXPECT_LE(sf, prev + 1e-12);
+    prev = sf;
+  }
+}
+
+TEST(DescriptiveTest, RunningStats) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_NEAR(stats.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(DescriptiveTest, FreeFunctions) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(xs), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(ConstantRegressionTest, ExactFitHasGofOne) {
+  auto model = ConstantRegression::Fit({4.0, 4.0, 4.0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ((*model)->beta(), 4.0);
+  EXPECT_DOUBLE_EQ((*model)->goodness_of_fit(), 1.0);
+  EXPECT_DOUBLE_EQ((*model)->Predict({}), 4.0);
+  EXPECT_EQ((*model)->num_samples(), 3u);
+}
+
+TEST(ConstantRegressionTest, SinglePointIsPerfect) {
+  auto model = ConstantRegression::Fit({7.0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ((*model)->goodness_of_fit(), 1.0);
+}
+
+TEST(ConstantRegressionTest, EmptyInputRejected) {
+  EXPECT_TRUE(ConstantRegression::Fit({}).status().IsInvalidArgument());
+}
+
+TEST(ConstantRegressionTest, PaperRunningExample) {
+  // Table 2's AX SIGKDD counts around the 2007 dip: 4, 1, 4.
+  auto model = ConstantRegression::Fit({4.0, 1.0, 4.0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ((*model)->beta(), 3.0);
+  // Pearson stat = (1 + 4 + 1)/3 = 2, dof 2 -> p = exp(-1) ~ 0.368.
+  EXPECT_NEAR((*model)->goodness_of_fit(), std::exp(-1.0), 1e-9);
+}
+
+TEST(ConstantRegressionTest, DispersedDataGetsLowGof) {
+  auto model = ConstantRegression::Fit({1.0, 30.0, 2.0, 40.0, 1.0, 35.0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT((*model)->goodness_of_fit(), 0.01);
+}
+
+TEST(ConstantRegressionTest, NegativeMeanUsesFallback) {
+  auto model = ConstantRegression::Fit({-4.0, -5.0, -6.0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT((*model)->goodness_of_fit(), 0.0);
+  EXPECT_LT((*model)->goodness_of_fit(), 1.0);
+  auto exact = ConstantRegression::Fit({-4.0, -4.0});
+  EXPECT_DOUBLE_EQ((*exact)->goodness_of_fit(), 1.0);
+}
+
+TEST(LinearRegressionTest, ExactLine) {
+  std::vector<std::vector<double>> X = {{1}, {2}, {3}, {4}};
+  auto model = LinearRegression::Fit(X, {5.0, 7.0, 9.0, 11.0});  // y = 3 + 2x
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR((*model)->coefficients()[0], 3.0, 1e-6);
+  EXPECT_NEAR((*model)->coefficients()[1], 2.0, 1e-6);
+  EXPECT_DOUBLE_EQ((*model)->goodness_of_fit(), 1.0);
+  EXPECT_NEAR((*model)->Predict({10}), 23.0, 1e-5);
+}
+
+TEST(LinearRegressionTest, MultiPredictor) {
+  // y = 1 + 2a - b over a small grid.
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (double a = 0; a < 4; ++a) {
+    for (double b = 0; b < 3; ++b) {
+      X.push_back({a, b});
+      y.push_back(1 + 2 * a - b);
+    }
+  }
+  auto model = LinearRegression::Fit(X, y);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR((*model)->coefficients()[0], 1.0, 1e-6);
+  EXPECT_NEAR((*model)->coefficients()[1], 2.0, 1e-6);
+  EXPECT_NEAR((*model)->coefficients()[2], -1.0, 1e-6);
+  EXPECT_DOUBLE_EQ((*model)->goodness_of_fit(), 1.0);
+}
+
+TEST(LinearRegressionTest, ConstantResponseOnDegenerateDesign) {
+  // Duplicate x values with equal y: exact fit despite singular design.
+  std::vector<std::vector<double>> X = {{1}, {1}, {1}};
+  auto model = LinearRegression::Fit(X, {2.0, 2.0, 2.0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ((*model)->goodness_of_fit(), 1.0);
+  EXPECT_NEAR((*model)->Predict({1}), 2.0, 1e-6);
+}
+
+TEST(LinearRegressionTest, NoiseGivesIntermediateR2) {
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> noise(0.0, 2.0);
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    X.push_back({static_cast<double>(i)});
+    y.push_back(0.5 * i + noise(rng));
+  }
+  auto model = LinearRegression::Fit(X, y);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT((*model)->goodness_of_fit(), 0.9);  // strong signal
+  EXPECT_LT((*model)->goodness_of_fit(), 1.0);
+}
+
+TEST(LinearRegressionTest, InputValidation) {
+  EXPECT_TRUE(LinearRegression::Fit({}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(LinearRegression::Fit({{1}}, {1.0, 2.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(LinearRegression::Fit({{1}, {1, 2}}, {1.0, 2.0}).status().IsInvalidArgument());
+}
+
+TEST(FitRegressionTest, Dispatch) {
+  auto c = FitRegression(ModelType::kConst, {}, {3.0, 3.0});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*c)->type(), ModelType::kConst);
+  auto l = FitRegression(ModelType::kLinear, {{1}, {2}}, {1.0, 2.0});
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ((*l)->type(), ModelType::kLinear);
+  EXPECT_EQ(std::string(ModelTypeToString(ModelType::kConst)), "Const");
+  EXPECT_EQ(std::string(ModelTypeToString(ModelType::kLinear)), "Lin");
+}
+
+/// Property sweep: for Poisson-like data at any scale, GoF of the constant
+/// model is in (0, 1]; an exact-fit dataset always yields exactly 1; adding
+/// a large outlier strictly decreases GoF.
+class ConstGofProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConstGofProperty, OutlierDecreasesGof) {
+  const double mean = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(mean * 100));
+  std::poisson_distribution<int> pois(mean);
+  std::vector<double> y;
+  for (int i = 0; i < 12; ++i) y.push_back(static_cast<double>(pois(rng)));
+  auto base = ConstantRegression::Fit(y);
+  ASSERT_TRUE(base.ok());
+  const double base_gof = (*base)->goodness_of_fit();
+  EXPECT_GE(base_gof, 0.0);
+  EXPECT_LE(base_gof, 1.0);
+
+  y.push_back(mean * 6 + 10);  // gross outlier
+  auto spiked = ConstantRegression::Fit(y);
+  ASSERT_TRUE(spiked.ok());
+  EXPECT_LT((*spiked)->goodness_of_fit(), base_gof + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ConstGofProperty,
+                         ::testing::Values(2.0, 5.0, 10.0, 25.0, 50.0));
+
+/// Property sweep: R² is invariant under affine transformations of x.
+class R2InvarianceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(R2InvarianceProperty, AffineXInvariance) {
+  std::mt19937_64 rng(GetParam());
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<std::vector<double>> X1;
+  std::vector<std::vector<double>> X2;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    double x = static_cast<double>(i);
+    X1.push_back({x});
+    X2.push_back({3.0 * x - 17.0});
+    y.push_back(2.0 * x + noise(rng));
+  }
+  auto m1 = LinearRegression::Fit(X1, y);
+  auto m2 = LinearRegression::Fit(X2, y);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_NEAR((*m1)->goodness_of_fit(), (*m2)->goodness_of_fit(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, R2InvarianceProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cape

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "relational/value.h"
+
+namespace cape {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_numeric());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value::Int64(3).type(), DataType::kInt64);
+  EXPECT_EQ(Value::Double(3.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), DataType::kString);
+  EXPECT_EQ(Value::Int64(3).int64_value(), 3);
+  EXPECT_DOUBLE_EQ(Value::Double(3.5).double_value(), 3.5);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+}
+
+TEST(ValueTest, AsDoubleCoercion) {
+  EXPECT_DOUBLE_EQ(Value::Int64(4).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Null().AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(Value::String("7").AsDouble(), 0.0);  // no string parsing
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int64(-12).ToString(), "-12");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::String("SIGKDD").ToString(), "SIGKDD");
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value::Int64(2), Value::Double(2.0));
+  EXPECT_NE(Value::Int64(2), Value::Double(2.5));
+  EXPECT_EQ(Value::Int64(2).Hash(), Value::Double(2.0).Hash());
+}
+
+TEST(ValueTest, NullOrdering) {
+  EXPECT_LT(Value::Null(), Value::Int64(0));
+  EXPECT_LT(Value::Null(), Value::String(""));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, NumericLessThanString) {
+  EXPECT_LT(Value::Int64(999), Value::String("0"));
+  EXPECT_LT(Value::Double(1.0), Value::String("a"));
+}
+
+TEST(ValueTest, StringOrderingIsLexicographic) {
+  EXPECT_LT(Value::String("ICDE"), Value::String("SIGKDD"));
+  EXPECT_EQ(Value::String("VLDB"), Value::String("VLDB"));
+}
+
+TEST(ValueTest, LargeIntegersCompareExactly) {
+  // 2^62 and 2^62+1 are indistinguishable as doubles but distinct as int64.
+  int64_t big = int64_t{1} << 62;
+  EXPECT_LT(Value::Int64(big), Value::Int64(big + 1));
+  EXPECT_NE(Value::Int64(big), Value::Int64(big + 1));
+}
+
+TEST(ValueTest, NegativeZeroHashesLikeZero) {
+  EXPECT_EQ(Value::Double(-0.0), Value::Double(0.0));
+  EXPECT_EQ(Value::Double(-0.0).Hash(), Value::Double(0.0).Hash());
+}
+
+// Property: Compare defines a total preorder consistent with operator==.
+class ValueOrderProperty : public ::testing::TestWithParam<int> {};
+
+std::vector<Value> SampleValues() {
+  return {Value::Null(),        Value::Int64(-5),    Value::Int64(0),
+          Value::Int64(7),      Value::Double(-5.0), Value::Double(3.25),
+          Value::Double(7.0),   Value::String(""),   Value::String("ICDE"),
+          Value::String("VLDB")};
+}
+
+TEST(ValueOrderPropertyTest, AntisymmetryAndConsistency) {
+  auto values = SampleValues();
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      const int ab = a.Compare(b);
+      const int ba = b.Compare(a);
+      EXPECT_EQ(ab == 0, ba == 0);
+      if (ab < 0) {
+        EXPECT_GT(ba, 0);
+      }
+      if (ab > 0) {
+        EXPECT_LT(ba, 0);
+      }
+      EXPECT_EQ(a == b, ab == 0);
+      if (a == b) {
+        EXPECT_EQ(a.Hash(), b.Hash());
+      }
+    }
+  }
+}
+
+TEST(ValueOrderPropertyTest, Transitivity) {
+  auto values = SampleValues();
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      for (const Value& c : values) {
+        if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+          EXPECT_LE(a.Compare(c), 0) << a.ToString() << " " << b.ToString() << " "
+                                     << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cape
