@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3a_mining_attrs.dir/bench_fig3a_mining_attrs.cc.o"
+  "CMakeFiles/bench_fig3a_mining_attrs.dir/bench_fig3a_mining_attrs.cc.o.d"
+  "bench_fig3a_mining_attrs"
+  "bench_fig3a_mining_attrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_mining_attrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_mining_rows_crime.dir/bench_fig3b_mining_rows_crime.cc.o"
+  "CMakeFiles/bench_fig3b_mining_rows_crime.dir/bench_fig3b_mining_rows_crime.cc.o.d"
+  "bench_fig3b_mining_rows_crime"
+  "bench_fig3b_mining_rows_crime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_mining_rows_crime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

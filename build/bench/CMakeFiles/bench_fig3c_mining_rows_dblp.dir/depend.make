@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3c_mining_rows_dblp.
+# This may be replaced when dependencies are built.

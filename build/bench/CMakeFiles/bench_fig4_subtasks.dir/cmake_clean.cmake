@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_subtasks.dir/bench_fig4_subtasks.cc.o"
+  "CMakeFiles/bench_fig4_subtasks.dir/bench_fig4_subtasks.cc.o.d"
+  "bench_fig4_subtasks"
+  "bench_fig4_subtasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_subtasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

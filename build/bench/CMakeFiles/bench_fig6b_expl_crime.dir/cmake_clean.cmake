@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_expl_crime.dir/bench_fig6b_expl_crime.cc.o"
+  "CMakeFiles/bench_fig6b_expl_crime.dir/bench_fig6b_expl_crime.cc.o.d"
+  "bench_fig6b_expl_crime"
+  "bench_fig6b_expl_crime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_expl_crime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6c_expl_uq_attrs.dir/bench_fig6c_expl_uq_attrs.cc.o"
+  "CMakeFiles/bench_fig6c_expl_uq_attrs.dir/bench_fig6c_expl_uq_attrs.cc.o.d"
+  "bench_fig6c_expl_uq_attrs"
+  "bench_fig6c_expl_uq_attrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_expl_uq_attrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_mining.dir/bench_parallel_mining.cc.o"
+  "CMakeFiles/bench_parallel_mining.dir/bench_parallel_mining.cc.o.d"
+  "bench_parallel_mining"
+  "bench_parallel_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

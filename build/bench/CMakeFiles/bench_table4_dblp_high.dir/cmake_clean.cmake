@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_dblp_high.dir/bench_table4_dblp_high.cc.o"
+  "CMakeFiles/bench_table4_dblp_high.dir/bench_table4_dblp_high.cc.o.d"
+  "bench_table4_dblp_high"
+  "bench_table4_dblp_high.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_dblp_high.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_crime_low.dir/bench_table5_crime_low.cc.o"
+  "CMakeFiles/bench_table5_crime_low.dir/bench_table5_crime_low.cc.o.d"
+  "bench_table5_crime_low"
+  "bench_table5_crime_low.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_crime_low.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

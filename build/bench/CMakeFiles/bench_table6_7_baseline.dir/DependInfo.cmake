@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6_7_baseline.cc" "bench/CMakeFiles/bench_table6_7_baseline.dir/bench_table6_7_baseline.cc.o" "gcc" "bench/CMakeFiles/bench_table6_7_baseline.dir/bench_table6_7_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cape_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/cape_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/explain/CMakeFiles/cape_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/cape_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/cape_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cape_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/cape_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cape_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_7_baseline.dir/bench_table6_7_baseline.cc.o"
+  "CMakeFiles/bench_table6_7_baseline.dir/bench_table6_7_baseline.cc.o.d"
+  "bench_table6_7_baseline"
+  "bench_table6_7_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_7_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

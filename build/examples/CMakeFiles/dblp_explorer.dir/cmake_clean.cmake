@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_explorer.dir/dblp_explorer.cpp.o"
+  "CMakeFiles/dblp_explorer.dir/dblp_explorer.cpp.o.d"
+  "dblp_explorer"
+  "dblp_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

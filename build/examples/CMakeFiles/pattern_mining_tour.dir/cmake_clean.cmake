@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_mining_tour.dir/pattern_mining_tour.cpp.o"
+  "CMakeFiles/pattern_mining_tour.dir/pattern_mining_tour.cpp.o.d"
+  "pattern_mining_tour"
+  "pattern_mining_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_mining_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

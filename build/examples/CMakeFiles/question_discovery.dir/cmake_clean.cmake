@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/question_discovery.dir/question_discovery.cpp.o"
+  "CMakeFiles/question_discovery.dir/question_discovery.cpp.o.d"
+  "question_discovery"
+  "question_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/question_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

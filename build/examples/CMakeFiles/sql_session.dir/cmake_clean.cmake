@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_session.dir/sql_session.cpp.o"
+  "CMakeFiles/sql_session.dir/sql_session.cpp.o.d"
+  "sql_session"
+  "sql_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

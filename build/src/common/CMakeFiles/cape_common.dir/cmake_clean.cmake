@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cape_common.dir/logging.cc.o"
+  "CMakeFiles/cape_common.dir/logging.cc.o.d"
+  "CMakeFiles/cape_common.dir/status.cc.o"
+  "CMakeFiles/cape_common.dir/status.cc.o.d"
+  "CMakeFiles/cape_common.dir/string_util.cc.o"
+  "CMakeFiles/cape_common.dir/string_util.cc.o.d"
+  "libcape_common.a"
+  "libcape_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cape_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cape_core.dir/engine.cc.o"
+  "CMakeFiles/cape_core.dir/engine.cc.o.d"
+  "libcape_core.a"
+  "libcape_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cape_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cape_datagen.dir/crime.cc.o"
+  "CMakeFiles/cape_datagen.dir/crime.cc.o.d"
+  "CMakeFiles/cape_datagen.dir/dblp.cc.o"
+  "CMakeFiles/cape_datagen.dir/dblp.cc.o.d"
+  "CMakeFiles/cape_datagen.dir/ground_truth.cc.o"
+  "CMakeFiles/cape_datagen.dir/ground_truth.cc.o.d"
+  "libcape_datagen.a"
+  "libcape_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cape_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explain/baseline.cc" "src/explain/CMakeFiles/cape_explain.dir/baseline.cc.o" "gcc" "src/explain/CMakeFiles/cape_explain.dir/baseline.cc.o.d"
+  "/root/repo/src/explain/distance.cc" "src/explain/CMakeFiles/cape_explain.dir/distance.cc.o" "gcc" "src/explain/CMakeFiles/cape_explain.dir/distance.cc.o.d"
+  "/root/repo/src/explain/explainer.cc" "src/explain/CMakeFiles/cape_explain.dir/explainer.cc.o" "gcc" "src/explain/CMakeFiles/cape_explain.dir/explainer.cc.o.d"
+  "/root/repo/src/explain/explanation.cc" "src/explain/CMakeFiles/cape_explain.dir/explanation.cc.o" "gcc" "src/explain/CMakeFiles/cape_explain.dir/explanation.cc.o.d"
+  "/root/repo/src/explain/narrative.cc" "src/explain/CMakeFiles/cape_explain.dir/narrative.cc.o" "gcc" "src/explain/CMakeFiles/cape_explain.dir/narrative.cc.o.d"
+  "/root/repo/src/explain/question_finder.cc" "src/explain/CMakeFiles/cape_explain.dir/question_finder.cc.o" "gcc" "src/explain/CMakeFiles/cape_explain.dir/question_finder.cc.o.d"
+  "/root/repo/src/explain/user_question.cc" "src/explain/CMakeFiles/cape_explain.dir/user_question.cc.o" "gcc" "src/explain/CMakeFiles/cape_explain.dir/user_question.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cape_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/cape_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cape_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/cape_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/cape_fd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

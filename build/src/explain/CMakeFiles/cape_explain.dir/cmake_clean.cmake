@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cape_explain.dir/baseline.cc.o"
+  "CMakeFiles/cape_explain.dir/baseline.cc.o.d"
+  "CMakeFiles/cape_explain.dir/distance.cc.o"
+  "CMakeFiles/cape_explain.dir/distance.cc.o.d"
+  "CMakeFiles/cape_explain.dir/explainer.cc.o"
+  "CMakeFiles/cape_explain.dir/explainer.cc.o.d"
+  "CMakeFiles/cape_explain.dir/explanation.cc.o"
+  "CMakeFiles/cape_explain.dir/explanation.cc.o.d"
+  "CMakeFiles/cape_explain.dir/narrative.cc.o"
+  "CMakeFiles/cape_explain.dir/narrative.cc.o.d"
+  "CMakeFiles/cape_explain.dir/question_finder.cc.o"
+  "CMakeFiles/cape_explain.dir/question_finder.cc.o.d"
+  "CMakeFiles/cape_explain.dir/user_question.cc.o"
+  "CMakeFiles/cape_explain.dir/user_question.cc.o.d"
+  "libcape_explain.a"
+  "libcape_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cape_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

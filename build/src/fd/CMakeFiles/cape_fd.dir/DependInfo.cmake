@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fd/fd_detector.cc" "src/fd/CMakeFiles/cape_fd.dir/fd_detector.cc.o" "gcc" "src/fd/CMakeFiles/cape_fd.dir/fd_detector.cc.o.d"
+  "/root/repo/src/fd/fd_set.cc" "src/fd/CMakeFiles/cape_fd.dir/fd_set.cc.o" "gcc" "src/fd/CMakeFiles/cape_fd.dir/fd_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cape_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/cape_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cape_fd.dir/fd_detector.cc.o"
+  "CMakeFiles/cape_fd.dir/fd_detector.cc.o.d"
+  "CMakeFiles/cape_fd.dir/fd_set.cc.o"
+  "CMakeFiles/cape_fd.dir/fd_set.cc.o.d"
+  "libcape_fd.a"
+  "libcape_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cape_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

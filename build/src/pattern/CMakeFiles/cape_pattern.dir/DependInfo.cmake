@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/miner_arp_mine.cc" "src/pattern/CMakeFiles/cape_pattern.dir/miner_arp_mine.cc.o" "gcc" "src/pattern/CMakeFiles/cape_pattern.dir/miner_arp_mine.cc.o.d"
+  "/root/repo/src/pattern/miner_cube.cc" "src/pattern/CMakeFiles/cape_pattern.dir/miner_cube.cc.o" "gcc" "src/pattern/CMakeFiles/cape_pattern.dir/miner_cube.cc.o.d"
+  "/root/repo/src/pattern/miner_naive.cc" "src/pattern/CMakeFiles/cape_pattern.dir/miner_naive.cc.o" "gcc" "src/pattern/CMakeFiles/cape_pattern.dir/miner_naive.cc.o.d"
+  "/root/repo/src/pattern/miner_share_grp.cc" "src/pattern/CMakeFiles/cape_pattern.dir/miner_share_grp.cc.o" "gcc" "src/pattern/CMakeFiles/cape_pattern.dir/miner_share_grp.cc.o.d"
+  "/root/repo/src/pattern/mining_internal.cc" "src/pattern/CMakeFiles/cape_pattern.dir/mining_internal.cc.o" "gcc" "src/pattern/CMakeFiles/cape_pattern.dir/mining_internal.cc.o.d"
+  "/root/repo/src/pattern/pattern.cc" "src/pattern/CMakeFiles/cape_pattern.dir/pattern.cc.o" "gcc" "src/pattern/CMakeFiles/cape_pattern.dir/pattern.cc.o.d"
+  "/root/repo/src/pattern/pattern_io.cc" "src/pattern/CMakeFiles/cape_pattern.dir/pattern_io.cc.o" "gcc" "src/pattern/CMakeFiles/cape_pattern.dir/pattern_io.cc.o.d"
+  "/root/repo/src/pattern/pattern_set.cc" "src/pattern/CMakeFiles/cape_pattern.dir/pattern_set.cc.o" "gcc" "src/pattern/CMakeFiles/cape_pattern.dir/pattern_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cape_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/cape_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cape_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/cape_fd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cape_pattern.dir/miner_arp_mine.cc.o"
+  "CMakeFiles/cape_pattern.dir/miner_arp_mine.cc.o.d"
+  "CMakeFiles/cape_pattern.dir/miner_cube.cc.o"
+  "CMakeFiles/cape_pattern.dir/miner_cube.cc.o.d"
+  "CMakeFiles/cape_pattern.dir/miner_naive.cc.o"
+  "CMakeFiles/cape_pattern.dir/miner_naive.cc.o.d"
+  "CMakeFiles/cape_pattern.dir/miner_share_grp.cc.o"
+  "CMakeFiles/cape_pattern.dir/miner_share_grp.cc.o.d"
+  "CMakeFiles/cape_pattern.dir/mining_internal.cc.o"
+  "CMakeFiles/cape_pattern.dir/mining_internal.cc.o.d"
+  "CMakeFiles/cape_pattern.dir/pattern.cc.o"
+  "CMakeFiles/cape_pattern.dir/pattern.cc.o.d"
+  "CMakeFiles/cape_pattern.dir/pattern_io.cc.o"
+  "CMakeFiles/cape_pattern.dir/pattern_io.cc.o.d"
+  "CMakeFiles/cape_pattern.dir/pattern_set.cc.o"
+  "CMakeFiles/cape_pattern.dir/pattern_set.cc.o.d"
+  "libcape_pattern.a"
+  "libcape_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cape_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cape_relational.dir/catalog.cc.o"
+  "CMakeFiles/cape_relational.dir/catalog.cc.o.d"
+  "CMakeFiles/cape_relational.dir/column.cc.o"
+  "CMakeFiles/cape_relational.dir/column.cc.o.d"
+  "CMakeFiles/cape_relational.dir/csv.cc.o"
+  "CMakeFiles/cape_relational.dir/csv.cc.o.d"
+  "CMakeFiles/cape_relational.dir/operators.cc.o"
+  "CMakeFiles/cape_relational.dir/operators.cc.o.d"
+  "CMakeFiles/cape_relational.dir/schema.cc.o"
+  "CMakeFiles/cape_relational.dir/schema.cc.o.d"
+  "CMakeFiles/cape_relational.dir/table.cc.o"
+  "CMakeFiles/cape_relational.dir/table.cc.o.d"
+  "CMakeFiles/cape_relational.dir/value.cc.o"
+  "CMakeFiles/cape_relational.dir/value.cc.o.d"
+  "libcape_relational.a"
+  "libcape_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cape_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcape_relational.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cape_sql.dir/executor.cc.o"
+  "CMakeFiles/cape_sql.dir/executor.cc.o.d"
+  "CMakeFiles/cape_sql.dir/lexer.cc.o"
+  "CMakeFiles/cape_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/cape_sql.dir/parser.cc.o"
+  "CMakeFiles/cape_sql.dir/parser.cc.o.d"
+  "libcape_sql.a"
+  "libcape_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cape_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cape_stats.dir/descriptive.cc.o"
+  "CMakeFiles/cape_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/cape_stats.dir/distributions.cc.o"
+  "CMakeFiles/cape_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/cape_stats.dir/regression.cc.o"
+  "CMakeFiles/cape_stats.dir/regression.cc.o.d"
+  "libcape_stats.a"
+  "libcape_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cape_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fd_test.cc" "tests/CMakeFiles/fd_test.dir/fd_test.cc.o" "gcc" "tests/CMakeFiles/fd_test.dir/fd_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cape_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/cape_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/cape_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/explain/CMakeFiles/cape_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/cape_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/cape_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cape_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/cape_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cape_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operators_edge_test.dir/operators_edge_test.cc.o"
+  "CMakeFiles/operators_edge_test.dir/operators_edge_test.cc.o.d"
+  "operators_edge_test"
+  "operators_edge_test.pdb"
+  "operators_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operators_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

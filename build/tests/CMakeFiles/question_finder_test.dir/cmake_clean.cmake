@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/question_finder_test.dir/question_finder_test.cc.o"
+  "CMakeFiles/question_finder_test.dir/question_finder_test.cc.o.d"
+  "question_finder_test"
+  "question_finder_test.pdb"
+  "question_finder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/question_finder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
