@@ -1,0 +1,29 @@
+#include "common/cancellation.h"
+
+namespace cape {
+
+const char* StopReasonToString(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kDeadlineExceeded:
+      return "deadline exceeded";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+Status StopToken::ToStatus() const {
+  switch (reason_) {
+    case StopReason::kNone:
+      return Status::OK();
+    case StopReason::kDeadlineExceeded:
+      return Status::DeadlineExceeded("request deadline exceeded");
+    case StopReason::kCancelled:
+      return Status::Cancelled("request cancelled");
+  }
+  return Status::Internal("unreachable stop reason");
+}
+
+}  // namespace cape

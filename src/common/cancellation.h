@@ -1,0 +1,169 @@
+#ifndef CAPE_COMMON_CANCELLATION_H_
+#define CAPE_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace cape {
+
+/// Why a cooperative stop was requested.
+enum class StopReason : int { kNone = 0, kDeadlineExceeded = 1, kCancelled = 2 };
+
+const char* StopReasonToString(StopReason reason);
+
+/// A point on the monotonic clock after which work should stop. The default
+/// (and `Infinite()`) deadline never expires. Deadlines are plain values:
+/// copy them freely into configs and worker threads.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() = default;
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now. Non-positive values produce an
+  /// already-expired deadline (useful in tests).
+  static Deadline AfterMillis(int64_t ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+  static Deadline AfterNanos(int64_t ns) {
+    return Deadline(Clock::now() + std::chrono::nanoseconds(ns));
+  }
+
+  bool infinite() const { return when_ == Clock::time_point::max(); }
+
+  /// One clock read; false for infinite deadlines.
+  bool Expired() const { return !infinite() && Clock::now() >= when_; }
+
+  /// Nanoseconds until expiry (negative when expired); INT64_MAX if infinite.
+  int64_t RemainingNanos() const {
+    if (infinite()) return INT64_MAX;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(when_ - Clock::now())
+        .count();
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when) {}
+  Clock::time_point when_ = Clock::time_point::max();
+};
+
+class CancellationSource;
+
+/// Read side of a cancellation flag. The default token can never be
+/// cancelled and costs one null check per query; a token obtained from a
+/// CancellationSource shares that source's atomic flag. Tokens are cheap
+/// shared_ptr copies and safe to read from any thread.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool cancellable() const { return flag_ != nullptr; }
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Write side: owns the flag, hands out tokens, and flips the flag with
+/// RequestCancel() (e.g. from another thread when a client disconnects).
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+  void RequestCancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Cooperative stop checker threaded through pipeline stages and operator
+/// hot loops. ShouldStop() is designed to be called per row/candidate: it
+/// reads the cancellation atomic every call but consults the clock only once
+/// per `check_stride` calls, so a default-constructed token degenerates to a
+/// couple of predictable branches. Once a stop is observed it is sticky.
+///
+/// StopToken has per-holder state (the stride countdown); copy one per
+/// worker thread rather than sharing a pointer across threads.
+class StopToken {
+ public:
+  /// Never stops.
+  StopToken() = default;
+
+  explicit StopToken(Deadline deadline, CancellationToken cancel = {},
+                     int check_stride = kDefaultStride)
+      : deadline_(deadline),
+        cancel_(std::move(cancel)),
+        stride_(check_stride < 1 ? 1 : check_stride),
+        countdown_(0),
+        armed_(!deadline.infinite() || cancel_.cancellable()) {}
+
+  /// True once the deadline has expired or cancellation was requested.
+  bool ShouldStop() {
+    if (CAPE_PREDICT_TRUE(!armed_)) return false;
+    if (reason_ != StopReason::kNone) return true;
+    if (cancel_.cancelled()) {
+      reason_ = StopReason::kCancelled;
+      return true;
+    }
+    if (--countdown_ <= 0) {
+      countdown_ = stride_;
+      if (deadline_.Expired()) {
+        reason_ = StopReason::kDeadlineExceeded;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Like ShouldStop() but always consults the clock — for stage boundaries
+  /// where a stale stride countdown could mask an expired deadline.
+  bool ShouldStopNow() {
+    if (!armed_) return false;
+    countdown_ = 0;
+    return ShouldStop();
+  }
+
+  StopReason reason() const { return reason_; }
+
+  /// OK while running; DeadlineExceeded/Cancelled once stopped.
+  Status ToStatus() const;
+
+  const Deadline& deadline() const { return deadline_; }
+
+  static constexpr int kDefaultStride = 256;
+
+ private:
+  Deadline deadline_;
+  CancellationToken cancel_;
+  int stride_ = kDefaultStride;
+  int countdown_ = 0;
+  bool armed_ = false;
+  StopReason reason_ = StopReason::kNone;
+};
+
+}  // namespace cape
+
+/// Returns the stop Status (DeadlineExceeded/Cancelled) from the enclosing
+/// function when `stop_ptr` (a StopToken*, may be null) reports a stop.
+#define CAPE_RETURN_IF_STOPPED(stop_ptr)                                        \
+  do {                                                                          \
+    ::cape::StopToken* _stop = (stop_ptr);                                      \
+    if (_stop != nullptr && CAPE_PREDICT_FALSE(_stop->ShouldStop())) {          \
+      return _stop->ToStatus();                                                 \
+    }                                                                           \
+  } while (false)
+
+#endif  // CAPE_COMMON_CANCELLATION_H_

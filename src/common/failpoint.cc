@@ -1,0 +1,156 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cape::failpoint {
+
+namespace {
+
+/// Every fault-injection site compiled into the library. Keep in sync with
+/// the CAPE_FAILPOINT() lines; failpoint_test iterates this list and forces
+/// a fault at each site in turn.
+constexpr const char* kSites[] = {
+    "csv.open",         // ReadCsvFile: file open / slurp
+    "csv.read_row",     // ReadCsvString: per-record parse loop
+    "mining.group",     // miners: shared GroupByAggregate query
+    "mining.cube.group",  // CUBE miner: cube materialization
+    "mining.sort",      // miners: per-split sort query
+    "fd.count_groups",  // FdDetector::CountGroups scan
+    "explain.norm",     // explainer: NORM aggregation query
+    "explain.refine",   // explainer: (P, P') drill-down scan
+    "sql.execute",      // ExecuteSelect entry
+    "pattern_io.save",  // SavePatternSet file write
+    "pattern_io.load",  // LoadPatternSet file read
+};
+
+struct Spec {
+  StatusCode code = StatusCode::kIOError;
+  std::string message;
+  int skip = 0;    // hits to let through before firing
+  int count = -1;  // firings left; -1 = unlimited
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Spec> active;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during static dtors
+  return *r;
+}
+
+std::atomic<int>& active_count() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+bool IsKnownSite(const std::string& site) {
+  for (const char* s : kSites) {
+    if (site == s) return true;
+  }
+  return false;
+}
+
+StatusCode ParseKind(const std::string& kind) {
+  if (kind == "internal") return StatusCode::kInternal;
+  if (kind == "oom") return StatusCode::kInternal;
+  return StatusCode::kIOError;  // "io" and anything else
+}
+
+/// Parses CAPE_FAILPOINTS="site=kind[@skip];site2=kind" once at startup.
+void LoadFromEnv() {
+  const char* env = std::getenv("CAPE_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  for (const std::string& entry : SplitString(env, ';')) {
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string site = entry.substr(0, eq);
+    std::string kind = entry.substr(eq + 1);
+    int skip = 0;
+    const size_t at = kind.find('@');
+    if (at != std::string::npos) {
+      auto parsed = ParseInt64(kind.substr(at + 1));
+      if (parsed.ok()) skip = static_cast<int>(*parsed);
+      kind = kind.substr(0, at);
+    }
+    Status st = Activate(site, ParseKind(kind),
+                         "injected fault (CAPE_FAILPOINTS) at " + site, skip);
+    if (!st.ok()) {
+      CAPE_LOG(Warning) << "ignoring CAPE_FAILPOINTS entry '" << entry
+                        << "': " << st.ToString();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> AllSites() {
+  return std::vector<std::string>(std::begin(kSites), std::end(kSites));
+}
+
+bool AnyActive() {
+  static const bool env_once = [] {
+    LoadFromEnv();
+    return true;
+  }();
+  (void)env_once;
+  return active_count().load(std::memory_order_relaxed) > 0;
+}
+
+Status Activate(const std::string& site, StatusCode code, std::string message, int skip,
+                int count) {
+  if (!IsKnownSite(site)) {
+    return Status::InvalidArgument("unknown failpoint site '" + site + "'");
+  }
+  if (code == StatusCode::kOk) {
+    return Status::InvalidArgument("failpoint must be armed with an error code");
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.active.emplace(site, Spec{});
+  it->second = Spec{code, std::move(message), skip, count};
+  if (inserted) active_count().fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Deactivate(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.active.erase(site) > 0) {
+    active_count().fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DeactivateAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  active_count().fetch_sub(static_cast<int>(r.active.size()),
+                           std::memory_order_relaxed);
+  r.active.clear();
+}
+
+Status Trigger(const char* site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.active.find(site);
+  if (it == r.active.end()) return Status::OK();
+  Spec& spec = it->second;
+  if (spec.skip > 0) {
+    --spec.skip;
+    return Status::OK();
+  }
+  if (spec.count == 0) return Status::OK();
+  if (spec.count > 0) --spec.count;
+  return Status(spec.code, spec.message.empty()
+                               ? "injected fault at " + std::string(site)
+                               : spec.message);
+}
+
+}  // namespace cape::failpoint

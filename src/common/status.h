@@ -18,6 +18,8 @@ enum class StatusCode : int {
   kIOError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  kDeadlineExceeded = 9,
+  kCancelled = 10,
 };
 
 /// Returns a human-readable name for a status code ("Invalid argument", ...).
@@ -71,6 +73,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -87,6 +95,15 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+
+  /// True for the two cooperative-stop codes (deadline/cancellation). Pipeline
+  /// stages use this to distinguish "stop and return partial results" from a
+  /// genuine error that must propagate.
+  bool IsStop() const {
+    return code() == StatusCode::kDeadlineExceeded || code() == StatusCode::kCancelled;
+  }
 
   /// Renders "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -18,9 +18,15 @@ Result<Engine> Engine::FromTable(TablePtr table) {
   return Engine(std::move(table));
 }
 
-Result<Engine> Engine::FromCsvFile(const std::string& path) {
-  CAPE_ASSIGN_OR_RETURN(TablePtr table, ReadCsvFile(path));
-  return FromTable(std::move(table));
+Result<Engine> Engine::FromCsvFile(const std::string& path, const CsvReadOptions& options,
+                                   CsvParseReport* report) {
+  CsvParseReport local_report;
+  if (report == nullptr) report = &local_report;
+  CAPE_ASSIGN_OR_RETURN(TablePtr table, ReadCsvFile(path, options, report));
+  CAPE_ASSIGN_OR_RETURN(Engine engine, FromTable(std::move(table)));
+  engine.run_stats_.rows_loaded = report->num_rows_loaded;
+  engine.run_stats_.rows_quarantined = report->num_rows_quarantined;
+  return engine;
 }
 
 Status Engine::MinePatterns(const std::string& miner_name) {
@@ -28,6 +34,13 @@ Status Engine::MinePatterns(const std::string& miner_name) {
   CAPE_ASSIGN_OR_RETURN(MiningResult result, miner->Mine(*table_, mining_config_));
   patterns_ = std::move(result.patterns);
   mining_profile_ = result.profile;
+  run_stats_.mine_ns = result.profile.total_ns;
+  run_stats_.mine_rows_scanned = result.profile.num_rows_scanned;
+  run_stats_.mine_candidates = result.profile.num_candidates;
+  run_stats_.mine_candidates_skipped_fd = result.profile.num_candidates_skipped_fd;
+  run_stats_.patterns_mined = static_cast<int64_t>(patterns_->size());
+  run_stats_.mine_truncated = result.truncated;
+  run_stats_.mine_stop_reason = result.stop_reason;
   return Status::OK();
 }
 
@@ -56,7 +69,17 @@ Result<ExplainResult> Engine::Explain(const UserQuestion& question, bool optimiz
     return Status::InvalidArgument("no patterns mined; call MinePatterns() first");
   }
   auto generator = optimized ? MakeOptimizedExplainer() : MakeNaiveExplainer();
-  return generator->Explain(question, *patterns_, distance_model_, explain_config_);
+  CAPE_ASSIGN_OR_RETURN(
+      ExplainResult result,
+      generator->Explain(question, *patterns_, distance_model_, explain_config_));
+  run_stats_.explain_ns = result.profile.total_ns;
+  run_stats_.explain_pairs_considered = result.profile.num_refinement_pairs;
+  run_stats_.explain_pairs_pruned = result.profile.num_pairs_pruned;
+  run_stats_.explain_tuples_checked = result.profile.num_tuples_checked;
+  run_stats_.explain_partial = result.partial;
+  run_stats_.explain_stop_reason = result.stop_reason;
+  run_stats_.explain_stopped_stage = result.stopped_stage;
+  return result;
 }
 
 Result<ExplainResult> Engine::ExplainBaseline(const UserQuestion& question) const {

@@ -10,9 +10,38 @@
 #include "explain/baseline.h"
 #include "explain/explainer.h"
 #include "pattern/mining.h"
+#include "relational/csv.h"
 #include "relational/table.h"
 
 namespace cape {
+
+/// Per-request observability: what the engine did for the most recent load,
+/// mining, and explanation calls (wall time per stage, rows scanned,
+/// pruning counters, and whether the stage was cut short by a deadline or
+/// cancellation).
+struct RunStats {
+  // Load stage (FromCsvFile).
+  int64_t rows_loaded = 0;
+  int64_t rows_quarantined = 0;
+
+  // Mining stage (last MinePatterns call).
+  int64_t mine_ns = 0;
+  int64_t mine_rows_scanned = 0;
+  int64_t mine_candidates = 0;
+  int64_t mine_candidates_skipped_fd = 0;
+  int64_t patterns_mined = 0;
+  bool mine_truncated = false;
+  StopReason mine_stop_reason = StopReason::kNone;
+
+  // Explain stage (last Explain call).
+  int64_t explain_ns = 0;
+  int64_t explain_pairs_considered = 0;
+  int64_t explain_pairs_pruned = 0;
+  int64_t explain_tuples_checked = 0;
+  bool explain_partial = false;
+  StopReason explain_stop_reason = StopReason::kNone;
+  std::string explain_stopped_stage;
+};
 
 /// The CAPE system facade: load a relation, mine aggregate regression
 /// patterns offline, then answer "why is this aggregate high/low?" questions
@@ -35,8 +64,12 @@ class Engine {
   /// Wraps an in-memory relation. The table must validate.
   static Result<Engine> FromTable(TablePtr table);
 
-  /// Loads a relation from a CSV file (types inferred).
-  static Result<Engine> FromCsvFile(const std::string& path);
+  /// Loads a relation from a CSV file (types inferred by default). With
+  /// options.quarantine_malformed set, malformed rows are skipped and
+  /// counted in run_stats().rows_quarantined (and in `report` when given).
+  static Result<Engine> FromCsvFile(const std::string& path,
+                                    const CsvReadOptions& options = {},
+                                    CsvParseReport* report = nullptr);
 
   const TablePtr& table() const { return table_; }
   const Schema& schema() const { return *table_->schema(); }
@@ -64,6 +97,9 @@ class Engine {
   bool has_patterns() const { return patterns_.has_value(); }
   const PatternSet& patterns() const { return *patterns_; }
   const MiningProfile& mining_profile() const { return mining_profile_; }
+
+  /// Per-request statistics for the most recent load/mine/explain calls.
+  const RunStats& run_stats() const { return run_stats_; }
 
   /// Builds a validated user question against this engine's relation.
   Result<UserQuestion> MakeQuestion(const std::vector<std::string>& group_by,
@@ -93,6 +129,8 @@ class Engine {
   DistanceModel distance_model_;
   std::optional<PatternSet> patterns_;
   MiningProfile mining_profile_;
+  /// mutable: Explain() is logically const but records observability stats.
+  mutable RunStats run_stats_;
 };
 
 }  // namespace cape

@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
 
@@ -79,7 +80,7 @@ class AggDataCache {
  public:
   explicit AggDataCache(const Table& relation) : relation_(relation) {}
 
-  Result<TablePtr> Get(AttrSet attrs, AggFunc agg, int agg_attr) {
+  Result<TablePtr> Get(AttrSet attrs, AggFunc agg, int agg_attr, StopToken* stop) {
     const std::string key = std::to_string(attrs.bits()) + "|" +
                             std::to_string(static_cast<int>(agg)) + "|" +
                             std::to_string(agg_attr);
@@ -90,7 +91,7 @@ class AggDataCache {
     spec.input_col = agg_attr;
     spec.output_name = "agg";
     CAPE_ASSIGN_OR_RETURN(TablePtr data,
-                          GroupByAggregate(relation_, attrs.ToIndices(), {spec}));
+                          GroupByAggregate(relation_, attrs.ToIndices(), {spec}, stop));
     cache_.emplace(key, data);
     return data;
   }
@@ -117,20 +118,21 @@ std::vector<const GlobalPattern*> FindRelevantPatterns(const UserQuestion& q,
 
 /// NORM of Definition 10: the question's own aggregate at the relevant
 /// pattern's granularity, π_{agg(A)}(σ_{F=t[F] ∧ V=t[V]}(γ_{F∪V,agg(A)}(R))).
-Result<double> ComputeNorm(const UserQuestion& q, const Pattern& p) {
+Result<double> ComputeNorm(const UserQuestion& q, const Pattern& p, StopToken* stop) {
+  CAPE_FAILPOINT("explain.norm");
   std::vector<std::pair<int, Value>> conditions;
   const std::vector<int> gp_attrs = p.GroupAttrs().ToIndices();
   const Row gp_values = q.ProjectGroupValues(p.GroupAttrs());
   for (size_t i = 0; i < gp_attrs.size(); ++i) {
     conditions.emplace_back(gp_attrs[i], gp_values[i]);
   }
-  CAPE_ASSIGN_OR_RETURN(TablePtr selected, FilterEquals(*q.relation, conditions));
+  CAPE_ASSIGN_OR_RETURN(TablePtr selected, FilterEquals(*q.relation, conditions, stop));
   AggregateSpec spec;
   spec.func = p.agg;
   spec.input_col = p.agg_attr;
   spec.output_name = "agg";
   CAPE_ASSIGN_OR_RETURN(TablePtr aggregated,
-                        GroupByAggregate(*selected, std::vector<int>{}, {spec}));
+                        GroupByAggregate(*selected, std::vector<int>{}, {spec}, stop));
   const Value v = aggregated->GetValue(0, 0);
   return v.is_null() ? 0.0 : v.AsDouble();
 }
@@ -145,6 +147,14 @@ double LocalDeviationUpperBound(const LocalPattern& local, Direction dir) {
   return dir == Direction::kLow ? local.max_positive_dev : -local.min_negative_dev;
 }
 
+/// Records an early stop: the result keeps the best explanations found so
+/// far and reports which stage the deadline/cancellation interrupted.
+void MarkPartial(ExplainResult* result, const StopToken& stop, const char* stage) {
+  result->partial = true;
+  result->stop_reason = stop.reason();
+  result->stopped_stage = stage;
+}
+
 /// Scans all candidate tuples t' for one (P, P') pair, adding every valid
 /// explanation (Definition 7) to the pool. When `prune_locals` is set,
 /// fragments whose local deviation bound cannot beat the pool threshold are
@@ -153,11 +163,12 @@ Status EvaluatePair(const UserQuestion& q, const GlobalPattern& relevant,
                     const GlobalPattern& refinement, double norm,
                     const DistanceModel& distance_model, const ExplainConfig& config,
                     AggDataCache* cache, bool prune_locals, CandidatePool* pool,
-                    ExplainProfile* profile) {
+                    ExplainProfile* profile, StopToken* stop) {
+  CAPE_FAILPOINT("explain.refine");
   const Pattern& p = relevant.pattern;
   const Pattern& pp = refinement.pattern;
   const AttrSet attrs = pp.GroupAttrs();  // F' ∪ V
-  CAPE_ASSIGN_OR_RETURN(TablePtr data, cache->Get(attrs, pp.agg, pp.agg_attr));
+  CAPE_ASSIGN_OR_RETURN(TablePtr data, cache->Get(attrs, pp.agg, pp.agg_attr, stop));
 
   const std::vector<int> attr_list = attrs.ToIndices();
   const int agg_col = static_cast<int>(attr_list.size());
@@ -178,6 +189,7 @@ Status EvaluatePair(const UserQuestion& q, const GlobalPattern& relevant,
   const double distance_lb = distance_model.LowerBound(q.group_attrs, attrs);
 
   for (int64_t row = 0; row < data->num_rows(); ++row) {
+    CAPE_RETURN_IF_STOPPED(stop);
     profile->num_tuples_checked += 1;
     // Condition (4): t'[F] = t[F].
     bool matches = true;
@@ -253,18 +265,33 @@ class NaiveExplainer final : public ExplanationGenerator {
                                 const ExplainConfig& config) override {
     ExplainResult result;
     Stopwatch total;
+    StopToken stop = config.MakeStopToken();
     CandidatePool pool(config.top_k);
     AggDataCache cache(*q.relation);
 
     const auto relevant = FindRelevantPatterns(q, patterns);
     result.profile.num_relevant_patterns = static_cast<int64_t>(relevant.size());
     for (const GlobalPattern* p : relevant) {
-      CAPE_ASSIGN_OR_RETURN(const double norm, ComputeNorm(q, p->pattern));
+      if (result.partial) break;
+      auto norm_result = ComputeNorm(q, p->pattern, &stop);
+      if (!norm_result.ok()) {
+        if (norm_result.status().IsStop()) {
+          MarkPartial(&result, stop, "norm");
+          break;
+        }
+        return norm_result.status();
+      }
+      const double norm = norm_result.ValueOrDie();
       for (const GlobalPattern& pp : patterns.patterns()) {
         if (!pp.pattern.IsRefinementOf(p->pattern)) continue;
         result.profile.num_refinement_pairs += 1;
-        CAPE_RETURN_IF_ERROR(EvaluatePair(q, *p, pp, norm, distance, config, &cache,
-                                          /*prune_locals=*/false, &pool, &result.profile));
+        Status st = EvaluatePair(q, *p, pp, norm, distance, config, &cache,
+                                 /*prune_locals=*/false, &pool, &result.profile, &stop);
+        if (st.IsStop()) {
+          MarkPartial(&result, stop, "refine");
+          break;
+        }
+        CAPE_RETURN_IF_ERROR(st);
       }
     }
     result.explanations = pool.TopK();
@@ -283,6 +310,7 @@ class OptimizedExplainer final : public ExplanationGenerator {
                                 const ExplainConfig& config) override {
     ExplainResult result;
     Stopwatch total;
+    StopToken stop = config.MakeStopToken();
     CandidatePool pool(config.top_k);
     AggDataCache cache(*q.relation);
 
@@ -297,7 +325,16 @@ class OptimizedExplainer final : public ExplanationGenerator {
     const auto relevant = FindRelevantPatterns(q, patterns);
     result.profile.num_relevant_patterns = static_cast<int64_t>(relevant.size());
     for (const GlobalPattern* p : relevant) {
-      CAPE_ASSIGN_OR_RETURN(const double norm, ComputeNorm(q, p->pattern));
+      if (result.partial) break;
+      auto norm_result = ComputeNorm(q, p->pattern, &stop);
+      if (!norm_result.ok()) {
+        if (norm_result.status().IsStop()) {
+          MarkPartial(&result, stop, "norm");
+          break;
+        }
+        return norm_result.status();
+      }
+      const double norm = norm_result.ValueOrDie();
       const double norm_denominator = std::fabs(norm) + config.epsilon;
       for (const GlobalPattern& pp : patterns.patterns()) {
         if (!pp.pattern.IsRefinementOf(p->pattern)) continue;
@@ -314,15 +351,20 @@ class OptimizedExplainer final : public ExplanationGenerator {
     // current k-th best score, every remaining pair is pruned.
     std::sort(pairs.begin(), pairs.end(),
               [](const Pair& a, const Pair& b) { return a.bound > b.bound; });
-    for (size_t i = 0; i < pairs.size(); ++i) {
+    for (size_t i = 0; i < pairs.size() && !result.partial; ++i) {
       const Pair& pair = pairs[i];
       if (config.prune_pairs && pool.Full() && pair.bound <= pool.Threshold()) {
         result.profile.num_pairs_pruned += static_cast<int64_t>(pairs.size() - i);
         break;
       }
-      CAPE_RETURN_IF_ERROR(EvaluatePair(q, *pair.relevant, *pair.refinement, pair.norm,
-                                        distance, config, &cache, config.prune_locals,
-                                        &pool, &result.profile));
+      Status st = EvaluatePair(q, *pair.relevant, *pair.refinement, pair.norm, distance,
+                               config, &cache, config.prune_locals, &pool,
+                               &result.profile, &stop);
+      if (st.IsStop()) {
+        MarkPartial(&result, stop, "refine");
+        break;
+      }
+      CAPE_RETURN_IF_ERROR(st);
     }
     result.explanations = pool.TopK();
     result.profile.total_ns = total.ElapsedNanos();

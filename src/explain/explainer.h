@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "explain/distance.h"
 #include "explain/explanation.h"
@@ -25,6 +26,22 @@ struct ExplainConfig {
   /// (Section 3.5). The naive generator ignores both.
   bool prune_pairs = true;
   bool prune_locals = true;
+
+  /// Request lifecycle: when deadline_ms > 0 the generator stops
+  /// cooperatively after that many milliseconds of wall time and returns the
+  /// best explanations found so far with ExplainResult::partial set;
+  /// cancel_token allows another thread to stop the run the same way.
+  /// 0 = no deadline.
+  int64_t deadline_ms = 0;
+  CancellationToken cancel_token;
+
+  /// StopToken for this request (infinite when deadline_ms <= 0 and no
+  /// cancellable token was provided).
+  StopToken MakeStopToken() const {
+    return StopToken(deadline_ms > 0 ? Deadline::AfterMillis(deadline_ms)
+                                     : Deadline::Infinite(),
+                     cancel_token);
+  }
 };
 
 /// Counters for Figures 6a-6c and for tests of the pruning logic.
@@ -40,6 +57,14 @@ struct ExplainProfile {
 struct ExplainResult {
   std::vector<Explanation> explanations;  // descending score
   ExplainProfile profile;
+  /// Set when the run stopped early (deadline/cancellation). `explanations`
+  /// is then the top-k over the candidates scored before the stop — every
+  /// entry is fully scored and also appears in the untimed run's candidate
+  /// stream. `stopped_stage` names the stage the stop interrupted
+  /// ("norm" or "refine").
+  bool partial = false;
+  StopReason stop_reason = StopReason::kNone;
+  std::string stopped_stage;
 };
 
 /// Generates the top-k counterbalance explanations for a user question from

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "relational/operators.h"
 
@@ -34,11 +35,13 @@ int FdDetector::DetectFdsFor(AttrSet g) {
   return added;
 }
 
-Result<int64_t> FdDetector::CountGroups(const Table& table, AttrSet g) {
+Result<int64_t> FdDetector::CountGroups(const Table& table, AttrSet g, StopToken* stop) {
+  CAPE_FAILPOINT("fd.count_groups");
   GroupKeyEncoder encoder(table, g.ToIndices());
   std::unordered_set<std::string> keys;
   std::string key;
   for (int64_t row = 0; row < table.num_rows(); ++row) {
+    CAPE_RETURN_IF_STOPPED(stop);
     key.clear();
     encoder.EncodeRow(row, &key);
     keys.insert(key);

@@ -3,6 +3,7 @@
 
 #include <unordered_map>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "fd/attr_set.h"
 #include "fd/fd_set.h"
@@ -36,8 +37,10 @@ class FdDetector {
   /// Returns the number of new FDs added.
   int DetectFdsFor(AttrSet g);
 
-  /// Computes |pi_G(table)| directly (used for seeding and tests).
-  static Result<int64_t> CountGroups(const Table& table, AttrSet g);
+  /// Computes |pi_G(table)| directly (used for seeding and tests). Returns
+  /// the stop Status when `stop` fires mid-scan.
+  static Result<int64_t> CountGroups(const Table& table, AttrSet g,
+                                     StopToken* stop = nullptr);
 
  private:
   FdSet* fd_set_;

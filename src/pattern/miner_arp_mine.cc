@@ -2,6 +2,7 @@
 #include <set>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "fd/fd_detector.h"
@@ -29,6 +30,7 @@ class ArpMiner final : public PatternMiner {
     result.fds = config.initial_fds;
     MiningProfile& profile = result.profile;
     Stopwatch total;
+    StopToken stop = config.MakeStopToken();
     CandidateMap candidates;
     FdDetector detector(&result.fds);
 
@@ -48,7 +50,9 @@ class ArpMiner final : public PatternMiner {
 
     // EnumerateGroupSets yields sets in increasing size, the order the FD
     // detection correctness argument relies on (Appendix D).
-    for (AttrSet g : mining_internal::EnumerateGroupSets(*table.schema(), config)) {
+    CAPE_ASSIGN_OR_RETURN(const std::vector<AttrSet> group_sets,
+                          mining_internal::EnumerateGroupSets(*table.schema(), config));
+    for (AttrSet g : group_sets) {
       const std::vector<int> g_attrs = g.ToIndices();
       const int gs = static_cast<int>(g_attrs.size());
 
@@ -69,14 +73,30 @@ class ArpMiner final : public PatternMiner {
       {
         ScopedTimer timer(&profile.query_ns);
         profile.num_queries += 1;
-        CAPE_ASSIGN_OR_RETURN(data, GroupByAggregate(table, g_attrs, specs));
+        CAPE_FAILPOINT("mining.group");
+        auto grouped = GroupByAggregate(table, g_attrs, specs, &stop);
+        if (!grouped.ok()) {
+          if (grouped.status().IsStop()) {
+            result.truncated = true;
+            result.stop_reason = stop.reason();
+            break;
+          }
+          return grouped.status();
+        }
+        data = std::move(grouped).ValueOrDie();
       }
       if (config.use_fd_optimizations) {
         detector.RecordGroupSize(g, data->num_rows());
         detector.DetectFdsFor(g);
       }
-      CAPE_RETURN_IF_ERROR(ExploreSortOrders(table, g, g_attrs, *data, agg_cols, config,
-                                             result.fds, &explored, &profile, &candidates));
+      Status st = ExploreSortOrders(table, g, g_attrs, *data, agg_cols, config,
+                                    result.fds, &explored, &profile, &candidates, &stop);
+      if (st.IsStop()) {
+        result.truncated = true;
+        result.stop_reason = stop.reason();
+        break;
+      }
+      CAPE_RETURN_IF_ERROR(st);
     }
 
     result.patterns = mining_internal::FinalizePatterns(std::move(candidates), config);
@@ -92,7 +112,8 @@ class ArpMiner final : public PatternMiner {
                            const Table& data, const std::vector<AggColumnRef>& agg_cols,
                            const MiningConfig& config, const FdSet& fds,
                            std::set<std::pair<uint64_t, uint64_t>>* explored,
-                           MiningProfile* profile, CandidateMap* candidates) {
+                           MiningProfile* profile, CandidateMap* candidates,
+                           StopToken* stop) {
     const int gs = static_cast<int>(g_attrs.size());
     std::vector<int> perm = g_attrs;  // ascending = first permutation
     std::sort(perm.begin(), perm.end());
@@ -131,6 +152,7 @@ class ArpMiner final : public PatternMiner {
       {
         ScopedTimer timer(&profile->query_ns);
         profile->num_sorts += 1;
+        CAPE_FAILPOINT("mining.sort");
         std::vector<SortKey> keys;
         for (int attr : perm) {
           // Column position of attr inside `data` = rank within g_attrs.
@@ -138,7 +160,7 @@ class ArpMiner final : public PatternMiner {
               std::lower_bound(g_attrs.begin(), g_attrs.end(), attr) - g_attrs.begin());
           keys.push_back(SortKey{pos, true});
         }
-        CAPE_ASSIGN_OR_RETURN(sorted, SortTable(data, keys));
+        CAPE_ASSIGN_OR_RETURN(sorted, SortTable(data, keys, stop));
       }
 
       for (int len : new_prefix_lengths) {
@@ -160,7 +182,7 @@ class ArpMiner final : public PatternMiner {
         CAPE_RETURN_IF_ERROR(mining_internal::EvaluateSplit(*sorted, f_cols, v_cols,
                                                             v_numeric, f_attrs, v_attrs,
                                                             agg_cols, config, profile,
-                                                            candidates));
+                                                            candidates, stop));
       }
     } while (std::next_permutation(perm.begin(), perm.end()));
     return Status::OK();

@@ -1,3 +1,4 @@
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "pattern/mining.h"
@@ -23,6 +24,7 @@ class CubeMiner final : public PatternMiner {
     result.fds = config.initial_fds;
     MiningProfile& profile = result.profile;
     Stopwatch total;
+    StopToken stop = config.MakeStopToken();
     CandidateMap candidates;
 
     const AttrSet allowed = mining_internal::AllowedAttrs(*table.schema(), config);
@@ -31,6 +33,9 @@ class CubeMiner final : public PatternMiner {
     // Position of attribute a within the cube's column list.
     std::vector<int> attr_to_pos(static_cast<size_t>(table.num_columns()), -1);
     for (int i = 0; i < n; ++i) attr_to_pos[static_cast<size_t>(cube_attrs[i])] = i;
+
+    CAPE_ASSIGN_OR_RETURN(const std::vector<AttrSet> group_sets,
+                          mining_internal::EnumerateGroupSets(*table.schema(), config));
 
     // One cube query computes every (agg, A) combination for every G_P with
     // |G_P| <= psi. (sum(A) is materialized even for groupings containing A;
@@ -49,11 +54,26 @@ class CubeMiner final : public PatternMiner {
       options.min_group_size = 2;
       options.max_group_size = config.max_pattern_size;
       options.add_grouping_id = true;
-      CAPE_ASSIGN_OR_RETURN(cube, Cube(table, cube_attrs, shared.specs, options));
+      CAPE_FAILPOINT("mining.cube.group");
+      auto cube_result = Cube(table, cube_attrs, shared.specs, options, &stop);
+      if (!cube_result.ok()) {
+        if (cube_result.status().IsStop()) {
+          // A deadline hit while materializing the cube means no candidate
+          // was evaluated at all: report an empty truncated result.
+          result.truncated = true;
+          result.stop_reason = stop.reason();
+          result.patterns = PatternSet();
+          profile.total_ns = total.ElapsedNanos();
+          return result;
+        }
+        return cube_result.status();
+      }
+      cube = std::move(cube_result).ValueOrDie();
     }
     const int grouping_id_col = cube->num_columns() - 1;
 
-    for (AttrSet g : mining_internal::EnumerateGroupSets(*table.schema(), config)) {
+    for (AttrSet g : group_sets) {
+      if (result.truncated) break;
       const std::vector<int> g_attrs = g.ToIndices();
       const int gs = static_cast<int>(g_attrs.size());
 
@@ -68,10 +88,18 @@ class CubeMiner final : public PatternMiner {
       {
         ScopedTimer timer(&profile.query_ns);
         profile.num_queries += 1;
-        CAPE_ASSIGN_OR_RETURN(
-            data, Filter(*cube, [&](int64_t row) {
-              return cube->column(grouping_id_col).GetInt64(row) == wanted_gid;
-            }));
+        auto filtered = Filter(*cube, [&](int64_t row) {
+          return cube->column(grouping_id_col).GetInt64(row) == wanted_gid;
+        }, &stop);
+        if (!filtered.ok()) {
+          if (filtered.status().IsStop()) {
+            result.truncated = true;
+            result.stop_reason = stop.reason();
+            break;
+          }
+          return filtered.status();
+        }
+        data = std::move(filtered).ValueOrDie();
       }
 
       // Aggregate columns usable for this G: A outside G.
@@ -99,26 +127,45 @@ class CubeMiner final : public PatternMiner {
           }
         }
         if (!mining_internal::SplitAllowed(table, v_attrs, config)) continue;
-        TablePtr sorted;
-        {
-          ScopedTimer timer(&profile.query_ns);
-          profile.num_sorts += 1;
-          std::vector<SortKey> keys;
-          for (int c : f_cols) keys.push_back(SortKey{c, true});
-          for (int c : v_cols) keys.push_back(SortKey{c, true});
-          CAPE_ASSIGN_OR_RETURN(sorted, SortTable(*data, keys));
+        Status st = EvaluateCubeSplit(*data, f_cols, v_cols, f_attrs, v_attrs, agg_cols,
+                                      table, config, &profile, &candidates, &stop);
+        if (st.IsStop()) {
+          result.truncated = true;
+          result.stop_reason = stop.reason();
+          break;
         }
-        const bool v_numeric = mining_internal::AllNumeric(table, v_attrs);
-        CAPE_RETURN_IF_ERROR(mining_internal::EvaluateSplit(*sorted, f_cols, v_cols,
-                                                            v_numeric, f_attrs, v_attrs,
-                                                            agg_cols, config, &profile,
-                                                            &candidates));
+        CAPE_RETURN_IF_ERROR(st);
       }
     }
 
     result.patterns = mining_internal::FinalizePatterns(std::move(candidates), config);
     profile.total_ns = total.ElapsedNanos();
     return result;
+  }
+
+ private:
+  /// Sort + fit-scan for one (F, V) split; a stop Status leaves `candidates`
+  /// untouched (EvaluateSplit stages its contribution internally).
+  static Status EvaluateCubeSplit(const Table& data, const std::vector<int>& f_cols,
+                                  const std::vector<int>& v_cols, AttrSet f_attrs,
+                                  AttrSet v_attrs, const std::vector<AggColumnRef>& agg_cols,
+                                  const Table& table, const MiningConfig& config,
+                                  MiningProfile* profile, CandidateMap* candidates,
+                                  StopToken* stop) {
+    TablePtr sorted;
+    {
+      ScopedTimer timer(&profile->query_ns);
+      profile->num_sorts += 1;
+      CAPE_FAILPOINT("mining.sort");
+      std::vector<SortKey> keys;
+      for (int c : f_cols) keys.push_back(SortKey{c, true});
+      for (int c : v_cols) keys.push_back(SortKey{c, true});
+      CAPE_ASSIGN_OR_RETURN(sorted, SortTable(data, keys, stop));
+    }
+    const bool v_numeric = mining_internal::AllNumeric(table, v_attrs);
+    return mining_internal::EvaluateSplit(*sorted, f_cols, v_cols, v_numeric, f_attrs,
+                                          v_attrs, agg_cols, config, profile, candidates,
+                                          stop);
   }
 };
 

@@ -1,3 +1,4 @@
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "pattern/mining.h"
@@ -21,14 +22,19 @@ class NaiveMiner final : public PatternMiner {
     result.fds = config.initial_fds;
     MiningProfile& profile = result.profile;
     Stopwatch total;
+    StopToken stop = config.MakeStopToken();
     CandidateMap candidates;
 
-    for (AttrSet g : mining_internal::EnumerateGroupSets(*table.schema(), config)) {
+    CAPE_ASSIGN_OR_RETURN(const std::vector<AttrSet> group_sets,
+                          mining_internal::EnumerateGroupSets(*table.schema(), config));
+    for (AttrSet g : group_sets) {
+      if (result.truncated) break;
       const auto agg_candidates = mining_internal::EnumerateAggCandidates(table, g, config);
       const std::vector<int> g_attrs = g.ToIndices();
       const int gs = static_cast<int>(g_attrs.size());
       // All (F, V) splits with F, V non-empty.
       for (uint32_t mask = 1; mask + 1 < (1u << gs); ++mask) {
+        if (result.truncated) break;
         AttrSet f_attrs;
         AttrSet v_attrs;
         for (int i = 0; i < gs; ++i) {
@@ -45,9 +51,18 @@ class NaiveMiner final : public PatternMiner {
             if (model == ModelType::kLinear && !v_numeric) continue;
             Pattern pattern{f_attrs, v_attrs, agg, agg_attr, model};
             profile.num_candidates += 1;
-            CAPE_RETURN_IF_ERROR(
-                EvaluateCandidate(table, pattern, config, &profile, &candidates));
+            Status st =
+                EvaluateCandidate(table, pattern, config, &profile, &candidates, &stop);
+            if (st.IsStop()) {
+              // The partially-evaluated candidate was discarded; keep the
+              // fully-evaluated ones and report truncation.
+              result.truncated = true;
+              result.stop_reason = stop.reason();
+              break;
+            }
+            CAPE_RETURN_IF_ERROR(st);
           }
+          if (result.truncated) break;
         }
       }
     }
@@ -58,10 +73,12 @@ class NaiveMiner final : public PatternMiner {
   }
 
  private:
-  /// Algorithm 4 for a single candidate pattern.
+  /// Algorithm 4 for a single candidate pattern. The candidate's stats are
+  /// staged locally and merged only when every fragment was evaluated, so a
+  /// stop mid-candidate leaves `candidates` untouched.
   static Status EvaluateCandidate(const Table& table, const Pattern& pattern,
                                   const MiningConfig& config, MiningProfile* profile,
-                                  CandidateMap* candidates) {
+                                  CandidateMap* candidates, StopToken* stop) {
     const std::vector<int> f_attrs = pattern.partition_attrs.ToIndices();
     const std::vector<int> v_attrs = pattern.predictor_attrs.ToIndices();
 
@@ -69,7 +86,8 @@ class NaiveMiner final : public PatternMiner {
     {
       ScopedTimer timer(&profile->query_ns);
       profile->num_queries += 1;
-      CAPE_ASSIGN_OR_RETURN(fragments, ProjectDistinct(table, f_attrs));
+      CAPE_FAILPOINT("mining.group");
+      CAPE_ASSIGN_OR_RETURN(fragments, ProjectDistinct(table, f_attrs, stop));
     }
 
     AggregateSpec spec;
@@ -77,7 +95,9 @@ class NaiveMiner final : public PatternMiner {
     spec.input_col = pattern.agg_attr;
     spec.output_name = "agg";
 
+    CandidateMap staged;
     for (int64_t fr = 0; fr < fragments->num_rows(); ++fr) {
+      CAPE_RETURN_IF_STOPPED(stop);
       Row fragment = fragments->GetRow(fr);
       std::vector<std::pair<int, Value>> conditions;
       conditions.reserve(f_attrs.size());
@@ -88,8 +108,9 @@ class NaiveMiner final : public PatternMiner {
       {
         ScopedTimer timer(&profile->query_ns);
         profile->num_queries += 1;
-        CAPE_ASSIGN_OR_RETURN(TablePtr selected, FilterEquals(table, conditions));
-        CAPE_ASSIGN_OR_RETURN(fragment_data, GroupByAggregate(*selected, v_attrs, {spec}));
+        CAPE_ASSIGN_OR_RETURN(TablePtr selected, FilterEquals(table, conditions, stop));
+        CAPE_ASSIGN_OR_RETURN(fragment_data,
+                              GroupByAggregate(*selected, v_attrs, {spec}, stop));
       }
       const int64_t support = fragment_data->num_rows();
       const int agg_col = static_cast<int>(v_attrs.size());
@@ -107,8 +128,12 @@ class NaiveMiner final : public PatternMiner {
         X.push_back(std::move(x));
         y.push_back(fragment_data->column(agg_col).GetNumeric(row));
       }
+      profile->num_rows_scanned += support;
       mining_internal::FitFragmentCandidate(fragment, X, y, support, pattern.model,
-                                            pattern, config, profile, candidates);
+                                            pattern, config, profile, &staged);
+    }
+    for (auto& [p, stats] : staged) {
+      candidates->insert_or_assign(p, std::move(stats));
     }
     return Status::OK();
   }

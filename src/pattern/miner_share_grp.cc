@@ -2,6 +2,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "pattern/mining.h"
@@ -30,42 +31,68 @@ class ShareGrpMiner final : public PatternMiner {
     MiningProfile& profile = result.profile;
     Stopwatch total;
 
-    const std::vector<AttrSet> group_sets =
-        mining_internal::EnumerateGroupSets(*table.schema(), config);
+    CAPE_ASSIGN_OR_RETURN(const std::vector<AttrSet> group_sets,
+                          mining_internal::EnumerateGroupSets(*table.schema(), config));
 
     CandidateMap candidates;
     if (config.num_threads <= 1) {
+      StopToken stop = config.MakeStopToken();
       for (AttrSet g : group_sets) {
-        CAPE_RETURN_IF_ERROR(ProcessGroupSet(table, g, config, &profile, &candidates));
+        Status st = ProcessGroupSet(table, g, config, &profile, &candidates, &stop);
+        if (st.IsStop()) {
+          result.truncated = true;
+          result.stop_reason = stop.reason();
+          break;
+        }
+        CAPE_RETURN_IF_ERROR(st);
       }
     } else {
       const int num_threads =
           std::min<int>(config.num_threads, static_cast<int>(group_sets.size()) + 1);
       std::atomic<size_t> next{0};
+      std::atomic<bool> any_stopped{false};
+      std::atomic<int> stop_reason{static_cast<int>(StopReason::kNone)};
       std::vector<CandidateMap> thread_candidates(static_cast<size_t>(num_threads));
       std::vector<MiningProfile> thread_profiles(static_cast<size_t>(num_threads));
       std::vector<Status> thread_status(static_cast<size_t>(num_threads));
       std::vector<std::thread> workers;
       for (int t = 0; t < num_threads; ++t) {
         workers.emplace_back([&, t] {
+          // Each worker carries its own StopToken copy (the strided clock
+          // countdown is per-holder state; the cancel flag is shared).
+          StopToken stop = config.MakeStopToken();
           while (true) {
+            if (any_stopped.load(std::memory_order_relaxed) || stop.ShouldStopNow()) {
+              break;
+            }
             const size_t i = next.fetch_add(1);
             if (i >= group_sets.size()) return;
             Status st =
                 ProcessGroupSet(table, group_sets[i], config,
                                 &thread_profiles[static_cast<size_t>(t)],
-                                &thread_candidates[static_cast<size_t>(t)]);
+                                &thread_candidates[static_cast<size_t>(t)], &stop);
+            if (st.IsStop()) break;
             if (!st.ok()) {
               thread_status[static_cast<size_t>(t)] = std::move(st);
               return;
             }
           }
+          any_stopped.store(true, std::memory_order_relaxed);
+          if (stop.reason() != StopReason::kNone) {
+            stop_reason.store(static_cast<int>(stop.reason()), std::memory_order_relaxed);
+          }
         });
       }
       for (std::thread& worker : workers) worker.join();
       for (const Status& st : thread_status) CAPE_RETURN_IF_ERROR(st);
+      if (any_stopped.load()) {
+        result.truncated = true;
+        result.stop_reason = static_cast<StopReason>(stop_reason.load());
+      }
       for (size_t t = 0; t < thread_candidates.size(); ++t) {
         // Candidate keys are disjoint across G sets, hence across threads.
+        // Each thread map holds only fully-evaluated splits, so a truncated
+        // merge is still an exact subset of the untimed result.
         for (auto& [pattern, stats] : thread_candidates[t]) {
           candidates.emplace(pattern, std::move(stats));
         }
@@ -75,6 +102,7 @@ class ShareGrpMiner final : public PatternMiner {
         profile.num_local_fits += thread_profiles[t].num_local_fits;
         profile.num_queries += thread_profiles[t].num_queries;
         profile.num_sorts += thread_profiles[t].num_sorts;
+        profile.num_rows_scanned += thread_profiles[t].num_rows_scanned;
       }
     }
 
@@ -85,9 +113,12 @@ class ShareGrpMiner final : public PatternMiner {
 
  private:
   /// All mining work for one attribute set G: one shared aggregation query,
-  /// then one sort + one fit-scan per (F, V) split.
+  /// then one sort + one fit-scan per (F, V) split. A stop Status may leave
+  /// already-completed splits of G in `candidates` (they are final); the
+  /// in-flight split is discarded by EvaluateSplit's staging.
   static Status ProcessGroupSet(const Table& table, AttrSet g, const MiningConfig& config,
-                                MiningProfile* profile, CandidateMap* candidates) {
+                                MiningProfile* profile, CandidateMap* candidates,
+                                StopToken* stop) {
     const std::vector<int> g_attrs = g.ToIndices();
     const int gs = static_cast<int>(g_attrs.size());
 
@@ -109,7 +140,8 @@ class ShareGrpMiner final : public PatternMiner {
     {
       ScopedTimer timer(&profile->query_ns);
       profile->num_queries += 1;
-      CAPE_ASSIGN_OR_RETURN(data, GroupByAggregate(table, g_attrs, specs));
+      CAPE_FAILPOINT("mining.group");
+      CAPE_ASSIGN_OR_RETURN(data, GroupByAggregate(table, g_attrs, specs, stop));
     }
 
     for (uint32_t mask = 1; mask + 1 < (1u << gs); ++mask) {
@@ -131,16 +163,17 @@ class ShareGrpMiner final : public PatternMiner {
       {
         ScopedTimer timer(&profile->query_ns);
         profile->num_sorts += 1;
+        CAPE_FAILPOINT("mining.sort");
         std::vector<SortKey> keys;
         for (int c : f_cols) keys.push_back(SortKey{c, true});
         for (int c : v_cols) keys.push_back(SortKey{c, true});
-        CAPE_ASSIGN_OR_RETURN(sorted, SortTable(*data, keys));
+        CAPE_ASSIGN_OR_RETURN(sorted, SortTable(*data, keys, stop));
       }
       const bool v_numeric = mining_internal::AllNumeric(table, v_attrs);
       CAPE_RETURN_IF_ERROR(mining_internal::EvaluateSplit(*sorted, f_cols, v_cols,
                                                           v_numeric, f_attrs, v_attrs,
                                                           agg_cols, config, profile,
-                                                          candidates));
+                                                          candidates, stop));
     }
     return Status::OK();
   }

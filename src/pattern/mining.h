@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "fd/fd_set.h"
 #include "pattern/pattern_set.h"
@@ -61,6 +62,21 @@ struct MiningConfig {
   /// parallel, the profile's per-subtask times are summed CPU times and may
   /// exceed total_ns (which stays wall time).
   int num_threads = 1;
+
+  /// Request lifecycle: when deadline_ms > 0 the miner stops cooperatively
+  /// after that many milliseconds of wall time and returns the patterns
+  /// fully evaluated so far with MiningResult::truncated set; cancel_token
+  /// allows another thread to stop the run the same way. 0 = no deadline.
+  int64_t deadline_ms = 0;
+  CancellationToken cancel_token;
+
+  /// StopToken for this request (infinite when deadline_ms <= 0 and no
+  /// cancellable token was provided).
+  StopToken MakeStopToken() const {
+    return StopToken(deadline_ms > 0 ? Deadline::AfterMillis(deadline_ms)
+                                     : Deadline::Infinite(),
+                     cancel_token);
+  }
 };
 
 /// Wall-time attribution for Figure 4 plus counters used in tests/benches.
@@ -74,6 +90,7 @@ struct MiningProfile {
   int64_t num_local_fits = 0;          // regression fits performed
   int64_t num_queries = 0;             // aggregation/filter queries executed
   int64_t num_sorts = 0;               // sort queries executed
+  int64_t num_rows_scanned = 0;        // aggregated-data rows consumed by fit scans
 
   int64_t other_ns() const {
     int64_t o = total_ns - regression_ns - query_ns;
@@ -87,6 +104,11 @@ struct MiningResult {
   MiningProfile profile;
   /// FDs known at the end of the run (initial + detected).
   FdSet fds;
+  /// Set when the run stopped early (deadline/cancellation). `patterns` then
+  /// holds only candidates whose evaluation completed before the stop — a
+  /// subset of the untimed run's result, never partially-evaluated ones.
+  bool truncated = false;
+  StopReason stop_reason = StopReason::kNone;
 };
 
 /// Interface shared by the four mining algorithm variants of Section 5.1:

@@ -17,12 +17,18 @@ AttrSet AllowedAttrs(const Schema& schema, const MiningConfig& config) {
   return allowed;
 }
 
-std::vector<AttrSet> EnumerateGroupSets(const Schema& schema, const MiningConfig& config) {
+Result<std::vector<AttrSet>> EnumerateGroupSets(const Schema& schema,
+                                                const MiningConfig& config) {
   const AttrSet allowed = AllowedAttrs(schema, config);
   const std::vector<int> attrs = allowed.ToIndices();
   const int n = static_cast<int>(attrs.size());
   std::vector<AttrSet> out;
-  if (n > 30) return out;  // guarded by callers; relations this wide are excluded upstream
+  if (n > 30) {
+    return Status::InvalidArgument(
+        "cannot mine over " + std::to_string(n) +
+        " eligible attributes (subset enumeration limit is 30); use "
+        "MiningConfig::excluded_attrs to narrow the candidate space");
+  }
   for (uint32_t mask = 0; mask < (1u << n); ++mask) {
     const int size = __builtin_popcount(mask);
     if (size < 2 || size > config.max_pattern_size) continue;
@@ -134,8 +140,13 @@ Status EvaluateSplit(const Table& data, const std::vector<int>& f_cols,
                      const std::vector<int>& v_cols, bool v_all_numeric, AttrSet f_attrs,
                      AttrSet v_attrs, const std::vector<AggColumnRef>& agg_cols,
                      const MiningConfig& config, MiningProfile* profile,
-                     CandidateMap* candidates) {
+                     CandidateMap* candidates, StopToken* stop) {
   const int64_t n = data.num_rows();
+
+  // Staging area: a stop mid-split must not leave half-evaluated candidate
+  // stats behind, so the split accumulates locally and merges on success.
+  // Candidate keys are unique per (F, V) split, so the merge never collides.
+  CandidateMap staged;
 
   // Reused per-block buffers: predictor matrix and one response vector per
   // aggregate column (rows with NULL aggregates are excluded per column).
@@ -175,7 +186,7 @@ Status EvaluateSplit(const Table& data, const std::vector<int>& f_cols,
         pattern.agg_attr = agg_cols[a].agg_attr;
         pattern.model = model;
         FitFragmentCandidate(fragment, x_per_agg[a], ys[a], support, model, pattern,
-                             config, profile, candidates);
+                             config, profile, &staged);
       }
     }
   };
@@ -200,9 +211,15 @@ Status EvaluateSplit(const Table& data, const std::vector<int>& f_cols,
       }
     }
     if (boundary) {
+      CAPE_RETURN_IF_STOPPED(stop);
       process_block(block_start, row);
       block_start = row;
     }
+  }
+  profile->num_rows_scanned += n;
+
+  for (auto& [pattern, stats] : staged) {
+    candidates->insert_or_assign(pattern, std::move(stats));
   }
   return Status::OK();
 }

@@ -30,7 +30,10 @@ using CandidateMap = std::unordered_map<Pattern, CandidateStats, PatternHasher>;
 AttrSet AllowedAttrs(const Schema& schema, const MiningConfig& config);
 
 /// All G ⊆ allowed with 2 <= |G| <= psi, ordered by (size, bits).
-std::vector<AttrSet> EnumerateGroupSets(const Schema& schema, const MiningConfig& config);
+/// InvalidArgument when more than 30 attributes are eligible (the subset
+/// enumeration would overflow; exclude attributes or narrow the relation).
+Result<std::vector<AttrSet>> EnumerateGroupSets(const Schema& schema,
+                                                const MiningConfig& config);
 
 /// (agg, A) combinations valid for attribute set G: (count, *) plus
 /// (sum|min|max, A) for each allowed numeric A outside G.
@@ -61,11 +64,16 @@ struct AggColumnRef {
 /// `f_cols`/`v_cols` give the positions of F/V inside `data` in ascending
 /// R-attribute order (fragment rows and model features use that order so
 /// all miners produce identical PatternSets).
+///
+/// The split's contribution is staged locally and merged into `candidates`
+/// only on completion; when `stop` fires mid-scan the stop Status is
+/// returned and `candidates` is left untouched, so truncated mining runs
+/// never contain partially-evaluated candidates.
 Status EvaluateSplit(const Table& data, const std::vector<int>& f_cols,
                      const std::vector<int>& v_cols, bool v_all_numeric, AttrSet f_attrs,
                      AttrSet v_attrs, const std::vector<AggColumnRef>& agg_cols,
                      const MiningConfig& config, MiningProfile* profile,
-                     CandidateMap* candidates);
+                     CandidateMap* candidates, StopToken* stop = nullptr);
 
 /// Fits one (pattern, fragment) combination on prepared regression data and
 /// folds the outcome into the candidate map: bumps fragment/support/holding

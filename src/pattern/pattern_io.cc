@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -200,6 +201,16 @@ Result<PatternSet> DeserializePatternSet(const std::string& text, const Schema& 
   CAPE_ASSIGN_OR_RETURN(auto count_line, reader.NextLine());
   CAPE_RETURN_IF_ERROR(ExpectTokens(count_line, "patterns", 2));
   CAPE_ASSIGN_OR_RETURN(int64_t pattern_count, ParseInt64(count_line[1]));
+  if (pattern_count < 0) {
+    return Status::InvalidArgument("negative pattern count " +
+                                   std::to_string(pattern_count));
+  }
+
+  // Every attribute reference in the file must fit the relation the
+  // patterns are being loaded against.
+  const uint64_t attr_mask =
+      schema.num_fields() >= 64 ? ~uint64_t{0}
+                                : ((uint64_t{1} << schema.num_fields()) - 1);
 
   PatternSet out;
   for (int64_t pi = 0; pi < pattern_count; ++pi) {
@@ -208,20 +219,53 @@ Result<PatternSet> DeserializePatternSet(const std::string& text, const Schema& 
     GlobalPattern gp;
     CAPE_ASSIGN_OR_RETURN(int64_t f_bits, ParseInt64(line[1]));
     CAPE_ASSIGN_OR_RETURN(int64_t v_bits, ParseInt64(line[2]));
+    if ((static_cast<uint64_t>(f_bits) & ~attr_mask) != 0 ||
+        (static_cast<uint64_t>(v_bits) & ~attr_mask) != 0) {
+      return Status::InvalidArgument(
+          "pattern record " + std::to_string(pi) +
+          " references attributes outside the relation's " +
+          std::to_string(schema.num_fields()) + " fields");
+    }
     gp.pattern.partition_attrs = AttrSet(static_cast<uint64_t>(f_bits));
     gp.pattern.predictor_attrs = AttrSet(static_cast<uint64_t>(v_bits));
     CAPE_ASSIGN_OR_RETURN(int64_t agg, ParseInt64(line[3]));
+    if (agg < static_cast<int64_t>(AggFunc::kCount) ||
+        agg > static_cast<int64_t>(AggFunc::kMax)) {
+      return Status::InvalidArgument("pattern record " + std::to_string(pi) +
+                                     " has unknown aggregate function id " +
+                                     std::to_string(agg));
+    }
     gp.pattern.agg = static_cast<AggFunc>(agg);
     CAPE_ASSIGN_OR_RETURN(int64_t agg_attr, ParseInt64(line[4]));
+    if (agg_attr != Pattern::kCountStar &&
+        (agg_attr < 0 || agg_attr >= schema.num_fields())) {
+      return Status::InvalidArgument("pattern record " + std::to_string(pi) +
+                                     " has aggregate attribute " +
+                                     std::to_string(agg_attr) +
+                                     " outside the relation's fields");
+    }
     gp.pattern.agg_attr = static_cast<int>(agg_attr);
     CAPE_ASSIGN_OR_RETURN(int64_t model, ParseInt64(line[5]));
+    if (model < static_cast<int64_t>(ModelType::kConst) ||
+        model > static_cast<int64_t>(ModelType::kLinear)) {
+      return Status::InvalidArgument("pattern record " + std::to_string(pi) +
+                                     " has unknown model type id " + std::to_string(model));
+    }
     gp.pattern.model = static_cast<ModelType>(model);
     CAPE_ASSIGN_OR_RETURN(gp.num_fragments, ParseInt64(line[6]));
     CAPE_ASSIGN_OR_RETURN(gp.num_supported, ParseInt64(line[7]));
     CAPE_ASSIGN_OR_RETURN(gp.num_holding, ParseInt64(line[8]));
+    if (gp.num_fragments < 0 || gp.num_supported < 0 || gp.num_holding < 0) {
+      return Status::InvalidArgument("pattern record " + std::to_string(pi) +
+                                     " has negative fragment counters");
+    }
     CAPE_ASSIGN_OR_RETURN(gp.max_positive_dev, ParseDouble(line[9]));
     CAPE_ASSIGN_OR_RETURN(gp.min_negative_dev, ParseDouble(line[10]));
     CAPE_ASSIGN_OR_RETURN(int64_t local_count, ParseInt64(line[11]));
+    if (local_count < 0) {
+      return Status::InvalidArgument("pattern record " + std::to_string(pi) +
+                                     " has negative local-pattern count");
+    }
     if (!gp.pattern.IsWellFormed()) {
       return Status::InvalidArgument("pattern record " + std::to_string(pi) +
                                      " is not well-formed");
@@ -285,6 +329,7 @@ Result<PatternSet> DeserializePatternSet(const std::string& text, const Schema& 
 
 Status SavePatternSet(const PatternSet& patterns, const Schema& schema,
                       const std::string& path) {
+  CAPE_FAILPOINT("pattern_io.save");
   std::ofstream file(path);
   if (!file.is_open()) return Status::IOError("cannot open '" + path + "' for writing");
   file << SerializePatternSet(patterns, schema);
@@ -293,6 +338,7 @@ Status SavePatternSet(const PatternSet& patterns, const Schema& schema,
 }
 
 Result<PatternSet> LoadPatternSet(const std::string& path, const Schema& schema) {
+  CAPE_FAILPOINT("pattern_io.load");
   std::ifstream file(path);
   if (!file.is_open()) return Status::IOError("cannot open '" + path + "' for reading");
   std::ostringstream buffer;

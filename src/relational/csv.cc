@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -94,14 +95,42 @@ std::string EscapeCsvField(const std::string& field, char delim) {
 
 }  // namespace
 
-Result<TablePtr> ReadCsvString(const std::string& text, const CsvReadOptions& options) {
+Result<TablePtr> ReadCsvString(const std::string& text, const CsvReadOptions& options,
+                               CsvParseReport* report) {
+  CsvParseReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = CsvParseReport();
+
+  // Quarantines one malformed row (when enabled) or produces the strict
+  // failure Status; `column` is -1 for whole-record problems.
+  auto reject = [&](int64_t line_no, int column, std::string message) -> Status {
+    if (!options.quarantine_malformed) {
+      return Status::InvalidArgument("CSV line " + std::to_string(line_no) + ": " +
+                                     std::move(message));
+    }
+    report->num_rows_quarantined += 1;
+    if (static_cast<int64_t>(report->diagnostics.size()) <
+        options.max_quarantine_diagnostics) {
+      report->diagnostics.push_back(CsvQuarantinedRow{line_no, column, std::move(message)});
+    }
+    return Status::OK();
+  };
+
+  // 1-based source line numbers survive blank-line skipping so diagnostics
+  // point at the real file location.
   std::vector<std::string> lines;
+  std::vector<int64_t> line_numbers;
   {
     std::istringstream stream(text);
     std::string line;
+    int64_t line_no = 0;
     while (std::getline(stream, line)) {
+      ++line_no;
       if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (!line.empty()) lines.push_back(std::move(line));
+      if (!line.empty()) {
+        lines.push_back(std::move(line));
+        line_numbers.push_back(line_no);
+      }
     }
   }
   if (lines.empty()) return Status::InvalidArgument("CSV input is empty");
@@ -109,15 +138,24 @@ Result<TablePtr> ReadCsvString(const std::string& text, const CsvReadOptions& op
   size_t first_data_line = 0;
   std::vector<std::string> header;
   if (options.has_header) {
+    // A malformed header is always fatal: without it no schema exists to
+    // quarantine rows against.
     CAPE_ASSIGN_OR_RETURN(header, ParseCsvRecord(lines[0], options.delimiter));
     first_data_line = 1;
   }
 
   std::vector<std::vector<std::string>> records;
+  std::vector<int64_t> record_lines;
   records.reserve(lines.size() - first_data_line);
   for (size_t i = first_data_line; i < lines.size(); ++i) {
-    CAPE_ASSIGN_OR_RETURN(auto record, ParseCsvRecord(lines[i], options.delimiter));
-    records.push_back(std::move(record));
+    auto record = ParseCsvRecord(lines[i], options.delimiter);
+    if (!record.ok()) {
+      CAPE_RETURN_IF_ERROR(
+          reject(line_numbers[i], -1, record.status().message()));
+      continue;
+    }
+    records.push_back(std::move(record).ValueOrDie());
+    record_lines.push_back(line_numbers[i]);
   }
 
   size_t num_cols = header.size();
@@ -146,30 +184,48 @@ Result<TablePtr> ReadCsvString(const std::string& text, const CsvReadOptions& op
   table->Reserve(static_cast<int64_t>(records.size()));
   Row row;
   for (size_t r = 0; r < records.size(); ++r) {
+    CAPE_FAILPOINT("csv.read_row");
     const auto& record = records[r];
+    const int64_t line_no = record_lines[r];
     if (record.size() != num_cols) {
-      return Status::InvalidArgument("CSV row " + std::to_string(r + first_data_line + 1) +
-                                     " has " + std::to_string(record.size()) +
-                                     " fields, expected " + std::to_string(num_cols));
+      CAPE_RETURN_IF_ERROR(reject(line_no, -1,
+                                  "has " + std::to_string(record.size()) +
+                                      " fields, expected " + std::to_string(num_cols)));
+      continue;
     }
     row.clear();
+    bool bad_field = false;
     for (size_t c = 0; c < num_cols; ++c) {
-      CAPE_ASSIGN_OR_RETURN(
-          Value v, ParseField(record[c], schema->field(static_cast<int>(c)).type,
-                              options.empty_as_null));
-      row.push_back(std::move(v));
+      auto v = ParseField(record[c], schema->field(static_cast<int>(c)).type,
+                          options.empty_as_null);
+      if (!v.ok()) {
+        CAPE_RETURN_IF_ERROR(reject(line_no, static_cast<int>(c), v.status().message()));
+        bad_field = true;
+        break;
+      }
+      row.push_back(std::move(v).ValueOrDie());
     }
+    if (bad_field) continue;
     CAPE_RETURN_IF_ERROR(table->AppendRow(row));
+    report->num_rows_loaded += 1;
+  }
+  if (report->num_rows_loaded == 0 && report->num_rows_quarantined > 0) {
+    return Status::InvalidArgument(
+        "all " + std::to_string(report->num_rows_quarantined) +
+        " CSV data rows are malformed (first: line " +
+        std::to_string(report->diagnostics.empty() ? 0 : report->diagnostics[0].line) + ")");
   }
   return table;
 }
 
-Result<TablePtr> ReadCsvFile(const std::string& path, const CsvReadOptions& options) {
+Result<TablePtr> ReadCsvFile(const std::string& path, const CsvReadOptions& options,
+                             CsvParseReport* report) {
+  CAPE_FAILPOINT("csv.open");
   std::ifstream file(path);
   if (!file.is_open()) return Status::IOError("cannot open '" + path + "' for reading");
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return ReadCsvString(buffer.str(), options);
+  return ReadCsvString(buffer.str(), options, report);
 }
 
 std::string WriteCsvString(const Table& table, const CsvWriteOptions& options) {

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "relational/table.h"
@@ -18,13 +19,46 @@ struct CsvReadOptions {
   /// When set, parse into this schema; otherwise infer types (int64 if every
   /// non-empty field parses as int64, else double, else string).
   std::shared_ptr<Schema> schema;
+
+  /// When set, malformed data rows (unterminated quote, wrong field count,
+  /// unparseable field under an explicit schema) are quarantined instead of
+  /// failing the whole load; the load fails only when *every* data row is
+  /// malformed. When unset (default), the first malformed row aborts the
+  /// load with InvalidArgument, matching strict ingestion.
+  bool quarantine_malformed = false;
+  /// Cap on per-row diagnostics retained in CsvParseReport::diagnostics;
+  /// rows beyond the cap are still counted and skipped, just not described.
+  int64_t max_quarantine_diagnostics = 64;
 };
 
-/// Parses CSV text into a table.
-Result<TablePtr> ReadCsvString(const std::string& text, const CsvReadOptions& options = {});
+/// One quarantined CSV row: 1-based source line, the offending column index
+/// (-1 when the whole record is malformed), and what went wrong.
+struct CsvQuarantinedRow {
+  int64_t line = 0;
+  int column = -1;
+  std::string message;
+};
+
+/// Outcome of a (possibly lossy) CSV load.
+struct CsvParseReport {
+  int64_t num_rows_loaded = 0;
+  int64_t num_rows_quarantined = 0;
+  /// First max_quarantine_diagnostics quarantined rows. Record-level
+  /// failures (unterminated quote) are detected in an earlier pass than
+  /// field-level ones, so diagnostics are grouped by failure kind, each
+  /// group in input order; `line` always points at the real source line.
+  std::vector<CsvQuarantinedRow> diagnostics;
+};
+
+/// Parses CSV text into a table. `report`, when non-null, receives row
+/// counts and quarantine diagnostics (only populated with quarantined rows
+/// when options.quarantine_malformed is set).
+Result<TablePtr> ReadCsvString(const std::string& text, const CsvReadOptions& options = {},
+                               CsvParseReport* report = nullptr);
 
 /// Reads a CSV file from disk.
-Result<TablePtr> ReadCsvFile(const std::string& path, const CsvReadOptions& options = {});
+Result<TablePtr> ReadCsvFile(const std::string& path, const CsvReadOptions& options = {},
+                             CsvParseReport* report = nullptr);
 
 struct CsvWriteOptions {
   char delimiter = ',';

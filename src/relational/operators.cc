@@ -177,7 +177,8 @@ void GroupKeyEncoder::EncodeRow(int64_t row, std::string* buf) const {
 }
 
 Result<TablePtr> GroupByAggregate(const Table& table, const std::vector<int>& group_cols,
-                                  const std::vector<AggregateSpec>& aggs) {
+                                  const std::vector<AggregateSpec>& aggs,
+                                  StopToken* stop) {
   for (int c : group_cols) CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, c));
   for (const AggregateSpec& spec : aggs) CAPE_RETURN_IF_ERROR(ValidateAggSpec(table, spec));
 
@@ -196,6 +197,7 @@ Result<TablePtr> GroupByAggregate(const Table& table, const std::vector<int>& gr
 
   std::string key;
   for (int64_t row = 0; row < table.num_rows(); ++row) {
+    CAPE_RETURN_IF_STOPPED(stop);
     key.clear();
     encoder.EncodeRow(row, &key);
     auto [it, inserted] = group_index.emplace(key, states.size());
@@ -231,19 +233,22 @@ Result<TablePtr> GroupByAggregate(const Table& table, const std::vector<int>& gr
 
 Result<TablePtr> GroupByAggregate(const Table& table,
                                   const std::vector<std::string>& group_cols,
-                                  const std::vector<AggregateSpec>& aggs) {
+                                  const std::vector<AggregateSpec>& aggs,
+                                  StopToken* stop) {
   std::vector<int> indices;
   indices.reserve(group_cols.size());
   for (const std::string& name : group_cols) {
     CAPE_ASSIGN_OR_RETURN(int idx, table.schema()->GetFieldIndexChecked(name));
     indices.push_back(idx);
   }
-  return GroupByAggregate(table, indices, aggs);
+  return GroupByAggregate(table, indices, aggs, stop);
 }
 
-Result<TablePtr> Filter(const Table& table, const std::function<bool(int64_t)>& pred) {
+Result<TablePtr> Filter(const Table& table, const std::function<bool(int64_t)>& pred,
+                        StopToken* stop) {
   std::vector<int64_t> matches;
   for (int64_t row = 0; row < table.num_rows(); ++row) {
+    CAPE_RETURN_IF_STOPPED(stop);
     if (pred(row)) matches.push_back(row);
   }
   auto out = std::make_shared<Table>(table.schema());
@@ -253,20 +258,25 @@ Result<TablePtr> Filter(const Table& table, const std::function<bool(int64_t)>& 
 }
 
 Result<TablePtr> FilterEquals(const Table& table,
-                              const std::vector<std::pair<int, Value>>& conditions) {
+                              const std::vector<std::pair<int, Value>>& conditions,
+                              StopToken* stop) {
   for (const auto& [col, value] : conditions) {
     CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, col));
     (void)value;
   }
-  return Filter(table, [&](int64_t row) {
-    for (const auto& [col, value] : conditions) {
-      if (table.GetValue(row, col) != value) return false;
-    }
-    return true;
-  });
+  return Filter(
+      table,
+      [&](int64_t row) {
+        for (const auto& [col, value] : conditions) {
+          if (table.GetValue(row, col) != value) return false;
+        }
+        return true;
+      },
+      stop);
 }
 
-Result<TablePtr> Project(const Table& table, const std::vector<int>& cols) {
+Result<TablePtr> Project(const Table& table, const std::vector<int>& cols,
+                         StopToken* stop) {
   std::vector<Field> out_fields;
   out_fields.reserve(cols.size());
   for (int c : cols) {
@@ -276,12 +286,14 @@ Result<TablePtr> Project(const Table& table, const std::vector<int>& cols) {
   auto out = std::make_shared<Table>(Schema::Make(std::move(out_fields)));
   out->Reserve(table.num_rows());
   for (int64_t row = 0; row < table.num_rows(); ++row) {
+    CAPE_RETURN_IF_STOPPED(stop);
     CAPE_RETURN_IF_ERROR(out->AppendRow(table.GetRowProjection(row, cols)));
   }
   return out;
 }
 
-Result<TablePtr> ProjectDistinct(const Table& table, const std::vector<int>& cols) {
+Result<TablePtr> ProjectDistinct(const Table& table, const std::vector<int>& cols,
+                                 StopToken* stop) {
   std::vector<Field> out_fields;
   out_fields.reserve(cols.size());
   for (int c : cols) {
@@ -293,6 +305,7 @@ Result<TablePtr> ProjectDistinct(const Table& table, const std::vector<int>& col
   auto out = std::make_shared<Table>(Schema::Make(std::move(out_fields)));
   std::string key;
   for (int64_t row = 0; row < table.num_rows(); ++row) {
+    CAPE_RETURN_IF_STOPPED(stop);
     key.clear();
     encoder.EncodeRow(row, &key);
     if (seen.emplace(key, true).second) {
@@ -330,8 +343,10 @@ int CompareCells(const Column& col, int64_t a, int64_t b) {
 
 }  // namespace
 
-Result<TablePtr> SortTable(const Table& table, const std::vector<SortKey>& keys) {
+Result<TablePtr> SortTable(const Table& table, const std::vector<SortKey>& keys,
+                           StopToken* stop) {
   for (const SortKey& k : keys) CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, k.col));
+  if (stop != nullptr && stop->ShouldStopNow()) return stop->ToStatus();
   std::vector<int64_t> order(static_cast<size_t>(table.num_rows()));
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
@@ -341,6 +356,7 @@ Result<TablePtr> SortTable(const Table& table, const std::vector<SortKey>& keys)
     }
     return false;
   });
+  CAPE_RETURN_IF_STOPPED(stop);
   auto out = std::make_shared<Table>(table.schema());
   out->Reserve(table.num_rows());
   CAPE_RETURN_IF_ERROR(out->AppendRowsFrom(table, order));
@@ -348,7 +364,8 @@ Result<TablePtr> SortTable(const Table& table, const std::vector<SortKey>& keys)
 }
 
 Result<TablePtr> Cube(const Table& table, const std::vector<int>& cube_cols,
-                      const std::vector<AggregateSpec>& aggs, const CubeOptions& options) {
+                      const std::vector<AggregateSpec>& aggs, const CubeOptions& options,
+                      StopToken* stop) {
   const int n = static_cast<int>(cube_cols.size());
   if (n > 20) {
     return Status::InvalidArgument("cube over " + std::to_string(n) +
@@ -372,7 +389,8 @@ Result<TablePtr> Cube(const Table& table, const std::vector<int>& cube_cols,
     p.output_name = "__partial" + std::to_string(a);
     partial_specs.push_back(std::move(p));
   }
-  CAPE_ASSIGN_OR_RETURN(TablePtr finest, GroupByAggregate(table, cube_cols, partial_specs));
+  CAPE_ASSIGN_OR_RETURN(TablePtr finest,
+                        GroupByAggregate(table, cube_cols, partial_specs, stop));
 
   // Output schema: cube columns (nullable), aggregates, optional grouping_id.
   std::vector<Field> out_fields;
@@ -412,11 +430,12 @@ Result<TablePtr> Cube(const Table& table, const std::vector<int>& cube_cols,
       rollup_specs.push_back(std::move(spec));
     }
     CAPE_ASSIGN_OR_RETURN(TablePtr grouped,
-                          GroupByAggregate(*finest, subset_cols, rollup_specs));
+                          GroupByAggregate(*finest, subset_cols, rollup_specs, stop));
     const int64_t grouping_id =
         static_cast<int64_t>(~mask & ((1u << n) - 1));  // set bit = aggregated away
     Row out_row;
     for (int64_t row = 0; row < grouped->num_rows(); ++row) {
+      CAPE_RETURN_IF_STOPPED(stop);
       out_row.assign(static_cast<size_t>(n), Value::Null());
       for (size_t s = 0; s < subset_cols.size(); ++s) {
         out_row[static_cast<size_t>(subset_cols[s])] =

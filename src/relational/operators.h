@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "relational/table.h"
 
@@ -51,28 +52,38 @@ struct AggregateSpec {
 /// deterministic). NULL group keys form their own group (SQL semantics).
 /// Aggregates ignore NULL inputs; count(*) counts rows, count(col) counts
 /// non-null values. Empty `group_cols` produces one global row.
+///
+/// All operators accept an optional StopToken; when it reports a stop the
+/// operator abandons its scan and returns the stop Status
+/// (kDeadlineExceeded/kCancelled), which callers may treat as graceful
+/// truncation rather than an error.
 Result<TablePtr> GroupByAggregate(const Table& table, const std::vector<int>& group_cols,
-                                  const std::vector<AggregateSpec>& aggs);
+                                  const std::vector<AggregateSpec>& aggs,
+                                  StopToken* stop = nullptr);
 
 /// Name-based convenience overload.
 Result<TablePtr> GroupByAggregate(const Table& table,
                                   const std::vector<std::string>& group_cols,
-                                  const std::vector<AggregateSpec>& aggs);
+                                  const std::vector<AggregateSpec>& aggs,
+                                  StopToken* stop = nullptr);
 
 /// Rows satisfying `pred(row_index)`.
-Result<TablePtr> Filter(const Table& table,
-                        const std::function<bool(int64_t)>& pred);
+Result<TablePtr> Filter(const Table& table, const std::function<bool(int64_t)>& pred,
+                        StopToken* stop = nullptr);
 
 /// σ_{c1=v1 ∧ c2=v2 ∧ ...}: conjunctive equality selection, the shape used
 /// by retrieval queries Q_{P,f} (Section 2.2). NULL matches NULL.
 Result<TablePtr> FilterEquals(const Table& table,
-                              const std::vector<std::pair<int, Value>>& conditions);
+                              const std::vector<std::pair<int, Value>>& conditions,
+                              StopToken* stop = nullptr);
 
 /// π over column indices (duplicates allowed, order preserved).
-Result<TablePtr> Project(const Table& table, const std::vector<int>& cols);
+Result<TablePtr> Project(const Table& table, const std::vector<int>& cols,
+                         StopToken* stop = nullptr);
 
 /// Distinct projection π_cols(R) — used for frag(R, P) enumeration.
-Result<TablePtr> ProjectDistinct(const Table& table, const std::vector<int>& cols);
+Result<TablePtr> ProjectDistinct(const Table& table, const std::vector<int>& cols,
+                                 StopToken* stop = nullptr);
 
 /// One sort criterion. NULLs sort first on ascending order.
 struct SortKey {
@@ -80,8 +91,11 @@ struct SortKey {
   bool ascending = true;
 };
 
-/// Stable multi-key sort; returns a new materialized table.
-Result<TablePtr> SortTable(const Table& table, const std::vector<SortKey>& keys);
+/// Stable multi-key sort; returns a new materialized table. The comparison
+/// phase is not interruptible (std::stable_sort); the stop token is checked
+/// before and after it and during row materialization.
+Result<TablePtr> SortTable(const Table& table, const std::vector<SortKey>& keys,
+                           StopToken* stop = nullptr);
 
 struct CubeOptions {
   /// Only emit groupings whose subset size is within [min, max] — mirrors
@@ -104,7 +118,7 @@ struct CubeOptions {
 /// re-aggregatable); ARPs never use it.
 Result<TablePtr> Cube(const Table& table, const std::vector<int>& cube_cols,
                       const std::vector<AggregateSpec>& aggs,
-                      const CubeOptions& options = {});
+                      const CubeOptions& options = {}, StopToken* stop = nullptr);
 
 /// Internal helper shared by operators and the FD detector: encodes the
 /// projection of row `row` onto `cols` into a byte string such that two rows

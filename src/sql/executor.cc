@@ -2,13 +2,15 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 
 namespace cape {
 
 namespace {
 
-Result<TablePtr> ApplyWhere(TablePtr table, const std::vector<WherePredicate>& where) {
+Result<TablePtr> ApplyWhere(TablePtr table, const std::vector<WherePredicate>& where,
+                            StopToken* stop) {
   if (where.empty()) return table;
   struct Bound {
     int column;
@@ -50,7 +52,7 @@ Result<TablePtr> ApplyWhere(TablePtr table, const std::vector<WherePredicate>& w
       if (!ok) return false;
     }
     return true;
-  });
+  }, stop);
 }
 
 Result<AggregateSpec> ToAggregateSpec(const Table& table, const SelectItem& item) {
@@ -67,9 +69,11 @@ Result<AggregateSpec> ToAggregateSpec(const Table& table, const SelectItem& item
 
 }  // namespace
 
-Result<TablePtr> ExecuteSelect(const Catalog& catalog, const SelectQuery& query) {
+Result<TablePtr> ExecuteSelect(const Catalog& catalog, const SelectQuery& query,
+                               StopToken* stop) {
+  CAPE_FAILPOINT("sql.execute");
   CAPE_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(query.table));
-  CAPE_ASSIGN_OR_RETURN(table, ApplyWhere(table, query.where));
+  CAPE_ASSIGN_OR_RETURN(table, ApplyWhere(table, query.where, stop));
 
   const bool has_aggregates =
       std::any_of(query.items.begin(), query.items.end(),
@@ -101,7 +105,8 @@ Result<TablePtr> ExecuteSelect(const Catalog& catalog, const SelectQuery& query)
                                        "' must appear in GROUP BY or inside an aggregate");
       }
     }
-    CAPE_ASSIGN_OR_RETURN(TablePtr grouped, GroupByAggregate(*table, group_cols, specs));
+    CAPE_ASSIGN_OR_RETURN(TablePtr grouped,
+                          GroupByAggregate(*table, group_cols, specs, stop));
     // Reorder/duplicate output columns to match the select list. In
     // `grouped`, group column i sits at position of group_by order; the
     // j-th aggregate at group_cols.size() + j.
@@ -117,7 +122,7 @@ Result<TablePtr> ExecuteSelect(const Catalog& catalog, const SelectQuery& query)
         projection.push_back(static_cast<int>(it - query.group_by.begin()));
       }
     }
-    CAPE_ASSIGN_OR_RETURN(result, Project(*grouped, projection));
+    CAPE_ASSIGN_OR_RETURN(result, Project(*grouped, projection, stop));
     // Apply aliases for group columns (aggregates already carry their name).
     std::vector<Field> fields;
     for (size_t i = 0; i < query.items.size(); ++i) {
@@ -145,7 +150,7 @@ Result<TablePtr> ExecuteSelect(const Catalog& catalog, const SelectQuery& query)
         CAPE_ASSIGN_OR_RETURN(int idx, table->schema()->GetFieldIndexChecked(item.column));
         projection.push_back(idx);
       }
-      CAPE_ASSIGN_OR_RETURN(result, Project(*table, projection));
+      CAPE_ASSIGN_OR_RETURN(result, Project(*table, projection, stop));
       if (std::any_of(query.items.begin(), query.items.end(),
                       [](const SelectItem& i) { return !i.alias.empty(); })) {
         std::vector<Field> renamed_fields;
@@ -166,7 +171,8 @@ Result<TablePtr> ExecuteSelect(const Catalog& catalog, const SelectQuery& query)
 
   if (query.order_by.has_value()) {
     CAPE_ASSIGN_OR_RETURN(int idx, result->schema()->GetFieldIndexChecked(*query.order_by));
-    CAPE_ASSIGN_OR_RETURN(result, SortTable(*result, {SortKey{idx, query.order_ascending}}));
+    CAPE_ASSIGN_OR_RETURN(
+        result, SortTable(*result, {SortKey{idx, query.order_ascending}}, stop));
   }
   if (query.limit.has_value() && *query.limit < result->num_rows()) {
     auto limited = std::make_shared<Table>(result->schema());

@@ -1,6 +1,7 @@
 #ifndef CAPE_SQL_EXECUTOR_H_
 #define CAPE_SQL_EXECUTOR_H_
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "explain/explainer.h"
 #include "relational/catalog.h"
@@ -12,8 +13,10 @@ namespace cape {
 /// (selection -> aggregation/projection -> sort -> limit). Supported shape:
 /// conjunctive comparison predicates, optional GROUP BY with any mix of
 /// group columns and aggregates, SELECT * / plain projections without
-/// grouping, ORDER BY one output column, LIMIT.
-Result<TablePtr> ExecuteSelect(const Catalog& catalog, const SelectQuery& query);
+/// grouping, ORDER BY one output column, LIMIT. When `stop` fires mid-query
+/// the stop Status (kDeadlineExceeded/kCancelled) is returned.
+Result<TablePtr> ExecuteSelect(const Catalog& catalog, const SelectQuery& query,
+                               StopToken* stop = nullptr);
 
 /// Builds the Definition-1 user question described by an EXPLAIN WHY
 /// command (resolving the table via the catalog and validating that the

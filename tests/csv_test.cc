@@ -94,5 +94,63 @@ TEST(CsvFileTest, WriteAndReadFile) {
   EXPECT_TRUE(ReadCsvFile("/nonexistent/no.csv").status().IsIOError());
 }
 
+TEST(CsvQuarantineTest, StrictModeStillFailsWithLineNumber) {
+  auto result = ReadCsvString("a,b\n1,2\n3\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(CsvQuarantineTest, MalformedRowsAreSkippedAndReported) {
+  CsvReadOptions options;
+  options.quarantine_malformed = true;
+  CsvParseReport report;
+  // Line 3 is ragged; line 5 has an unterminated quote.
+  auto result = ReadCsvString("a,b\n1,2\n3\n4,5\n\"oops,6\n", options, &report);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)->num_rows(), 2);
+  EXPECT_EQ(report.num_rows_loaded, 2);
+  EXPECT_EQ(report.num_rows_quarantined, 2);
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+  EXPECT_EQ(report.diagnostics[0].line, 5);  // record-level reject happens first
+  EXPECT_EQ(report.diagnostics[1].line, 3);
+}
+
+TEST(CsvQuarantineTest, BadFieldRecordsColumnIndex) {
+  CsvReadOptions options;
+  options.quarantine_malformed = true;
+  auto fields = std::vector<Field>{Field{"a", DataType::kInt64, true},
+                                   Field{"b", DataType::kInt64, true}};
+  options.schema = Schema::Make(std::move(fields));
+  CsvParseReport report;
+  auto result = ReadCsvString("a,b\n1,2\n3,oops\n", options, &report);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(report.num_rows_loaded, 1);
+  EXPECT_EQ(report.num_rows_quarantined, 1);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].line, 3);
+  EXPECT_EQ(report.diagnostics[0].column, 1);
+}
+
+TEST(CsvQuarantineTest, DiagnosticsAreCapped) {
+  CsvReadOptions options;
+  options.quarantine_malformed = true;
+  options.max_quarantine_diagnostics = 2;
+  CsvParseReport report;
+  auto result = ReadCsvString("a,b\n1,2\nx\nx\nx\nx\n", options, &report);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(report.num_rows_quarantined, 4);
+  EXPECT_EQ(report.diagnostics.size(), 2u);
+}
+
+TEST(CsvQuarantineTest, AllRowsMalformedIsAnError) {
+  CsvReadOptions options;
+  options.quarantine_malformed = true;
+  auto result = ReadCsvString("a,b\n1\n2\n", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace cape

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/failpoint.h"
+#include "core/engine.h"
+#include "datagen/dblp.h"
+#include "fd/fd_detector.h"
+#include "pattern/mining.h"
+#include "relational/catalog.h"
+#include "relational/csv.h"
+#include "sql/executor.h"
+
+namespace cape {
+namespace {
+
+// NOTE: this test must stay first in the file. CAPE_FAILPOINTS is parsed
+// exactly once, at the process's first failpoint check; under ctest each
+// test runs in its own process, and in a direct ./failpoint_test run
+// declaration order keeps this test ahead of any other failpoint use.
+TEST(FailpointTest, EnvVarArmsASite) {
+  ::setenv("CAPE_FAILPOINTS", "csv.read_row=io", /*overwrite=*/1);
+  auto result = ReadCsvString("a,b\n1,2\n");
+  ::unsetenv("CAPE_FAILPOINTS");
+  failpoint::DeactivateAll();
+
+  if (result.ok()) {
+    // Another test in this process already parsed the (then-unset) env var;
+    // the once-only semantics make re-parsing impossible, so skip.
+    GTEST_SKIP() << "CAPE_FAILPOINTS was already parsed by an earlier test";
+  }
+  EXPECT_TRUE(result.status().IsIOError());
+  EXPECT_NE(result.status().message().find("CAPE_FAILPOINTS"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(FailpointTest, InactiveByDefaultAndSitesRegistered) {
+  EXPECT_FALSE(failpoint::AnyActive());
+  const std::vector<std::string> sites = failpoint::AllSites();
+  EXPECT_GE(sites.size(), 11u);
+  // A clean run is unaffected by the framework being compiled in.
+  EXPECT_TRUE(ReadCsvString("a,b\n1,2\n").ok());
+}
+
+TEST(FailpointTest, UnknownSiteIsRejected) {
+  EXPECT_TRUE(failpoint::Activate("no.such.site", StatusCode::kIOError, "x")
+                  .IsInvalidArgument());
+  failpoint::ScopedFailpoint fp("also.unknown");
+  EXPECT_TRUE(fp.activation_status().IsInvalidArgument());
+  EXPECT_FALSE(failpoint::AnyActive());
+}
+
+TEST(FailpointTest, SkipAndCountSemantics) {
+  DblpOptions options;
+  options.num_rows = 200;
+  auto table = GenerateDblp(options);
+  ASSERT_TRUE(table.ok());
+
+  // First hit passes (skip=1), second fails (count=1), third passes again.
+  ASSERT_TRUE(failpoint::Activate("fd.count_groups", StatusCode::kIOError, "boom",
+                                  /*skip=*/1, /*count=*/1)
+                  .ok());
+  EXPECT_TRUE(FdDetector::CountGroups(**table, AttrSet::Single(0)).ok());
+  auto second = FdDetector::CountGroups(**table, AttrSet::Single(0));
+  EXPECT_TRUE(second.status().IsIOError());
+  EXPECT_EQ(second.status().message(), "boom");
+  EXPECT_TRUE(FdDetector::CountGroups(**table, AttrSet::Single(0)).ok());
+  failpoint::Deactivate("fd.count_groups");
+}
+
+// ---------------------------------------------------------------------------
+// Every registered site, forced in turn, converts the injected fault into a
+// clean Status from its pipeline stage — no crash, no partial mutation.
+
+MiningConfig SmallMiningConfig() {
+  MiningConfig config;
+  config.max_pattern_size = 3;
+  config.local_gof_threshold = 0.2;
+  config.local_support_threshold = 3;
+  config.global_confidence_threshold = 0.3;
+  config.global_support_threshold = 10;
+  config.agg_functions = {AggFunc::kCount};
+  config.excluded_attrs = {"pubid"};
+  return config;
+}
+
+struct PipelineFixture {
+  TablePtr table;
+  Engine engine;
+  UserQuestion question;
+  Catalog catalog;
+  SelectQuery select;
+  std::string csv_path;
+  std::string patterns_path;
+};
+
+PipelineFixture MakeFixture() {
+  DblpOptions options;
+  options.num_rows = 6000;
+  auto table = GenerateDblp(options);
+  EXPECT_TRUE(table.ok());
+
+  auto engine = Engine::FromTable(*table);
+  EXPECT_TRUE(engine.ok());
+  Engine e = std::move(engine).ValueOrDie();
+  e.mining_config() = SmallMiningConfig();
+  EXPECT_TRUE(e.MinePatterns("ARP-MINE").ok());
+  EXPECT_GT(e.patterns().size(), 0u);
+
+  auto question = e.MakeQuestion({"author", "venue", "year"},
+                                 {Value::String("AX"), Value::String("SIGKDD"),
+                                  Value::Int64(2007)},
+                                 AggFunc::kCount, "*", Direction::kLow);
+  EXPECT_TRUE(question.ok());
+
+  Catalog catalog;
+  EXPECT_TRUE(catalog.RegisterTable("pub", *table).ok());
+  auto select = ParseSelect("SELECT venue, count(*) FROM pub GROUP BY venue;");
+  EXPECT_TRUE(select.ok());
+
+  const std::string csv_path = ::testing::TempDir() + "cape_failpoint.csv";
+  {
+    std::ofstream out(csv_path);
+    out << "a,b\n1,x\n2,y\n";
+  }
+  const std::string patterns_path = ::testing::TempDir() + "cape_failpoint.patterns";
+  EXPECT_TRUE(e.SavePatterns(patterns_path).ok());
+
+  return PipelineFixture{*table,
+                         std::move(e),
+                         std::move(question).ValueOrDie(),
+                         std::move(catalog),
+                         std::move(select).ValueOrDie(),
+                         csv_path,
+                         patterns_path};
+}
+
+/// Runs the pipeline stage that contains `site` and returns its Status.
+Status DriveSite(const std::string& site, PipelineFixture& fx) {
+  if (site == "csv.open") return ReadCsvFile(fx.csv_path).status();
+  if (site == "csv.read_row") return ReadCsvString("a,b\n1,2\n3,4\n").status();
+  if (site == "mining.group" || site == "mining.sort") {
+    return MakeArpMiner()->Mine(*fx.table, SmallMiningConfig()).status();
+  }
+  if (site == "mining.cube.group") {
+    return MakeCubeMiner()->Mine(*fx.table, SmallMiningConfig()).status();
+  }
+  if (site == "fd.count_groups") {
+    return FdDetector::CountGroups(*fx.table, AttrSet::Single(0)).status();
+  }
+  if (site == "explain.norm" || site == "explain.refine") {
+    return fx.engine.Explain(fx.question).status();
+  }
+  if (site == "sql.execute") return ExecuteSelect(fx.catalog, fx.select).status();
+  if (site == "pattern_io.save") {
+    return fx.engine.SavePatterns(::testing::TempDir() + "cape_failpoint_out.patterns");
+  }
+  if (site == "pattern_io.load") return fx.engine.LoadPatterns(fx.patterns_path);
+  return Status::Internal("no driver for failpoint site '" + site + "'");
+}
+
+TEST(FailpointTest, EverySiteConvertsInjectedFaultIntoCleanStatus) {
+  PipelineFixture fx = MakeFixture();
+
+  for (const std::string& site : failpoint::AllSites()) {
+    failpoint::ScopedFailpoint fp(site);
+    ASSERT_TRUE(fp.activation_status().ok()) << site;
+    Status st = DriveSite(site, fx);
+    EXPECT_TRUE(st.IsIOError()) << site << ": " << st.ToString();
+    EXPECT_NE(st.message().find("injected fault"), std::string::npos) << site;
+  }
+
+  // All sites disarmed again: every stage succeeds.
+  EXPECT_FALSE(failpoint::AnyActive());
+  for (const std::string& site : failpoint::AllSites()) {
+    EXPECT_TRUE(DriveSite(site, fx).ok()) << site;
+  }
+}
+
+TEST(FailpointTest, FaultedMiningLeavesEnginePatternsIntact) {
+  PipelineFixture fx = MakeFixture();
+  const size_t before = fx.engine.patterns().size();
+
+  failpoint::ScopedFailpoint fp("mining.group");
+  EXPECT_FALSE(fx.engine.MinePatterns("SHARE-GRP").ok());
+  ASSERT_TRUE(fx.engine.has_patterns());
+  EXPECT_EQ(fx.engine.patterns().size(), before);
+}
+
+TEST(FailpointTest, FaultedSaveDoesNotCreateTheFile) {
+  PipelineFixture fx = MakeFixture();
+  const std::string path = ::testing::TempDir() + "cape_failpoint_never_written.patterns";
+  std::remove(path.c_str());
+
+  failpoint::ScopedFailpoint fp("pattern_io.save");
+  EXPECT_TRUE(fx.engine.SavePatterns(path).IsIOError());
+  EXPECT_FALSE(std::ifstream(path).good());
+}
+
+}  // namespace
+}  // namespace cape
