@@ -3,10 +3,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "common/string_util.h"
 #include "core/engine.h"
 #include "relational/operators.h"
 
@@ -76,6 +80,117 @@ inline std::vector<UserQuestion> GenerateQuestions(TablePtr table,
     if (q.ok()) questions.push_back(std::move(q).ValueOrDie());
   }
   return questions;
+}
+
+/// Machine-readable benchmark results. Every harness accepts `--json <path>`
+/// (see ParseJsonPath); when given, it writes one JSON document of the form
+///
+///   {"name": "...", "config": {...}, "results": [{...}, ...]}
+///
+/// where `config` holds the experiment's fixed parameters and `results` one
+/// object per measured configuration (thread count, dataset size, ...).
+/// Numeric values are emitted as numbers, everything else as strings.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void AddConfig(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, Quote(value));
+  }
+  void AddConfig(const std::string& key, int64_t value) {
+    config_.emplace_back(key, std::to_string(value));
+  }
+  void AddConfig(const std::string& key, double value) {
+    config_.emplace_back(key, FormatDouble(value));
+  }
+
+  /// Starts a new entry in `results`; subsequent Add calls fill it.
+  void BeginResult() { results_.emplace_back(); }
+
+  void Add(const std::string& key, const std::string& value) {
+    results_.back().emplace_back(key, Quote(value));
+  }
+  void Add(const std::string& key, int64_t value) {
+    results_.back().emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, double value) {
+    results_.back().emplace_back(key, FormatDouble(value));
+  }
+
+  /// Serializes the document. Exits on I/O failure (bench semantics).
+  void Write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "[bench] cannot open %s for writing\n", path.c_str());
+      std::exit(1);
+    }
+    out << "{\"name\": " << Quote(name_) << ",\n \"config\": {";
+    WriteFields(out, config_);
+    out << "},\n \"results\": [";
+    for (size_t i = 0; i < results_.size(); ++i) {
+      if (i > 0) out << ",\n             ";
+      out << "{";
+      WriteFields(out, results_[i]);
+      out << "}";
+    }
+    out << "]}\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "[bench] write to %s failed\n", path.c_str());
+      std::exit(1);
+    }
+    std::printf("[bench] wrote JSON results to %s\n", path.c_str());
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  static void WriteFields(std::ofstream& out, const Fields& fields) {
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << Quote(fields[i].first) << ": " << fields[i].second;
+    }
+  }
+
+  std::string name_;
+  Fields config_;
+  std::vector<Fields> results_;
+};
+
+/// Extracts `--json <path>` from argv (empty string when absent). Exits with
+/// a usage message when the flag is present without a value.
+inline std::string ParseJsonPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return "";
 }
 
 }  // namespace cape::bench

@@ -14,6 +14,12 @@ const char* StopReasonToString(StopReason reason) {
   return "?";
 }
 
+StopReason StopReasonFromStatus(const Status& status) {
+  if (status.IsDeadlineExceeded()) return StopReason::kDeadlineExceeded;
+  if (status.IsCancelled()) return StopReason::kCancelled;
+  return StopReason::kNone;
+}
+
 Status StopToken::ToStatus() const {
   switch (reason_) {
     case StopReason::kNone:

@@ -16,6 +16,11 @@ enum class StopReason : int { kNone = 0, kDeadlineExceeded = 1, kCancelled = 2 }
 
 const char* StopReasonToString(StopReason reason);
 
+/// The StopReason a stop Status (DeadlineExceeded/Cancelled) encodes; kNone
+/// for every other status. Used to recover the reason from a Status that
+/// crossed a thread boundary (e.g. out of ThreadPool::ParallelFor).
+StopReason StopReasonFromStatus(const Status& status);
+
 /// A point on the monotonic clock after which work should stop. The default
 /// (and `Infinite()`) deadline never expires. Deadlines are plain values:
 /// copy them freely into configs and worker threads.

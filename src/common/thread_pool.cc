@@ -1,0 +1,144 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace cape {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(num_threads, 1);
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max(3, static_cast<int>(std::thread::hardware_concurrency()) - 1));
+  return *pool;
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+int ThreadPool::PlannedWorkers(int64_t n, const ParallelForOptions& opts) const {
+  if (n <= 0) return 0;
+  const int64_t grain = std::max<int64_t>(opts.grain, 1);
+  const int64_t chunks = (n + grain - 1) / grain;
+  int64_t workers = opts.max_workers > 0 ? opts.max_workers : num_threads() + 1;
+  return static_cast<int>(std::max<int64_t>(1, std::min(workers, chunks)));
+}
+
+namespace {
+
+/// Shared state of one ParallelFor call. Lives on the caller's stack; the
+/// caller blocks until `remaining` hits zero, so worker references stay
+/// valid.
+struct ParallelForState {
+  std::atomic<int64_t> next{0};
+  std::atomic<bool> stop_all{false};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int remaining = 0;
+  Status first_error;  // non-stop failure — takes precedence
+  Status first_stop;   // deadline/cancellation
+};
+
+}  // namespace
+
+Status ThreadPool::ParallelFor(
+    int64_t n, const ParallelForOptions& opts,
+    const std::function<Status(int worker, int64_t begin, int64_t end, StopToken* stop)>&
+        body) {
+  if (n <= 0) return Status::OK();
+  const int64_t grain = std::max<int64_t>(opts.grain, 1);
+  const int workers = PlannedWorkers(n, opts);
+
+  ParallelForState state;
+  state.remaining = workers;
+
+  auto run_worker = [&state, &body, &opts, n, grain](int worker) {
+    StopToken stop = opts.stop;  // per-worker copy (per-holder stride state)
+    Status failure;
+    while (!state.stop_all.load(std::memory_order_relaxed)) {
+      if (stop.ShouldStopNow()) {
+        failure = stop.ToStatus();
+        break;
+      }
+      const int64_t begin = state.next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const int64_t end = std::min(n, begin + grain);
+      Status st;
+      try {
+        st = body(worker, begin, end, &stop);
+      } catch (const std::exception& e) {
+        st = Status::Internal(std::string("uncaught exception in parallel worker: ") +
+                              e.what());
+      } catch (...) {
+        st = Status::Internal("uncaught non-standard exception in parallel worker");
+      }
+      if (!st.ok()) {
+        failure = std::move(st);
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!failure.ok()) {
+      state.stop_all.store(true, std::memory_order_relaxed);
+      if (failure.IsStop()) {
+        if (state.first_stop.ok()) state.first_stop = std::move(failure);
+      } else if (state.first_error.ok()) {
+        state.first_error = std::move(failure);
+      }
+    }
+    if (--state.remaining == 0) state.done_cv.notify_all();
+  };
+
+  // Workers 1..W-1 go to the pool; the caller runs worker 0 inline. With a
+  // single planned worker this degenerates to a plain loop on the calling
+  // thread — no queue, no locks beyond the final bookkeeping.
+  for (int w = 1; w < workers; ++w) {
+    Enqueue([&run_worker, w] { run_worker(w); });
+  }
+  run_worker(0);
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+  }
+  if (!state.first_error.ok()) return state.first_error;
+  if (!state.first_stop.ok()) return state.first_stop;
+  return Status::OK();
+}
+
+}  // namespace cape

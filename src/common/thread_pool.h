@@ -1,0 +1,125 @@
+#ifndef CAPE_COMMON_THREAD_POOL_H_
+#define CAPE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+
+namespace cape {
+
+/// Fixed-size worker pool shared by the miners and the explanation
+/// generator (DESIGN.md §9). Threads are started once and sleep on a
+/// condition variable between bursts, so an idle pool costs nothing on the
+/// hot path. All parallel work in the codebase goes through ParallelFor —
+/// nothing constructs std::thread directly.
+///
+/// Concurrency model: ParallelFor partitions an index range into grain-sized
+/// chunks that workers claim from a shared atomic counter (dynamic
+/// scheduling — work units here have wildly uneven cost). The calling thread
+/// always participates as worker 0, so `num_threads = 1` runs entirely
+/// inline with no queueing or locking, and a request can never deadlock
+/// waiting for a saturated pool.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Outstanding ParallelFor calls must have returned.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of pool threads (excluding participating callers).
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// The process-wide pool. Sized for the hardware but never below 3
+  /// threads, so that concurrency tests and sanitizer runs exercise real
+  /// interleavings even on small machines. Created on first use.
+  static ThreadPool& Global();
+
+  struct ParallelForOptions {
+    /// Upper bound on concurrent workers (including the caller). <= 0 means
+    /// pool size + 1. The per-call bound is what lets one shared pool serve
+    /// requests with different `num_threads` settings.
+    int max_workers = 0;
+    /// Indices claimed per counter increment. 1 for coarse work units
+    /// (attribute sets, scoring pairs); larger for cheap per-index bodies.
+    int64_t grain = 1;
+    /// Cooperative-stop prototype. Each worker carries its own copy (the
+    /// stride countdown is per-holder state; see StopToken) and checks it
+    /// between chunks; the copy is also handed to the body for per-row
+    /// checks.
+    StopToken stop;
+  };
+
+  /// Number of distinct worker ids ParallelFor(n, opts) will use; callers
+  /// size per-worker state arrays with this.
+  int PlannedWorkers(int64_t n, const ParallelForOptions& opts) const;
+
+  /// Runs `body(worker, begin, end, stop)` over [0, n) in grain-sized
+  /// chunks until the range is drained or a body reports failure.
+  ///
+  ///  - `worker` is a dense id in [0, PlannedWorkers(n, opts)); the same id
+  ///    is never active on two threads at once, so per-worker accumulators
+  ///    need no locks.
+  ///  - A non-OK Status from any body stops all workers at their next chunk
+  ///    boundary and becomes the return value. Real errors take precedence
+  ///    over stop (deadline/cancellation) statuses when both occur.
+  ///  - A worker whose own StopToken fires between chunks stops the run the
+  ///    same way (the stop Status is returned).
+  ///  - Exceptions escaping the body are captured and propagated as
+  ///    Status::Internal — they must not tear down unrelated pool users.
+  ///
+  /// Returns OK only when every chunk completed. The call blocks until all
+  /// participating workers have quiesced, which is what makes the
+  /// per-worker state arrays safe to read afterwards.
+  Status ParallelFor(int64_t n, const ParallelForOptions& opts,
+                     const std::function<Status(int worker, int64_t begin, int64_t end,
+                                                StopToken* stop)>& body);
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+/// Monotone score floor shared by the scoring workers of one explain
+/// request: the maximum over all per-worker top-k thresholds published so
+/// far. Readers may observe a stale (lower) value — that only makes the
+/// Section 3.5 pruning conservative, never wrong — and the floor itself
+/// never decreases, which is what keeps the pruned set sound at any thread
+/// count (DESIGN.md §9).
+class SharedScoreFloor {
+ public:
+  double Get() const { return floor_.load(std::memory_order_relaxed); }
+
+  /// Raises the floor to at least `candidate` (no-op when lower).
+  void RaiseTo(double candidate) {
+    double current = floor_.load(std::memory_order_relaxed);
+    while (candidate > current &&
+           !floor_.compare_exchange_weak(current, candidate, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> floor_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace cape
+
+#endif  // CAPE_COMMON_THREAD_POOL_H_

@@ -35,6 +35,7 @@ Status Engine::MinePatterns(const std::string& miner_name) {
   patterns_ = std::move(result.patterns);
   mining_profile_ = result.profile;
   run_stats_.mine_ns = result.profile.total_ns;
+  run_stats_.mine_cpu_ns = result.profile.cpu_ns;
   run_stats_.mine_rows_scanned = result.profile.num_rows_scanned;
   run_stats_.mine_candidates = result.profile.num_candidates;
   run_stats_.mine_candidates_skipped_fd = result.profile.num_candidates_skipped_fd;
@@ -73,6 +74,7 @@ Result<ExplainResult> Engine::Explain(const UserQuestion& question, bool optimiz
       ExplainResult result,
       generator->Explain(question, *patterns_, distance_model_, explain_config_));
   run_stats_.explain_ns = result.profile.total_ns;
+  run_stats_.explain_cpu_ns = result.profile.cpu_ns;
   run_stats_.explain_pairs_considered = result.profile.num_refinement_pairs;
   run_stats_.explain_pairs_pruned = result.profile.num_pairs_pruned;
   run_stats_.explain_tuples_checked = result.profile.num_tuples_checked;

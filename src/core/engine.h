@@ -24,8 +24,11 @@ struct RunStats {
   int64_t rows_loaded = 0;
   int64_t rows_quarantined = 0;
 
-  // Mining stage (last MinePatterns call).
+  // Mining stage (last MinePatterns call). mine_ns is wall time; mine_cpu_ns
+  // is work summed across pool workers (their ratio is the effective mining
+  // parallelism; equal when num_threads == 1 up to timer overhead).
   int64_t mine_ns = 0;
+  int64_t mine_cpu_ns = 0;
   int64_t mine_rows_scanned = 0;
   int64_t mine_candidates = 0;
   int64_t mine_candidates_skipped_fd = 0;
@@ -33,8 +36,9 @@ struct RunStats {
   bool mine_truncated = false;
   StopReason mine_stop_reason = StopReason::kNone;
 
-  // Explain stage (last Explain call).
+  // Explain stage (last Explain call). Wall vs. summed-CPU split as above.
   int64_t explain_ns = 0;
+  int64_t explain_cpu_ns = 0;
   int64_t explain_pairs_considered = 0;
   int64_t explain_pairs_pruned = 0;
   int64_t explain_tuples_checked = 0;
@@ -79,6 +83,15 @@ class Engine {
   const MiningConfig& mining_config() const { return mining_config_; }
   ExplainConfig& explain_config() { return explain_config_; }
   DistanceModel& distance_model() { return distance_model_; }
+
+  /// Sets the worker count for both offline mining and online explanation
+  /// (clamped to >= 1). Results are bit-identical at any value; see
+  /// DESIGN.md §9.
+  void set_num_threads(int num_threads) {
+    const int n = num_threads < 1 ? 1 : num_threads;
+    mining_config_.num_threads = n;
+    explain_config_.num_threads = n;
+  }
   const DistanceModel& distance_model() const { return distance_model_; }
 
   /// Runs offline ARP mining with the named algorithm ("ARP-MINE" default;

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 
 #include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace cape {
 
@@ -26,24 +29,60 @@ std::string CandidateKey(const Explanation& e) {
   return key;
 }
 
-/// Holds the best-scoring explanation per (P', t') and exposes the k-th
-/// best deduplicated score as the pruning floor.
+/// Deterministic identity of one candidate in the scoring stream: the
+/// (P, P') pair's position in the deterministically-ordered pair list plus
+/// the tuple's row inside that pair's aggregated data. When two candidates
+/// for the same tuple tie on score, the lower rank wins — a rule that
+/// depends only on the *set* of candidates scored, never on the order the
+/// workers happened to score them, which is what keeps the retained
+/// Explanation (and hence the rendered output) identical at any thread
+/// count.
+struct CandidateRank {
+  int64_t pair = 0;
+  int64_t row = 0;
+};
+
+bool RankLess(const CandidateRank& a, const CandidateRank& b) {
+  if (a.pair != b.pair) return a.pair < b.pair;
+  return a.row < b.row;
+}
+
+/// Holds the best-scoring explanation per counterbalance tuple and exposes
+/// the k-th best deduplicated score as the pruning floor. Each scoring
+/// worker owns one pool (no locks on the Add path); when a `floor` is
+/// attached, every update that changes a full pool's threshold publishes it
+/// to the shared monotone floor so other workers prune against it too.
 class CandidatePool {
  public:
-  explicit CandidatePool(int k) : k_(k) {}
+  CandidatePool(int k, SharedScoreFloor* floor) : k_(k), floor_(floor) {}
 
-  void Add(Explanation e) {
+  void Add(Explanation e, CandidateRank rank) {
     std::string key = CandidateKey(e);
     auto it = best_.find(key);
     if (it == best_.end()) {
       scores_.insert(e.score);
-      best_.emplace(std::move(key), std::move(e));
+      best_.emplace(std::move(key), Entry{std::move(e), rank});
+      Publish();
       return;
     }
-    if (e.score <= it->second.score) return;
-    scores_.erase(scores_.find(it->second.score));
+    Entry& held = it->second;
+    if (e.score < held.explanation.score) return;
+    if (e.score == held.explanation.score) {
+      // Same tuple, same score, different (P, P') or row: deterministic
+      // winner regardless of insertion order.
+      if (RankLess(rank, held.rank)) held = Entry{std::move(e), rank};
+      return;
+    }
+    scores_.erase(scores_.find(held.explanation.score));
     scores_.insert(e.score);
-    it->second = std::move(e);
+    held = Entry{std::move(e), rank};
+    Publish();
+  }
+
+  /// Folds another pool's candidates into this one (used for the final
+  /// merge; both pools must share the same k).
+  void Merge(const CandidatePool& other) {
+    for (const auto& [key, entry] : other.best_) Add(entry.explanation, entry.rank);
   }
 
   bool Full() const { return static_cast<int>(best_.size()) >= k_; }
@@ -59,7 +98,7 @@ class CandidatePool {
   std::vector<Explanation> TopK() const {
     std::vector<Explanation> out;
     out.reserve(best_.size());
-    for (const auto& [key, e] : best_) out.push_back(e);
+    for (const auto& [key, entry] : best_) out.push_back(entry.explanation);
     std::sort(out.begin(), out.end(), [](const Explanation& a, const Explanation& b) {
       if (a.score != b.score) return a.score > b.score;
       return CandidateKey(a) < CandidateKey(b);  // deterministic tie-break
@@ -69,13 +108,25 @@ class CandidatePool {
   }
 
  private:
+  struct Entry {
+    Explanation explanation;
+    CandidateRank rank;
+  };
+
+  void Publish() {
+    if (floor_ != nullptr && Full()) floor_->RaiseTo(Threshold());
+  }
+
   int k_;
-  std::unordered_map<std::string, Explanation> best_;
+  SharedScoreFloor* floor_;
+  std::unordered_map<std::string, Entry> best_;
   std::multiset<double, std::greater<double>> scores_;
 };
 
 /// Caches γ_{attrs, agg(A)}(R) tables shared by every (P, P') pair whose
-/// refinement has the same attribute set.
+/// refinement has the same attribute set. Thread-safe: concurrent workers
+/// requesting the same key serialize on that entry (one computes, the rest
+/// reuse), while distinct keys compute in parallel.
 class AggDataCache {
  public:
   explicit AggDataCache(const Table& relation) : relation_(relation) {}
@@ -84,21 +135,36 @@ class AggDataCache {
     const std::string key = std::to_string(attrs.bits()) + "|" +
                             std::to_string(static_cast<int>(agg)) + "|" +
                             std::to_string(agg_attr);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_ptr<Entry>& slot = cache_[key];
+      if (slot == nullptr) slot = std::make_shared<Entry>();
+      entry = slot;
+    }
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->table != nullptr) return entry->table;
     AggregateSpec spec;
     spec.func = agg;
     spec.input_col = agg_attr;
     spec.output_name = "agg";
+    // A failed computation (deadline mid-aggregation) is not cached: the
+    // run is ending anyway, and a later retry must not see a poisoned slot.
     CAPE_ASSIGN_OR_RETURN(TablePtr data,
                           GroupByAggregate(relation_, attrs.ToIndices(), {spec}, stop));
-    cache_.emplace(key, data);
+    entry->table = data;
     return data;
   }
 
  private:
+  struct Entry {
+    std::mutex mu;
+    TablePtr table;
+  };
+
   const Table& relation_;
-  std::unordered_map<std::string, TablePtr> cache_;
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> cache_;
 };
 
 /// Relevant patterns (Definition 5) restricted to the question's aggregate:
@@ -149,20 +215,34 @@ double LocalDeviationUpperBound(const LocalPattern& local, Direction dir) {
 
 /// Records an early stop: the result keeps the best explanations found so
 /// far and reports which stage the deadline/cancellation interrupted.
-void MarkPartial(ExplainResult* result, const StopToken& stop, const char* stage) {
+void MarkPartial(ExplainResult* result, StopReason reason, const char* stage) {
   result->partial = true;
-  result->stop_reason = stop.reason();
+  result->stop_reason = reason;
   result->stopped_stage = stage;
 }
 
+/// One (P, P') scoring unit. `bound` is score↑(φ, P, P') from Section 3.5
+/// (0 for the naive generator, which never prunes); `rank` is the unit's
+/// position in the deterministically-ordered pair list.
+struct PairTask {
+  const GlobalPattern* relevant = nullptr;
+  const GlobalPattern* refinement = nullptr;
+  double norm = 0.0;
+  double bound = 0.0;
+};
+
 /// Scans all candidate tuples t' for one (P, P') pair, adding every valid
-/// explanation (Definition 7) to the pool. When `prune_locals` is set,
-/// fragments whose local deviation bound cannot beat the pool threshold are
-/// skipped (the "more accurate bound" of Section 3.5).
+/// explanation (Definition 7) to the worker's pool. When `prune_locals` is
+/// set, fragments whose local deviation bound cannot beat the shared score
+/// floor are skipped (the "more accurate bound" of Section 3.5). The floor
+/// comparison is strict: a fragment that could still *tie* the k-th best
+/// score is always scanned, which is what makes the pruned set — and hence
+/// the final top-k — independent of thread count and timing.
 Status EvaluatePair(const UserQuestion& q, const GlobalPattern& relevant,
                     const GlobalPattern& refinement, double norm,
                     const DistanceModel& distance_model, const ExplainConfig& config,
-                    AggDataCache* cache, bool prune_locals, CandidatePool* pool,
+                    AggDataCache* cache, bool prune_locals, int64_t pair_rank,
+                    const SharedScoreFloor* floor, CandidatePool* pool,
                     ExplainProfile* profile, StopToken* stop) {
   CAPE_FAILPOINT("explain.refine");
   const Pattern& p = relevant.pattern;
@@ -220,10 +300,10 @@ Status EvaluatePair(const UserQuestion& q, const GlobalPattern& relevant,
     const LocalPattern* local = refinement.FindLocal(fragment);
     if (local == nullptr) continue;
 
-    if (prune_locals && pool->Full()) {
+    if (prune_locals) {
       const double local_bound = LocalDeviationUpperBound(*local, q.dir) /
                                  ((distance_lb + config.epsilon) * norm_denominator);
-      if (local_bound <= pool->Threshold()) continue;
+      if (local_bound < floor->Get()) continue;
     }
 
     // Condition (5): deviation in the opposite direction.
@@ -250,9 +330,124 @@ Status EvaluatePair(const UserQuestion& q, const GlobalPattern& relevant,
     e.norm = norm;
     e.score = (e.deviation * isLow) / ((e.distance + config.epsilon) * norm_denominator);
     profile->num_candidates += 1;
-    pool->Add(std::move(e));
+    pool->Add(std::move(e), CandidateRank{pair_rank, row});
   }
   return Status::OK();
+}
+
+/// Shared implementation of both generators (Section 3). The relevant-
+/// pattern search and NORM queries run inline; the (P, P') scoring units
+/// are then partitioned across the shared ThreadPool — each worker scores
+/// into its own CandidatePool against a shared monotone score floor, and
+/// the per-worker pools are merged at the end. `optimized` enables the
+/// Section 3.5 ordering and pruning (EXPL-GEN-OPT); the naive generator
+/// scores every pair in enumeration order.
+///
+/// Determinism (DESIGN.md §9): the pair list and every per-candidate tie-
+/// break are deterministic, the floor is monotone and only ever below the
+/// true top-k threshold, and pruning is strict (`bound < floor`), so any
+/// candidate that could enter — or tie into — the final top-k is scored by
+/// every run. The merged top-k is therefore byte-identical at any thread
+/// count.
+Result<ExplainResult> RunExplain(const UserQuestion& q, const PatternSet& patterns,
+                                 const DistanceModel& distance, const ExplainConfig& config,
+                                 bool optimized) {
+  ExplainResult result;
+  Stopwatch total;
+  StopToken stop = config.MakeStopToken();
+  AggDataCache cache(*q.relation);
+  const bool prune_pairs = optimized && config.prune_pairs;
+  const bool prune_locals = optimized && config.prune_locals;
+
+  // Stage 1 (inline): relevant patterns, NORM per relevant pattern, and the
+  // (P, P') pair list with Section 3.5 score upper bounds.
+  std::vector<PairTask> pairs;
+  const auto relevant = FindRelevantPatterns(q, patterns);
+  result.profile.num_relevant_patterns = static_cast<int64_t>(relevant.size());
+  for (const GlobalPattern* p : relevant) {
+    auto norm_result = ComputeNorm(q, p->pattern, &stop);
+    if (!norm_result.ok()) {
+      if (norm_result.status().IsStop()) {
+        MarkPartial(&result, stop.reason(), "norm");
+        break;
+      }
+      return norm_result.status();
+    }
+    const double norm = norm_result.ValueOrDie();
+    const double norm_denominator = std::fabs(norm) + config.epsilon;
+    for (const GlobalPattern& pp : patterns.patterns()) {
+      if (!pp.pattern.IsRefinementOf(p->pattern)) continue;
+      result.profile.num_refinement_pairs += 1;
+      double bound = 0.0;
+      if (optimized) {
+        const double dev_up = DeviationUpperBound(pp, q.dir);
+        const double d_lb = distance.LowerBound(q.group_attrs, pp.pattern.GroupAttrs());
+        bound = dev_up <= 0.0 ? 0.0 : dev_up / ((d_lb + config.epsilon) * norm_denominator);
+      }
+      pairs.push_back(PairTask{p, &pp, norm, bound});
+    }
+  }
+  // Decreasing bound order raises the floor as early as possible. The sort
+  // is stable so equal bounds keep their deterministic enumeration order —
+  // a pair's position is its candidates' tie-break rank.
+  if (optimized) {
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const PairTask& a, const PairTask& b) { return a.bound > b.bound; });
+  }
+
+  // Stage 2 (parallel): partition the pairs across workers. A run already
+  // stopped in stage 1 skips scoring entirely (matching the sequential
+  // semantics: a "norm" stop reports no scored candidates).
+  if (!result.partial && !pairs.empty()) {
+    ThreadPool& pool_exec = ThreadPool::Global();
+    ThreadPool::ParallelForOptions opts;
+    opts.max_workers = std::max(config.num_threads, 1);
+    opts.grain = 1;  // one (P, P') scan per claim — work units are coarse
+    opts.stop = stop;
+    const int workers = pool_exec.PlannedWorkers(static_cast<int64_t>(pairs.size()), opts);
+
+    SharedScoreFloor floor;
+    std::vector<CandidatePool> pools;
+    pools.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) pools.emplace_back(config.top_k, &floor);
+    std::vector<ExplainProfile> profiles(static_cast<size_t>(workers));
+
+    Status scored = pool_exec.ParallelFor(
+        static_cast<int64_t>(pairs.size()), opts,
+        [&](int worker, int64_t begin, int64_t end, StopToken* worker_stop) -> Status {
+          ExplainProfile& profile = profiles[static_cast<size_t>(worker)];
+          ScopedTimer cpu(&profile.cpu_ns);
+          for (int64_t i = begin; i < end; ++i) {
+            const PairTask& pair = pairs[static_cast<size_t>(i)];
+            if (prune_pairs && pair.bound < floor.Get()) {
+              profile.num_pairs_pruned += 1;
+              continue;
+            }
+            CAPE_RETURN_IF_ERROR(EvaluatePair(
+                q, *pair.relevant, *pair.refinement, pair.norm, distance, config, &cache,
+                prune_locals, i, &floor, &pools[static_cast<size_t>(worker)], &profile,
+                worker_stop));
+          }
+          return Status::OK();
+        });
+    if (!scored.ok()) {
+      if (!scored.IsStop()) return scored;
+      MarkPartial(&result, StopReasonFromStatus(scored), "refine");
+    }
+
+    CandidatePool merged(config.top_k, nullptr);
+    for (const CandidatePool& pool : pools) merged.Merge(pool);
+    result.explanations = merged.TopK();
+    for (const ExplainProfile& profile : profiles) {
+      result.profile.cpu_ns += profile.cpu_ns;
+      result.profile.num_pairs_pruned += profile.num_pairs_pruned;
+      result.profile.num_tuples_checked += profile.num_tuples_checked;
+      result.profile.num_candidates += profile.num_candidates;
+    }
+  }
+
+  result.profile.total_ns = total.ElapsedNanos();
+  return result;
 }
 
 /// EXPL-GEN-NAIVE (Algorithm 1).
@@ -263,40 +458,7 @@ class NaiveExplainer final : public ExplanationGenerator {
   Result<ExplainResult> Explain(const UserQuestion& q, const PatternSet& patterns,
                                 const DistanceModel& distance,
                                 const ExplainConfig& config) override {
-    ExplainResult result;
-    Stopwatch total;
-    StopToken stop = config.MakeStopToken();
-    CandidatePool pool(config.top_k);
-    AggDataCache cache(*q.relation);
-
-    const auto relevant = FindRelevantPatterns(q, patterns);
-    result.profile.num_relevant_patterns = static_cast<int64_t>(relevant.size());
-    for (const GlobalPattern* p : relevant) {
-      if (result.partial) break;
-      auto norm_result = ComputeNorm(q, p->pattern, &stop);
-      if (!norm_result.ok()) {
-        if (norm_result.status().IsStop()) {
-          MarkPartial(&result, stop, "norm");
-          break;
-        }
-        return norm_result.status();
-      }
-      const double norm = norm_result.ValueOrDie();
-      for (const GlobalPattern& pp : patterns.patterns()) {
-        if (!pp.pattern.IsRefinementOf(p->pattern)) continue;
-        result.profile.num_refinement_pairs += 1;
-        Status st = EvaluatePair(q, *p, pp, norm, distance, config, &cache,
-                                 /*prune_locals=*/false, &pool, &result.profile, &stop);
-        if (st.IsStop()) {
-          MarkPartial(&result, stop, "refine");
-          break;
-        }
-        CAPE_RETURN_IF_ERROR(st);
-      }
-    }
-    result.explanations = pool.TopK();
-    result.profile.total_ns = total.ElapsedNanos();
-    return result;
+    return RunExplain(q, patterns, distance, config, /*optimized=*/false);
   }
 };
 
@@ -308,67 +470,7 @@ class OptimizedExplainer final : public ExplanationGenerator {
   Result<ExplainResult> Explain(const UserQuestion& q, const PatternSet& patterns,
                                 const DistanceModel& distance,
                                 const ExplainConfig& config) override {
-    ExplainResult result;
-    Stopwatch total;
-    StopToken stop = config.MakeStopToken();
-    CandidatePool pool(config.top_k);
-    AggDataCache cache(*q.relation);
-
-    struct Pair {
-      const GlobalPattern* relevant;
-      const GlobalPattern* refinement;
-      double norm;
-      double bound;
-    };
-    std::vector<Pair> pairs;
-
-    const auto relevant = FindRelevantPatterns(q, patterns);
-    result.profile.num_relevant_patterns = static_cast<int64_t>(relevant.size());
-    for (const GlobalPattern* p : relevant) {
-      if (result.partial) break;
-      auto norm_result = ComputeNorm(q, p->pattern, &stop);
-      if (!norm_result.ok()) {
-        if (norm_result.status().IsStop()) {
-          MarkPartial(&result, stop, "norm");
-          break;
-        }
-        return norm_result.status();
-      }
-      const double norm = norm_result.ValueOrDie();
-      const double norm_denominator = std::fabs(norm) + config.epsilon;
-      for (const GlobalPattern& pp : patterns.patterns()) {
-        if (!pp.pattern.IsRefinementOf(p->pattern)) continue;
-        result.profile.num_refinement_pairs += 1;
-        const double dev_up = DeviationUpperBound(pp, q.dir);
-        const double d_lb = distance.LowerBound(q.group_attrs, pp.pattern.GroupAttrs());
-        const double bound =
-            dev_up <= 0.0 ? 0.0 : dev_up / ((d_lb + config.epsilon) * norm_denominator);
-        pairs.push_back(Pair{p, &pp, norm, bound});
-      }
-    }
-
-    // Process in decreasing bound order; once the bound cannot beat the
-    // current k-th best score, every remaining pair is pruned.
-    std::sort(pairs.begin(), pairs.end(),
-              [](const Pair& a, const Pair& b) { return a.bound > b.bound; });
-    for (size_t i = 0; i < pairs.size() && !result.partial; ++i) {
-      const Pair& pair = pairs[i];
-      if (config.prune_pairs && pool.Full() && pair.bound <= pool.Threshold()) {
-        result.profile.num_pairs_pruned += static_cast<int64_t>(pairs.size() - i);
-        break;
-      }
-      Status st = EvaluatePair(q, *pair.relevant, *pair.refinement, pair.norm, distance,
-                               config, &cache, config.prune_locals, &pool,
-                               &result.profile, &stop);
-      if (st.IsStop()) {
-        MarkPartial(&result, stop, "refine");
-        break;
-      }
-      CAPE_RETURN_IF_ERROR(st);
-    }
-    result.explanations = pool.TopK();
-    result.profile.total_ns = total.ElapsedNanos();
-    return result;
+    return RunExplain(q, patterns, distance, config, /*optimized=*/true);
   }
 };
 

@@ -27,6 +27,14 @@ struct ExplainConfig {
   bool prune_pairs = true;
   bool prune_locals = true;
 
+  /// Worker threads for the online scoring phase: the (P, P') candidate
+  /// pairs are partitioned across workers of the shared ThreadPool, each
+  /// scoring into its own candidate pool with a shared monotone top-k floor
+  /// so the Section 3.5 pruning keeps firing across threads. The merged
+  /// top-k is byte-identical to the single-threaded run at any thread count
+  /// (DESIGN.md §9). 1 = fully inline, no pool involvement.
+  int num_threads = 1;
+
   /// Request lifecycle: when deadline_ms > 0 the generator stops
   /// cooperatively after that many milliseconds of wall time and returns the
   /// best explanations found so far with ExplainResult::partial set;
@@ -45,8 +53,17 @@ struct ExplainConfig {
 };
 
 /// Counters for Figures 6a-6c and for tests of the pruning logic.
+///
+/// `total_ns` is wall time; `cpu_ns` is the scoring work summed across
+/// workers and may exceed `total_ns` when num_threads > 1 (their ratio is
+/// the effective scoring parallelism). The work counters
+/// (num_tuples_checked, num_pairs_pruned, ...) are exact totals but — like
+/// any pruning statistic — can vary with thread count and timing, since a
+/// faster-rising shared floor prunes more; only the returned top-k is
+/// guaranteed identical.
 struct ExplainProfile {
-  int64_t total_ns = 0;
+  int64_t total_ns = 0;               // wall time of the whole request
+  int64_t cpu_ns = 0;                 // scoring time summed over workers
   int64_t num_relevant_patterns = 0;
   int64_t num_refinement_pairs = 0;   // (P, P') combinations considered
   int64_t num_pairs_pruned = 0;       // pairs skipped via the score bound

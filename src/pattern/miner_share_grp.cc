@@ -1,10 +1,9 @@
-#include <atomic>
-#include <mutex>
-#include <thread>
+#include <algorithm>
 
 #include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "pattern/mining.h"
 #include "pattern/mining_internal.h"
 
@@ -17,10 +16,10 @@ using mining_internal::CandidateMap;
 
 /// SHARE-GRP (Section 4.1, "One query per F ∪ V"): one aggregation query per
 /// attribute set G computing every agg(A) combination at once, then one sort
-/// query per (F, V) split of G. Attribute sets are independent, so with
-/// MiningConfig::num_threads > 1 they are processed by a worker pool; the
-/// per-G candidate patterns are disjoint and the merged result is identical
-/// to the sequential one.
+/// query per (F, V) split of G. Attribute sets are independent, so they are
+/// partitioned across the shared ThreadPool (MiningConfig::num_threads
+/// workers); the per-G candidate patterns are disjoint and the merged result
+/// is identical to the sequential one at any thread count.
 class ShareGrpMiner final : public PatternMiner {
  public:
   std::string name() const override { return "SHARE-GRP"; }
@@ -34,76 +33,50 @@ class ShareGrpMiner final : public PatternMiner {
     CAPE_ASSIGN_OR_RETURN(const std::vector<AttrSet> group_sets,
                           mining_internal::EnumerateGroupSets(*table.schema(), config));
 
-    CandidateMap candidates;
-    if (config.num_threads <= 1) {
-      StopToken stop = config.MakeStopToken();
-      for (AttrSet g : group_sets) {
-        Status st = ProcessGroupSet(table, g, config, &profile, &candidates, &stop);
-        if (st.IsStop()) {
-          result.truncated = true;
-          result.stop_reason = stop.reason();
-          break;
-        }
-        CAPE_RETURN_IF_ERROR(st);
-      }
-    } else {
-      const int num_threads =
-          std::min<int>(config.num_threads, static_cast<int>(group_sets.size()) + 1);
-      std::atomic<size_t> next{0};
-      std::atomic<bool> any_stopped{false};
-      std::atomic<int> stop_reason{static_cast<int>(StopReason::kNone)};
-      std::vector<CandidateMap> thread_candidates(static_cast<size_t>(num_threads));
-      std::vector<MiningProfile> thread_profiles(static_cast<size_t>(num_threads));
-      std::vector<Status> thread_status(static_cast<size_t>(num_threads));
-      std::vector<std::thread> workers;
-      for (int t = 0; t < num_threads; ++t) {
-        workers.emplace_back([&, t] {
-          // Each worker carries its own StopToken copy (the strided clock
-          // countdown is per-holder state; the cancel flag is shared).
-          StopToken stop = config.MakeStopToken();
-          while (true) {
-            if (any_stopped.load(std::memory_order_relaxed) || stop.ShouldStopNow()) {
-              break;
-            }
-            const size_t i = next.fetch_add(1);
-            if (i >= group_sets.size()) return;
-            Status st =
-                ProcessGroupSet(table, group_sets[i], config,
-                                &thread_profiles[static_cast<size_t>(t)],
-                                &thread_candidates[static_cast<size_t>(t)], &stop);
-            if (st.IsStop()) break;
-            if (!st.ok()) {
-              thread_status[static_cast<size_t>(t)] = std::move(st);
-              return;
-            }
+    ThreadPool& pool = ThreadPool::Global();
+    ThreadPool::ParallelForOptions opts;
+    opts.max_workers = std::max(config.num_threads, 1);
+    opts.grain = 1;  // one attribute set per claim — G work units are coarse
+    opts.stop = config.MakeStopToken();
+    const int workers = pool.PlannedWorkers(static_cast<int64_t>(group_sets.size()), opts);
+
+    std::vector<CandidateMap> worker_candidates(static_cast<size_t>(workers));
+    std::vector<MiningProfile> worker_profiles(static_cast<size_t>(workers));
+
+    Status st = pool.ParallelFor(
+        static_cast<int64_t>(group_sets.size()), opts,
+        [&](int worker, int64_t begin, int64_t end, StopToken* stop) -> Status {
+          MiningProfile& prof = worker_profiles[static_cast<size_t>(worker)];
+          ScopedTimer cpu(&prof.cpu_ns);
+          for (int64_t i = begin; i < end; ++i) {
+            CAPE_RETURN_IF_ERROR(ProcessGroupSet(
+                table, group_sets[static_cast<size_t>(i)], config, &prof,
+                &worker_candidates[static_cast<size_t>(worker)], stop));
           }
-          any_stopped.store(true, std::memory_order_relaxed);
-          if (stop.reason() != StopReason::kNone) {
-            stop_reason.store(static_cast<int>(stop.reason()), std::memory_order_relaxed);
-          }
+          return Status::OK();
         });
+    if (!st.ok()) {
+      if (!st.IsStop()) return st;
+      result.truncated = true;
+      result.stop_reason = StopReasonFromStatus(st);
+    }
+
+    CandidateMap candidates;
+    for (size_t w = 0; w < worker_candidates.size(); ++w) {
+      // Candidate keys are disjoint across G sets, hence across workers.
+      // Each worker map holds only fully-evaluated splits, so a truncated
+      // merge is still an exact subset of the untimed result.
+      for (auto& [pattern, stats] : worker_candidates[w]) {
+        candidates.emplace(pattern, std::move(stats));
       }
-      for (std::thread& worker : workers) worker.join();
-      for (const Status& st : thread_status) CAPE_RETURN_IF_ERROR(st);
-      if (any_stopped.load()) {
-        result.truncated = true;
-        result.stop_reason = static_cast<StopReason>(stop_reason.load());
-      }
-      for (size_t t = 0; t < thread_candidates.size(); ++t) {
-        // Candidate keys are disjoint across G sets, hence across threads.
-        // Each thread map holds only fully-evaluated splits, so a truncated
-        // merge is still an exact subset of the untimed result.
-        for (auto& [pattern, stats] : thread_candidates[t]) {
-          candidates.emplace(pattern, std::move(stats));
-        }
-        profile.regression_ns += thread_profiles[t].regression_ns;
-        profile.query_ns += thread_profiles[t].query_ns;
-        profile.num_candidates += thread_profiles[t].num_candidates;
-        profile.num_local_fits += thread_profiles[t].num_local_fits;
-        profile.num_queries += thread_profiles[t].num_queries;
-        profile.num_sorts += thread_profiles[t].num_sorts;
-        profile.num_rows_scanned += thread_profiles[t].num_rows_scanned;
-      }
+      profile.regression_ns += worker_profiles[w].regression_ns;
+      profile.query_ns += worker_profiles[w].query_ns;
+      profile.cpu_ns += worker_profiles[w].cpu_ns;
+      profile.num_candidates += worker_profiles[w].num_candidates;
+      profile.num_local_fits += worker_profiles[w].num_local_fits;
+      profile.num_queries += worker_profiles[w].num_queries;
+      profile.num_sorts += worker_profiles[w].num_sorts;
+      profile.num_rows_scanned += worker_profiles[w].num_rows_scanned;
     }
 
     result.patterns = mining_internal::FinalizePatterns(std::move(candidates), config);

@@ -54,12 +54,16 @@ struct MiningConfig {
   /// add detected FDs to its own working copy.
   FdSet initial_fds;
 
-  /// Worker threads for miners that support intra-mining parallelism
-  /// (currently SHARE-GRP; attribute sets G are independent work units and
-  /// their candidate patterns are disjoint, so results are bit-identical
-  /// regardless of thread count). ARP-MINE stays sequential because its FD
-  /// detection consumes group cardinalities in increasing-|G| order. When
-  /// parallel, the profile's per-subtask times are summed CPU times and may
+  /// Worker threads for miners that support intra-mining parallelism,
+  /// scheduled on the shared ThreadPool (DESIGN.md §9). SHARE-GRP
+  /// partitions attribute sets G across workers (independent work units
+  /// with disjoint candidate patterns). ARP-MINE parallelizes within each
+  /// attribute-set level behind a level barrier: group queries and sort
+  /// explorations fan out, while FD detection stays sequential in set
+  /// order so the FDs available to any skip decision are independent of
+  /// thread count. Both miners produce bit-identical pattern sets at any
+  /// thread count. When parallel, the profile's per-subtask times
+  /// (regression_ns/query_ns/cpu_ns) are summed across workers and may
   /// exceed total_ns (which stays wall time).
   int num_threads = 1;
 
@@ -79,11 +83,16 @@ struct MiningConfig {
   }
 };
 
-/// Wall-time attribution for Figure 4 plus counters used in tests/benches.
+/// Time attribution for Figure 4 plus counters used in tests/benches.
+///
+/// `total_ns` is always wall time. `cpu_ns` (and the regression_ns/query_ns
+/// breakdown) is work summed across workers: with num_threads > 1 it can
+/// exceed total_ns, and cpu_ns / total_ns is the effective parallelism.
 struct MiningProfile {
-  int64_t regression_ns = 0;  // model fitting + GoF
-  int64_t query_ns = 0;       // aggregation/cube/filter/sort queries
-  int64_t total_ns = 0;       // everything (other = total - regression - query)
+  int64_t regression_ns = 0;  // model fitting + GoF (summed over workers)
+  int64_t query_ns = 0;       // aggregation/cube/filter/sort (summed over workers)
+  int64_t total_ns = 0;       // wall time (other = total - regression - query)
+  int64_t cpu_ns = 0;         // all mining work summed over workers
 
   int64_t num_candidates = 0;          // (F,V,agg,A,M) combinations examined
   int64_t num_candidates_skipped_fd = 0;

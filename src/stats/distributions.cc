@@ -11,6 +11,19 @@ constexpr int kMaxIterations = 500;
 constexpr double kEpsilon = 1e-14;
 constexpr double kTiny = 1e-300;
 
+/// ln Γ(a) for a > 0. std::lgamma writes the libc-global `signgam`, which
+/// is a data race when regression fits run on pool workers; the reentrant
+/// variant keeps the sign in a local.
+double LogGamma(double a) {
+#if defined(_GNU_SOURCE) || defined(__USE_MISC) || defined(__APPLE__) || \
+    defined(__unix__)
+  int sign = 0;
+  return lgamma_r(a, &sign);
+#else
+  return std::lgamma(a);
+#endif
+}
+
 /// P(a, x) by series expansion; converges quickly for x < a + 1.
 double GammaPBySeries(double a, double x) {
   double term = 1.0 / a;
@@ -22,7 +35,7 @@ double GammaPBySeries(double a, double x) {
     sum += term;
     if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 /// Q(a, x) by Lentz's continued fraction; converges quickly for x >= a + 1.
@@ -43,7 +56,7 @@ double GammaQByContinuedFraction(double a, double x) {
     h *= delta;
     if (std::fabs(delta - 1.0) < kEpsilon) break;
   }
-  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "core/engine.h"
 #include "datagen/crime.h"
 #include "datagen/dblp.h"
@@ -96,6 +99,152 @@ TEST(DeterminismTest, CrimeGeneratorSeedSensitivity) {
     if ((*ta)->GetRow(row) != (*tb)->GetRow(row)) any_difference = true;
   }
   EXPECT_TRUE(any_difference);
+}
+
+/// Parallel equivalence: the thread count is a pure performance knob.
+/// Mining partitions attribute sets (and, for ARP-MINE, per-level phases)
+/// across the shared pool; explanation partitions (P, P') scoring units with
+/// a shared monotone pruning floor. Both must produce bit-identical output
+/// at any thread count (DESIGN.md §9).
+
+std::string ExplanationKey(const Explanation& e) {
+  std::string key = std::to_string(e.tuple_attrs.bits());
+  for (const Value& v : e.tuple_values) {
+    key.push_back('|');
+    key += v.ToString();
+  }
+  return key;
+}
+
+TEST(ParallelEquivalenceTest, MiningIsIdenticalAcrossThreadCounts) {
+  for (const char* miner : {"SHARE-GRP", "ARP-MINE"}) {
+    Engine reference = MakeEngine(5);
+    reference.mining_config().num_threads = 1;
+    ASSERT_TRUE(reference.MinePatterns(miner).ok());
+    const std::string expected =
+        SerializePatternSet(reference.patterns(), reference.schema());
+    for (int threads : {2, 4, 8}) {
+      Engine engine = MakeEngine(5);
+      engine.mining_config().num_threads = threads;
+      ASSERT_TRUE(engine.MinePatterns(miner).ok());
+      EXPECT_EQ(SerializePatternSet(engine.patterns(), engine.schema()), expected)
+          << miner << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, ArpMineFdOptimizationsIdenticalAcrossThreadCounts) {
+  // The FD-skip decisions depend on which FDs are visible when a split is
+  // considered; the level-phased design freezes them per level, so the
+  // skipped set — and hence the mined patterns — must not vary with threads.
+  Engine reference = MakeEngine(5);
+  reference.mining_config().use_fd_optimizations = true;
+  reference.mining_config().num_threads = 1;
+  ASSERT_TRUE(reference.MinePatterns("ARP-MINE").ok());
+  const std::string expected =
+      SerializePatternSet(reference.patterns(), reference.schema());
+  const int64_t skipped = reference.run_stats().mine_candidates_skipped_fd;
+  for (int threads : {2, 4, 8}) {
+    Engine engine = MakeEngine(5);
+    engine.mining_config().use_fd_optimizations = true;
+    engine.mining_config().num_threads = threads;
+    ASSERT_TRUE(engine.MinePatterns("ARP-MINE").ok());
+    EXPECT_EQ(SerializePatternSet(engine.patterns(), engine.schema()), expected)
+        << threads << " threads";
+    EXPECT_EQ(engine.run_stats().mine_candidates_skipped_fd, skipped)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelEquivalenceTest, ExplainTopKIdenticalAcrossThreadCounts) {
+  Engine engine = MakeEngine(5);
+  ASSERT_TRUE(engine.MinePatterns().ok());
+  auto q = engine.MakeQuestion({"author", "venue", "year"},
+                               {Value::String(kDblpPlantedAuthor), Value::String("SIGKDD"),
+                                Value::Int64(2007)},
+                               AggFunc::kCount, "*", Direction::kLow);
+  ASSERT_TRUE(q.ok());
+  for (bool optimized : {false, true}) {
+    engine.explain_config().num_threads = 1;
+    auto reference = engine.Explain(*q, optimized);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_FALSE(reference->explanations.empty());
+    for (int threads : {2, 4, 8}) {
+      engine.explain_config().num_threads = threads;
+      auto result = engine.Explain(*q, optimized);
+      ASSERT_TRUE(result.ok());
+      ASSERT_EQ(result->explanations.size(), reference->explanations.size())
+          << threads << " threads, optimized=" << optimized;
+      for (size_t i = 0; i < result->explanations.size(); ++i) {
+        const Explanation& got = result->explanations[i];
+        const Explanation& want = reference->explanations[i];
+        // Bit-exact, not approximate: the parallel run must score the same
+        // candidates with the same floating-point operations.
+        EXPECT_EQ(got.score, want.score);
+        EXPECT_EQ(got.tuple_values, want.tuple_values);
+        EXPECT_EQ(got.relevant_pattern, want.relevant_pattern);
+        EXPECT_EQ(got.refinement_pattern, want.refinement_pattern);
+        EXPECT_EQ(got.deviation, want.deviation);
+        EXPECT_EQ(got.distance, want.distance);
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, TruncatedParallelExplainIsSubsetOfUntimed) {
+  Engine engine = MakeEngine(5);
+  ASSERT_TRUE(engine.MinePatterns().ok());
+  auto q = engine.MakeQuestion({"author", "venue", "year"},
+                               {Value::String(kDblpPlantedAuthor), Value::String("SIGKDD"),
+                                Value::Int64(2007)},
+                               AggFunc::kCount, "*", Direction::kLow);
+  ASSERT_TRUE(q.ok());
+
+  // Untimed reference with an effectively unbounded k: the pool never
+  // fills, nothing is pruned, so it holds the best score of *every*
+  // deduplicated candidate tuple.
+  engine.explain_config().top_k = 100000;
+  engine.explain_config().num_threads = 1;
+  auto untimed = engine.Explain(*q);
+  ASSERT_TRUE(untimed.ok());
+  ASSERT_FALSE(untimed->partial);
+  std::map<std::string, double> best_scores;
+  for (const Explanation& e : untimed->explanations) {
+    best_scores.emplace(ExplanationKey(e), e.score);
+  }
+
+  // Deadline-truncated parallel runs: whatever survives must be a fully
+  // scored candidate the untimed run also saw, with an untimed best score
+  // at least as high (the truncated run saw a subset of each tuple's
+  // candidates).
+  engine.explain_config().top_k = 10;
+  engine.explain_config().num_threads = 4;
+  for (int64_t deadline_ms : {1, 3, 10}) {
+    engine.explain_config().deadline_ms = deadline_ms;
+    auto result = engine.Explain(*q);
+    ASSERT_TRUE(result.ok());
+    for (const Explanation& e : result->explanations) {
+      auto it = best_scores.find(ExplanationKey(e));
+      ASSERT_NE(it, best_scores.end()) << "tuple absent from untimed run";
+      EXPECT_GE(it->second, e.score);
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, TruncatedParallelMiningIsSubsetOfUntimed) {
+  Engine untimed = MakeEngine(5);
+  ASSERT_TRUE(untimed.MinePatterns("ARP-MINE").ok());
+
+  for (int64_t deadline_ms : {1, 5}) {
+    Engine engine = MakeEngine(5);
+    engine.mining_config().num_threads = 4;
+    engine.mining_config().deadline_ms = deadline_ms;
+    ASSERT_TRUE(engine.MinePatterns("ARP-MINE").ok());
+    for (const GlobalPattern& gp : engine.patterns().patterns()) {
+      EXPECT_NE(untimed.patterns().Find(gp.pattern), nullptr)
+          << gp.pattern.ToString(engine.schema());
+    }
+  }
 }
 
 }  // namespace
