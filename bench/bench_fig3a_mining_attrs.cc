@@ -19,12 +19,20 @@
 using namespace cape;         // NOLINT
 using namespace cape::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
   Banner("Figure 3a", "Mining runtime vs #attributes (Crime, D=10k) — NAIVE/CUBE/SHARE-GRP/ARP-MINE");
+
+  const std::string json_path = ParseJsonPath(argc, argv);
+  BenchJson json("fig3a_mining_attrs");
 
   const bool full = std::getenv("CAPE_BENCH_FULL") != nullptr;
   const int max_attrs = full ? 11 : 9;
   constexpr int kNaiveMaxAttrs = 5;
+  json.AddConfig("dataset", "crime");
+  json.AddConfig("num_rows", static_cast<int64_t>(10000));
+  json.AddConfig("max_attrs", static_cast<int64_t>(max_attrs));
+  json.AddConfig("dictionary_kernels",
+                 static_cast<int64_t>(DictionaryKernelsEnabled() ? 1 : 0));
 
   std::printf("%-4s %12s %12s %12s %12s %10s\n", "A", "NAIVE(s)", "CUBE(s)",
               "SHARE-GRP(s)", "ARP-MINE(s)", "patterns");
@@ -54,9 +62,18 @@ int main() {
     std::printf("%-4d %12s %12.2f %12.2f %12.2f %10zu\n", attrs, naive_buf,
                 cube.profile.total_ns * 1e-9, share.profile.total_ns * 1e-9,
                 arp.profile.total_ns * 1e-9, arp.patterns.size());
+
+    json.BeginResult();
+    json.Add("num_attrs", static_cast<int64_t>(attrs));
+    if (naive_s >= 0) json.Add("naive_s", naive_s);
+    json.Add("cube_s", cube.profile.total_ns * 1e-9);
+    json.Add("share_grp_s", share.profile.total_ns * 1e-9);
+    json.Add("arp_mine_s", arp.profile.total_ns * 1e-9);
+    json.Add("patterns", static_cast<int64_t>(arp.patterns.size()));
   }
   if (!full) {
     std::printf("\n(set CAPE_BENCH_FULL=1 to extend the sweep to A=11)\n");
   }
+  if (!json_path.empty()) json.Write(json_path);
   return 0;
 }

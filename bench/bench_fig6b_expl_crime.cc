@@ -12,8 +12,11 @@
 using namespace cape;         // NOLINT
 using namespace cape::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
   Banner("Figure 6b", "Explanation runtime vs N_P (Crime) — EXPL-GEN-NAIVE vs EXPL-GEN-OPT");
+
+  const std::string json_path = ParseJsonPath(argc, argv);
+  BenchJson json("fig6b_expl_crime");
 
   CrimeOptions data;
   data.num_rows = 30000;
@@ -41,6 +44,13 @@ int main() {
   questions.insert(questions.end(), more.begin(), more.end());
   std::printf("generated %zu user questions\n\n", questions.size());
 
+  json.AddConfig("dataset", "crime");
+  json.AddConfig("num_rows", static_cast<int64_t>(data.num_rows));
+  json.AddConfig("num_questions", static_cast<int64_t>(questions.size()));
+  json.AddConfig("total_local_patterns", total_locals);
+  json.AddConfig("dictionary_kernels",
+                 static_cast<int64_t>(DictionaryKernelsEnabled() ? 1 : 0));
+
   std::printf("%-8s %14s %14s %10s %16s\n", "N_P", "NAIVE(ms)", "OPT(ms)", "saving",
               "pairs pruned");
   for (double fraction : {0.125, 0.25, 0.5, 0.75, 1.0}) {
@@ -60,6 +70,13 @@ int main() {
     std::printf("%-8lld %14.1f %14.1f %9.1f%% %16lld\n", static_cast<long long>(n_p),
                 naive_ms, opt_ms, 100.0 * (naive_ms - opt_ms) / naive_ms,
                 static_cast<long long>(pruned));
+
+    json.BeginResult();
+    json.Add("n_p", n_p);
+    json.Add("naive_ms", naive_ms);
+    json.Add("opt_ms", opt_ms);
+    json.Add("pairs_pruned", pruned);
   }
+  if (!json_path.empty()) json.Write(json_path);
   return 0;
 }

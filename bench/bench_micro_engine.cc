@@ -1,12 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the substrate operators the
 // mining/explanation costs are built from: hash group-by, multi-key sort,
-// CUBE, selection, regression fitting, and the chi-square CDF.
+// CUBE, selection, CSV ingest, regression fitting, and the chi-square CDF.
+// The *Legacy variants run the same operator with dictionary kernels
+// disabled, giving an in-binary A/B of the code-path win (DESIGN.md §10).
+//
+// `bench_micro_engine --smoke` skips benchmarking and instead runs a fast
+// correctness pass over the kernel paths (dictionary vs legacy output
+// equality, CSV quarantine hygiene); ctest wires this into tier-1.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <random>
+#include <string>
 
 #include "datagen/crime.h"
+#include "relational/csv.h"
 #include "relational/operators.h"
 #include "stats/distributions.h"
 #include "stats/regression.h"
@@ -23,7 +33,20 @@ TablePtr BenchTable(int64_t rows) {
   return table.ok() ? *table : nullptr;
 }
 
-void BM_GroupByAggregate(benchmark::State& state) {
+/// Flips the dictionary-kernel switch for one benchmark run.
+class KernelModeGuard {
+ public:
+  explicit KernelModeGuard(bool enabled) : saved_(DictionaryKernelsEnabled()) {
+    SetDictionaryKernelsEnabled(enabled);
+  }
+  ~KernelModeGuard() { SetDictionaryKernelsEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+void RunGroupByAggregate(benchmark::State& state, bool dictionary) {
+  KernelModeGuard guard(dictionary);
   auto table = BenchTable(state.range(0));
   for (auto _ : state) {
     auto result = GroupByAggregate(*table, std::vector<int>{0, 1, 2},
@@ -32,9 +55,17 @@ void BM_GroupByAggregate(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
+
+void BM_GroupByAggregate(benchmark::State& state) { RunGroupByAggregate(state, true); }
 BENCHMARK(BM_GroupByAggregate)->Arg(10000)->Arg(100000);
 
-void BM_SortTable(benchmark::State& state) {
+void BM_GroupByAggregateLegacy(benchmark::State& state) {
+  RunGroupByAggregate(state, false);
+}
+BENCHMARK(BM_GroupByAggregateLegacy)->Arg(10000)->Arg(100000);
+
+void RunSortTable(benchmark::State& state, bool dictionary) {
+  KernelModeGuard guard(dictionary);
   auto table = BenchTable(state.range(0));
   auto grouped = GroupByAggregate(*table, std::vector<int>{0, 1, 2},
                                   {AggregateSpec::CountStar("cnt")});
@@ -43,9 +74,15 @@ void BM_SortTable(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
 }
+
+void BM_SortTable(benchmark::State& state) { RunSortTable(state, true); }
 BENCHMARK(BM_SortTable)->Arg(10000)->Arg(100000);
 
-void BM_Cube(benchmark::State& state) {
+void BM_SortTableLegacy(benchmark::State& state) { RunSortTable(state, false); }
+BENCHMARK(BM_SortTableLegacy)->Arg(10000)->Arg(100000);
+
+void RunCube(benchmark::State& state, bool dictionary) {
+  KernelModeGuard guard(dictionary);
   auto table = BenchTable(10000);
   CubeOptions options;
   options.min_group_size = 2;
@@ -55,9 +92,15 @@ void BM_Cube(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
 }
+
+void BM_Cube(benchmark::State& state) { RunCube(state, true); }
 BENCHMARK(BM_Cube)->Arg(2)->Arg(3)->Arg(4);
 
-void BM_FilterEquals(benchmark::State& state) {
+void BM_CubeLegacy(benchmark::State& state) { RunCube(state, false); }
+BENCHMARK(BM_CubeLegacy)->Arg(3);
+
+void RunFilterEquals(benchmark::State& state, bool dictionary) {
+  KernelModeGuard guard(dictionary);
   auto table = BenchTable(state.range(0));
   for (auto _ : state) {
     auto result = FilterEquals(*table, {{0, Value::String("Battery")}});
@@ -65,7 +108,38 @@ void BM_FilterEquals(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
+
+void BM_FilterEquals(benchmark::State& state) { RunFilterEquals(state, true); }
 BENCHMARK(BM_FilterEquals)->Arg(10000)->Arg(100000);
+
+void BM_FilterEqualsLegacy(benchmark::State& state) { RunFilterEquals(state, false); }
+BENCHMARK(BM_FilterEqualsLegacy)->Arg(10000)->Arg(100000);
+
+void BM_FilterEqualsAbsent(benchmark::State& state) {
+  // Condition value outside every dictionary: the kernel proves emptiness
+  // without a scan (legacy mode scans the whole table for zero matches).
+  auto table = BenchTable(state.range(0));
+  for (auto _ : state) {
+    auto result = FilterEquals(*table, {{0, Value::String("__absent__")}});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FilterEqualsAbsent)->Arg(100000);
+
+void BM_CsvIngest(benchmark::State& state) {
+  // Round-trips the generated table through CSV text so the benchmark
+  // measures parse + typed append + dictionary build, not disk.
+  auto table = BenchTable(state.range(0));
+  const std::string text = WriteCsvString(*table);
+  for (auto _ : state) {
+    auto result = ReadCsvString(text);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_CsvIngest)->Arg(10000)->Arg(100000);
 
 void BM_ConstantRegression(benchmark::State& state) {
   std::mt19937_64 rng(5);
@@ -107,7 +181,83 @@ void BM_ChiSquareSf(benchmark::State& state) {
 }
 BENCHMARK(BM_ChiSquareSf);
 
+/// --smoke: fast correctness pass over the kernel paths, suitable for ctest.
+/// Returns the process exit code.
+int RunSmoke() {
+  int failures = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::printf("%-60s %s\n", what, ok ? "OK" : "FAIL");
+    if (!ok) ++failures;
+  };
+
+  auto table = BenchTable(4000);
+  check(table != nullptr, "generate crime table");
+  if (table == nullptr) return 1;
+
+  // Dictionary and legacy kernels must produce byte-identical operator
+  // output (the same invariant determinism_test pins for the full pipeline).
+  std::string grouped[2], sorted[2], filtered[2], cubed[2], distinct[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    KernelModeGuard guard(mode == 0);
+    auto g = GroupByAggregate(*table, std::vector<int>{0, 1, 2},
+                              {AggregateSpec::CountStar("cnt")});
+    auto s = g.ok() ? SortTable(**g, {SortKey{0, true}, SortKey{1, false}})
+                    : Result<TablePtr>(g.status());
+    auto f = FilterEquals(*table, {{0, Value::String("Battery")}, {1, Value::String("Street")}});
+    CubeOptions copts;
+    copts.min_group_size = 1;
+    copts.max_group_size = 2;
+    auto c = Cube(*table, {0, 1, 2}, {AggregateSpec::CountStar("cnt")}, copts);
+    auto d = ProjectDistinct(*table, {0, 1});
+    if (!g.ok() || !s.ok() || !f.ok() || !c.ok() || !d.ok()) {
+      check(false, "operators run without error");
+      return 1;
+    }
+    grouped[mode] = WriteCsvString(**g);
+    sorted[mode] = WriteCsvString(**s);
+    filtered[mode] = WriteCsvString(**f);
+    cubed[mode] = WriteCsvString(**c);
+    distinct[mode] = WriteCsvString(**d);
+  }
+  check(grouped[0] == grouped[1], "group-by: dictionary == legacy");
+  check(sorted[0] == sorted[1], "sort: dictionary == legacy");
+  check(filtered[0] == filtered[1], "filter: dictionary == legacy");
+  check(cubed[0] == cubed[1], "cube: dictionary == legacy");
+  check(distinct[0] == distinct[1], "distinct: dictionary == legacy");
+
+  // Absent-value selections short-circuit to the same (empty) answer.
+  auto absent = FilterEquals(*table, {{0, Value::String("__absent__")}});
+  check(absent.ok() && (*absent)->num_rows() == 0, "absent value selects empty");
+
+  // CSV ingest round-trip preserves content, and quarantined rows leave no
+  // trace in the dictionaries.
+  const std::string text = WriteCsvString(*table);
+  auto reread = ReadCsvString(text);
+  check(reread.ok() && WriteCsvString(**reread) == text, "csv ingest round-trip");
+  CsvReadOptions qopts;
+  qopts.schema = Schema::Make({Field{"name", DataType::kString, true},
+                               Field{"year", DataType::kInt64, true}});
+  qopts.quarantine_malformed = true;
+  CsvParseReport report;
+  auto quarantined = ReadCsvString("name,year\nAX,2007\nGHOST,bad\n", qopts, &report);
+  check(quarantined.ok() && report.num_rows_quarantined == 1 &&
+            (*quarantined)->column(0).FindCode("GHOST") == Column::kNullCode,
+        "quarantined rows do not pollute dictionaries");
+
+  std::printf("smoke: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace cape
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return cape::RunSmoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

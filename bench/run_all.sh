@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs every JSON-capable benchmark harness and aggregates the per-bench
+# documents into one BENCH_results.json, giving future PRs a perf trajectory.
+#
+# Usage: bench/run_all.sh [build_dir] [output.json]
+#
+# Harnesses emit {"name", "config", "results"} via --json (bench_util.h);
+# bench_micro_engine uses google-benchmark's native JSON writer. Harnesses
+# without JSON support (the table/figure reproductions that only print) are
+# intentionally not run here — they are reproduction scripts, not trend
+# benchmarks. Set CAPE_BENCH_FULL=1 for the extended sweeps.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_results.json}"
+BENCH_DIR="${BUILD_DIR}/bench"
+
+if [[ ! -d "${BENCH_DIR}" ]]; then
+  echo "error: ${BENCH_DIR} not found (build with: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+JSON_BENCHES=(
+  bench_fig3a_mining_attrs
+  bench_fig6b_expl_crime
+  bench_parallel_mining
+  bench_parallel_explain
+)
+
+docs=()
+for bench in "${JSON_BENCHES[@]}"; do
+  exe="${BENCH_DIR}/${bench}"
+  if [[ ! -x "${exe}" ]]; then
+    echo "warning: ${exe} missing, skipping" >&2
+    continue
+  fi
+  echo "=== ${bench} ==="
+  "${exe}" --json "${TMP_DIR}/${bench}.json"
+  docs+=("${TMP_DIR}/${bench}.json")
+done
+
+micro="${BENCH_DIR}/bench_micro_engine"
+if [[ -x "${micro}" ]]; then
+  echo "=== bench_micro_engine ==="
+  "${micro}" --benchmark_out="${TMP_DIR}/bench_micro_engine.json" \
+             --benchmark_out_format=json
+  docs+=("${TMP_DIR}/bench_micro_engine.json")
+fi
+
+{
+  echo '{"benches": ['
+  first=1
+  for doc in "${docs[@]}"; do
+    [[ ${first} -eq 0 ]] && echo ','
+    first=0
+    cat "${doc}"
+  done
+  echo ']}'
+} > "${OUT}"
+
+echo "wrote aggregate results to ${OUT} (${#docs[@]} benches)"

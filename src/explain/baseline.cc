@@ -22,6 +22,12 @@ Result<ExplainResult> BaselineExplain(const UserQuestion& q,
   const std::vector<int> g = q.group_attrs.ToIndices();
   CAPE_ASSIGN_OR_RETURN(TablePtr data, GroupByAggregate(*q.relation, g, {spec}));
   const int agg_col = static_cast<int>(g.size());
+  // MakeUserQuestion rejects non-numeric aggregates; guard hand-built
+  // questions too (min/max over a string attribute aggregates to strings).
+  if (!IsNumericType(data->column(agg_col).type())) {
+    return Status::TypeError(std::string("baseline requires a numeric aggregate, got ") +
+                             DataTypeToString(data->column(agg_col).type()));
+  }
 
   RunningStats stats;
   for (int64_t row = 0; row < data->num_rows(); ++row) {

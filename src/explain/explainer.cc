@@ -268,36 +268,50 @@ Status EvaluatePair(const UserQuestion& q, const GlobalPattern& relevant,
   const double norm_denominator = std::fabs(norm) + config.epsilon;
   const double distance_lb = distance_model.LowerBound(q.group_attrs, attrs);
 
+  // Condition (4) matchers, compiled once per (P, P') pair: string condition
+  // values translate to dictionary codes here, so the per-row checks below
+  // are integer compares instead of boxed Value comparisons.
+  std::vector<std::pair<int, Value>> f_conditions;
+  f_conditions.reserve(f_positions.size());
+  for (size_t i = 0; i < f_positions.size(); ++i) {
+    f_conditions.emplace_back(f_positions[i], t_f[i]);
+  }
+  const RowEqualityMatcher f_matcher(*data, f_conditions);
+  if (f_matcher.never_matches()) return Status::OK();  // no tuple has t'[F] = t[F]
+
+  std::vector<std::pair<int, Value>> t_conditions;
+  if (same_schema) {
+    t_conditions.reserve(attr_list.size());
+    for (size_t i = 0; i < attr_list.size(); ++i) {
+      t_conditions.emplace_back(static_cast<int>(i), q.group_values[i]);
+    }
+  }
+  const RowEqualityMatcher t_matcher(*data, t_conditions);
+  const bool check_same_tuple = same_schema && !t_matcher.never_matches();
+
+  // Predictor columns feed the local model's X vector; non-numeric predictors
+  // contribute a 0.0 placeholder (the constant model ignores X, and that is
+  // the only model fitted over string predictors).
+  std::vector<bool> v_is_numeric;
+  v_is_numeric.reserve(v_positions.size());
+  for (int pos : v_positions) {
+    v_is_numeric.push_back(IsNumericType(data->column(pos).type()));
+  }
+
+  std::string fragment_key;  // reused across rows; same bytes as EncodeRowKey
   for (int64_t row = 0; row < data->num_rows(); ++row) {
     CAPE_RETURN_IF_STOPPED(stop);
     profile->num_tuples_checked += 1;
     // Condition (4): t'[F] = t[F].
-    bool matches = true;
-    for (size_t i = 0; i < f_positions.size(); ++i) {
-      if (data->GetValue(row, f_positions[i]) != t_f[i]) {
-        matches = false;
-        break;
-      }
-    }
-    if (!matches) continue;
+    if (!f_matcher.Matches(row)) continue;
     // Condition (4): t' != t when over the same schema.
-    if (same_schema) {
-      bool equal = true;
-      for (size_t i = 0; i < attr_list.size(); ++i) {
-        if (data->GetValue(row, static_cast<int>(i)) != q.group_values[i]) {
-          equal = false;
-          break;
-        }
-      }
-      if (equal) continue;
-    }
+    if (check_same_tuple && t_matcher.Matches(row)) continue;
     if (data->column(agg_col).IsNull(row)) continue;
 
     // Condition (3): P' holds locally on t'[F'].
-    Row fragment;
-    fragment.reserve(f_prime_positions.size());
-    for (int pos : f_prime_positions) fragment.push_back(data->GetValue(row, pos));
-    const LocalPattern* local = refinement.FindLocal(fragment);
+    fragment_key.clear();
+    AppendTableRowKey(*data, row, f_prime_positions, &fragment_key);
+    const LocalPattern* local = refinement.FindLocalByKey(fragment_key);
     if (local == nullptr) continue;
 
     if (prune_locals) {
@@ -309,7 +323,9 @@ Status EvaluatePair(const UserQuestion& q, const GlobalPattern& relevant,
     // Condition (5): deviation in the opposite direction.
     std::vector<double> x;
     x.reserve(v_positions.size());
-    for (int pos : v_positions) x.push_back(data->column(pos).GetNumeric(row));
+    for (size_t i = 0; i < v_positions.size(); ++i) {
+      x.push_back(v_is_numeric[i] ? data->column(v_positions[i]).GetNumeric(row) : 0.0);
+    }
     const double predicted = local->model->Predict(x);
     const double y = data->column(agg_col).GetNumeric(row);
     if (q.dir == Direction::kLow ? y <= predicted : y >= predicted) continue;

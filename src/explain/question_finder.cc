@@ -34,6 +34,10 @@ Result<std::vector<CandidateQuestion>> FindCandidateQuestions(
     spec.output_name = "agg";
     CAPE_ASSIGN_OR_RETURN(TablePtr data, GroupByAggregate(*table, attrs, {spec}));
     const int agg_col = static_cast<int>(attrs.size());
+    // Miners only emit numeric aggregates, but patterns loaded from disk are
+    // unchecked; a string aggregate (min/max over a string attr) has no
+    // outlierness notion, so skip the pattern rather than CHECK-fail.
+    if (!IsNumericType(data->column(agg_col).type())) continue;
 
     std::vector<int> f_positions;
     std::vector<int> v_positions;
@@ -41,16 +45,25 @@ Result<std::vector<CandidateQuestion>> FindCandidateQuestions(
       if (p.partition_attrs.Contains(attrs[i])) f_positions.push_back(static_cast<int>(i));
       else v_positions.push_back(static_cast<int>(i));
     }
+    // String predictors contribute a 0.0 placeholder (constant model only).
+    std::vector<bool> v_is_numeric;
+    v_is_numeric.reserve(v_positions.size());
+    for (int pos : v_positions) {
+      v_is_numeric.push_back(IsNumericType(data->column(pos).type()));
+    }
 
+    std::string fragment_key;  // reused across rows; same bytes as EncodeRowKey
     for (int64_t row = 0; row < data->num_rows(); ++row) {
       if (data->column(agg_col).IsNull(row)) continue;
-      Row fragment;
-      for (int pos : f_positions) fragment.push_back(data->GetValue(row, pos));
-      const LocalPattern* local = gp.FindLocal(fragment);
+      fragment_key.clear();
+      AppendTableRowKey(*data, row, f_positions, &fragment_key);
+      const LocalPattern* local = gp.FindLocalByKey(fragment_key);
       if (local == nullptr) continue;
 
       std::vector<double> x;
-      for (int pos : v_positions) x.push_back(data->column(pos).GetNumeric(row));
+      for (size_t v = 0; v < v_positions.size(); ++v) {
+        x.push_back(v_is_numeric[v] ? data->column(v_positions[v]).GetNumeric(row) : 0.0);
+      }
       const double predicted = local->model->Predict(x);
       const double value = data->column(agg_col).GetNumeric(row);
       const double deviation = value - predicted;

@@ -99,6 +99,14 @@ Result<UserQuestion> MakeUserQuestion(TablePtr relation,
       return Status::InvalidArgument("aggregate attribute '" + agg_attr +
                                      "' may not be a group-by attribute");
     }
+    // Questions compare aggregate magnitudes (dev, norm, score), so every
+    // aggregate — including min/max — must be over a numeric attribute.
+    if (!IsNumericType(schema.field(uq.agg_attr).type)) {
+      return Status::InvalidArgument(
+          std::string(AggFuncToString(agg)) + "('" + agg_attr +
+          "') requires a numeric attribute, got " +
+          DataTypeToString(schema.field(uq.agg_attr).type));
+    }
   }
 
   // Verify t ∈ Q(R) and fill in t[agg(A)].

@@ -118,12 +118,22 @@ class NaiveMiner final : public PatternMiner {
       std::vector<double> y;
       X.reserve(static_cast<size_t>(support));
       y.reserve(static_cast<size_t>(support));
+      // String predictors contribute a 0.0 placeholder (only the constant
+      // model is fitted when V is not all-numeric).
+      std::vector<bool> v_is_numeric;
+      v_is_numeric.reserve(v_attrs.size());
+      for (size_t vc = 0; vc < v_attrs.size(); ++vc) {
+        v_is_numeric.push_back(
+            IsNumericType(fragment_data->column(static_cast<int>(vc)).type()));
+      }
       for (int64_t row = 0; row < support; ++row) {
         if (fragment_data->column(agg_col).IsNull(row)) continue;
         std::vector<double> x;
         x.reserve(v_attrs.size());
         for (size_t vc = 0; vc < v_attrs.size(); ++vc) {
-          x.push_back(fragment_data->column(static_cast<int>(vc)).GetNumeric(row));
+          x.push_back(v_is_numeric[vc]
+                          ? fragment_data->column(static_cast<int>(vc)).GetNumeric(row)
+                          : 0.0);
         }
         X.push_back(std::move(x));
         y.push_back(fragment_data->column(agg_col).GetNumeric(row));

@@ -154,6 +154,12 @@ Status EvaluateSplit(const Table& data, const std::vector<int>& f_cols,
   std::vector<std::vector<double>> ys(agg_cols.size());
   std::vector<std::vector<std::vector<double>>> x_per_agg(agg_cols.size());
 
+  // String predictors contribute a 0.0 placeholder to X (only the constant
+  // model — which ignores X — is fitted when V is not all-numeric).
+  std::vector<bool> v_is_numeric;
+  v_is_numeric.reserve(v_cols.size());
+  for (int c : v_cols) v_is_numeric.push_back(IsNumericType(data.column(c).type()));
+
   auto process_block = [&](int64_t begin, int64_t end) {
     const int64_t support = end - begin;
     Row fragment;
@@ -166,7 +172,9 @@ Status EvaluateSplit(const Table& data, const std::vector<int>& f_cols,
     for (int64_t row = begin; row < end; ++row) {
       std::vector<double> x;
       x.reserve(v_cols.size());
-      for (int c : v_cols) x.push_back(data.column(c).GetNumeric(row));
+      for (size_t v = 0; v < v_cols.size(); ++v) {
+        x.push_back(v_is_numeric[v] ? data.column(v_cols[v]).GetNumeric(row) : 0.0);
+      }
       for (size_t a = 0; a < agg_cols.size(); ++a) {
         const Column& col = data.column(agg_cols[a].col_in_data);
         if (col.IsNull(row)) continue;

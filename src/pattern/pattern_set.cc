@@ -32,8 +32,35 @@ std::string EncodeRowKey(const Row& row) {
   return key;
 }
 
+void AppendTableRowKey(const Table& t, int64_t row, const std::vector<int>& cols,
+                       std::string* key) {
+  for (int c : cols) {
+    const Column& col = t.column(c);
+    if (col.IsNull(row)) {
+      key->push_back('\0');
+      continue;
+    }
+    if (col.type() == DataType::kString) {
+      key->push_back('s');
+      const std::string& s = col.GetString(row);
+      uint32_t len = static_cast<uint32_t>(s.size());
+      key->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      key->append(s);
+    } else {
+      key->push_back('n');
+      double d = col.GetNumeric(row);
+      if (d == 0.0) d = 0.0;  // canonicalize -0.0, as EncodeRowKey does
+      key->append(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+  }
+}
+
 const LocalPattern* GlobalPattern::FindLocal(const Row& fragment) const {
-  auto it = fragment_index_.find(EncodeRowKey(fragment));
+  return FindLocalByKey(EncodeRowKey(fragment));
+}
+
+const LocalPattern* GlobalPattern::FindLocalByKey(const std::string& key) const {
+  auto it = fragment_index_.find(key);
   if (it == fragment_index_.end()) return nullptr;
   return &locals[it->second];
 }

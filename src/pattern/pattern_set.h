@@ -17,6 +17,12 @@ namespace cape {
 /// iff they are component-wise equal (Value::operator==, numerics widened).
 std::string EncodeRowKey(const Row& row);
 
+/// Appends to `key` the same bytes EncodeRowKey would produce for row `row`
+/// of `t` projected to `cols`, reading column storage directly — no Value
+/// boxing, no per-call allocation when the caller reuses the buffer.
+void AppendTableRowKey(const Table& t, int64_t row, const std::vector<int>& cols,
+                       std::string* key);
+
 /// A pattern together with the fragment it holds locally on: the fitted
 /// model g_{P,f} plus the statistics explanation generation needs.
 struct LocalPattern {
@@ -53,6 +59,10 @@ struct GlobalPattern {
   /// Local pattern for fragment `f` (F-values in ascending attribute
   /// order), or nullptr when the pattern does not hold locally on f.
   const LocalPattern* FindLocal(const Row& fragment) const;
+
+  /// FindLocal for a key already encoded with EncodeRowKey/AppendTableRowKey;
+  /// the per-row hot loops use this to skip fragment boxing entirely.
+  const LocalPattern* FindLocalByKey(const std::string& key) const;
 
   /// Builds the fragment-key index; called by PatternSet after locals are
   /// final.

@@ -1,5 +1,7 @@
 #include "relational/column.h"
 
+#include <algorithm>
+#include <numeric>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -8,6 +10,11 @@
 namespace cape {
 
 Column::Column(DataType type) : type_(type) {}
+
+const std::string& Column::EmptyString() {
+  static const std::string empty;
+  return empty;
+}
 
 void Column::Reserve(int64_t capacity) {
   const auto cap = static_cast<size_t>(capacity);
@@ -20,9 +27,16 @@ void Column::Reserve(int64_t capacity) {
       double_data_.reserve(cap);
       break;
     case DataType::kString:
-      string_data_.reserve(cap);
+      codes_.reserve(cap);
       break;
   }
+}
+
+void Column::ReserveDict(int64_t capacity) {
+  if (type_ != DataType::kString) return;
+  const auto cap = static_cast<size_t>(capacity);
+  dict_.reserve(cap);
+  dict_index_.reserve(cap);
 }
 
 Status Column::AppendValue(const Value& value) {
@@ -65,7 +79,7 @@ void Column::AppendNull() {
       double_data_.push_back(0.0);
       break;
     case DataType::kString:
-      string_data_.emplace_back();
+      codes_.push_back(kNullCode);
       break;
   }
   validity_.push_back(0);
@@ -83,10 +97,37 @@ void Column::AppendDouble(double v) {
   validity_.push_back(1);
 }
 
+int32_t Column::InternString(std::string v) {
+  auto it = dict_index_.find(v);
+  if (it != dict_index_.end()) return it->second;
+  const int32_t code = static_cast<int32_t>(dict_.size());
+  dict_.push_back(v);
+  dict_index_.emplace(std::move(v), code);
+  return code;
+}
+
 void Column::AppendString(std::string v) {
   CAPE_DCHECK(type_ == DataType::kString);
-  string_data_.push_back(std::move(v));
+  codes_.push_back(InternString(std::move(v)));
   validity_.push_back(1);
+}
+
+int32_t Column::FindCode(const std::string& s) const {
+  auto it = dict_index_.find(s);
+  return it == dict_index_.end() ? kNullCode : it->second;
+}
+
+std::vector<int32_t> Column::SortedCodeRanks() const {
+  std::vector<int32_t> order(dict_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int32_t a, int32_t b) {
+    return dict_[static_cast<size_t>(a)] < dict_[static_cast<size_t>(b)];
+  });
+  std::vector<int32_t> ranks(dict_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    ranks[static_cast<size_t>(order[i])] = static_cast<int32_t>(i);
+  }
+  return ranks;
 }
 
 Value Column::GetValue(int64_t row) const {
@@ -103,6 +144,8 @@ Value Column::GetValue(int64_t row) const {
 }
 
 double Column::GetNumeric(int64_t row) const {
+  CAPE_DCHECK(type_ != DataType::kString)
+      << "GetNumeric on a string column (callers must check IsNumericType)";
   if (IsNull(row)) return 0.0;
   switch (type_) {
     case DataType::kInt64:
@@ -110,7 +153,7 @@ double Column::GetNumeric(int64_t row) const {
     case DataType::kDouble:
       return GetDouble(row);
     case DataType::kString:
-      return 0.0;
+      break;
   }
   return 0.0;
 }
@@ -129,10 +172,47 @@ void Column::AppendFrom(const Column& src, int64_t row) {
       double_data_.push_back(src.double_data_[static_cast<size_t>(row)]);
       break;
     case DataType::kString:
-      string_data_.push_back(src.string_data_[static_cast<size_t>(row)]);
+      codes_.push_back(
+          InternString(src.dict_[static_cast<size_t>(src.codes_[static_cast<size_t>(row)])]));
       break;
   }
   validity_.push_back(1);
+}
+
+void Column::AppendManyFrom(const Column& src, const std::vector<int64_t>& rows) {
+  CAPE_DCHECK(src.type_ == type_);
+  switch (type_) {
+    case DataType::kInt64:
+      for (int64_t row : rows) {
+        int64_data_.push_back(src.int64_data_[static_cast<size_t>(row)]);
+        validity_.push_back(src.validity_[static_cast<size_t>(row)]);
+      }
+      return;
+    case DataType::kDouble:
+      for (int64_t row : rows) {
+        double_data_.push_back(src.double_data_[static_cast<size_t>(row)]);
+        validity_.push_back(src.validity_[static_cast<size_t>(row)]);
+      }
+      return;
+    case DataType::kString: {
+      // Memoized src->dst code translation: each distinct source code pays
+      // one hash lookup, every further occurrence is a vector read.
+      std::vector<int32_t> code_map(src.dict_.size(), kNullCode);
+      for (int64_t row : rows) {
+        const int32_t src_code = src.codes_[static_cast<size_t>(row)];
+        if (src_code < 0) {
+          codes_.push_back(kNullCode);
+          validity_.push_back(0);
+          continue;
+        }
+        int32_t& dst_code = code_map[static_cast<size_t>(src_code)];
+        if (dst_code < 0) dst_code = InternString(src.dict_[static_cast<size_t>(src_code)]);
+        codes_.push_back(dst_code);
+        validity_.push_back(1);
+      }
+      return;
+    }
+  }
 }
 
 int64_t Column::CountDistinct() const {
@@ -151,18 +231,22 @@ int64_t Column::CountDistinct() const {
       }
       return static_cast<int64_t>(seen.size());
     }
-    case DataType::kString: {
-      std::unordered_set<std::string> seen;
-      for (int64_t i = 0; i < size(); ++i) {
-        if (!IsNull(i)) seen.insert(GetString(i));
-      }
-      return static_cast<int64_t>(seen.size());
-    }
+    case DataType::kString:
+      // The dictionary is append-only and every entry was interned by a
+      // non-null row append, so it *is* the distinct set.
+      return dict_size();
   }
   return 0;
 }
 
 Value Column::Min() const {
+  if (type_ == DataType::kString) {
+    const std::string* best = nullptr;
+    for (const std::string& s : dict_) {
+      if (best == nullptr || s < *best) best = &s;
+    }
+    return best == nullptr ? Value::Null() : Value::String(*best);
+  }
   Value best = Value::Null();
   for (int64_t i = 0; i < size(); ++i) {
     if (IsNull(i)) continue;
@@ -173,6 +257,13 @@ Value Column::Min() const {
 }
 
 Value Column::Max() const {
+  if (type_ == DataType::kString) {
+    const std::string* best = nullptr;
+    for (const std::string& s : dict_) {
+      if (best == nullptr || *best < s) best = &s;
+    }
+    return best == nullptr ? Value::Null() : Value::String(*best);
+  }
   Value best = Value::Null();
   for (int64_t i = 0; i < size(); ++i) {
     if (IsNull(i)) continue;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -14,14 +15,29 @@ namespace cape {
 /// Columnar storage for one attribute: a typed value vector plus a validity
 /// vector. Appending a Value of the wrong type is a TypeError; NULL appends
 /// store a default-constructed slot with validity=false.
+///
+/// String columns are dictionary-encoded (DESIGN.md §10): each row stores a
+/// 4-byte code into an interned dictionary, with codes assigned in
+/// first-appearance order. The dictionary is append-only and every entry is
+/// referenced by at least one non-null row, so distinct-count and min/max
+/// reduce to dictionary operations, and the hot group/filter/sort kernels in
+/// operators.cc compare codes instead of heap-resident strings.
 class Column {
  public:
+  /// Code stored for NULL rows of a string column. Valid rows always carry a
+  /// code in [0, dict_size()).
+  static constexpr int32_t kNullCode = -1;
+
   explicit Column(DataType type);
 
   DataType type() const { return type_; }
   int64_t size() const { return static_cast<int64_t>(validity_.size()); }
 
   void Reserve(int64_t capacity);
+
+  /// Pre-sizes the string dictionary (entries and hash buckets). No-op for
+  /// numeric columns.
+  void ReserveDict(int64_t capacity);
 
   /// Appends a value; Status::TypeError when the value's type mismatches.
   Status AppendValue(const Value& value);
@@ -38,33 +54,81 @@ class Column {
   /// Boxed access; returns Value::Null() for null slots.
   Value GetValue(int64_t row) const;
 
-  /// Typed access; undefined for nulls or mismatched type.
+  /// Typed access; undefined for nulls or mismatched type (GetString returns
+  /// the empty string for null rows, matching the pre-dictionary storage).
   int64_t GetInt64(int64_t row) const { return int64_data_[static_cast<size_t>(row)]; }
   double GetDouble(int64_t row) const { return double_data_[static_cast<size_t>(row)]; }
   const std::string& GetString(int64_t row) const {
-    return string_data_[static_cast<size_t>(row)];
+    const int32_t code = codes_[static_cast<size_t>(row)];
+    return code < 0 ? EmptyString() : dict_[static_cast<size_t>(code)];
   }
 
-  /// Numeric view of row (int64 widened to double); 0.0 for null/strings.
+  /// Dictionary code of `row` (string columns only); kNullCode for nulls.
+  /// Two rows carry the same code iff they hold the same string, which is
+  /// what lets equality-heavy kernels run on integers.
+  int32_t GetCode(int64_t row) const { return codes_[static_cast<size_t>(row)]; }
+
+  /// Number of interned dictionary entries (string columns only).
+  int64_t dict_size() const { return static_cast<int64_t>(dict_.size()); }
+
+  /// The string interned under `code`; code must be in [0, dict_size()).
+  const std::string& DictString(int32_t code) const {
+    return dict_[static_cast<size_t>(code)];
+  }
+
+  /// Code of `s`, or kNullCode when `s` was never appended. A miss proves no
+  /// row of this column equals `s` — equality selections short-circuit on it.
+  int32_t FindCode(const std::string& s) const;
+
+  /// Sorted-code remap: ranks[code_a] < ranks[code_b] iff
+  /// DictString(code_a) < DictString(code_b). Codes are first-appearance
+  /// ordered, so sort kernels build this O(d log d) remap once per sort and
+  /// then compare pure integers. Computed on demand (stateless, and the
+  /// mining kernels sort freshly materialized tables that would never hit a
+  /// cache anyway).
+  std::vector<int32_t> SortedCodeRanks() const;
+
+  /// Numeric view of row (int64 widened to double). NULL rows read as 0.0 —
+  /// callers for which 0 is meaningful must pre-filter with IsNull. Calling
+  /// this on a string column is a programming error (CHECKed); callers that
+  /// feed mixed predictor columns into constant-model fits must substitute
+  /// their own placeholder for non-numeric columns.
   double GetNumeric(int64_t row) const;
 
   /// Appends `src`'s value at `row` without boxing through Value. Both
   /// columns must have the same type (CHECKed).
   void AppendFrom(const Column& src, int64_t row);
 
-  /// Number of distinct non-null values (hash-based; O(n)).
+  /// Bulk AppendFrom for all of `rows`. For string columns the src->dst code
+  /// translation is memoized per distinct code, so materializing a large
+  /// selection or sort permutation interns each distinct string once instead
+  /// of hashing it per row.
+  void AppendManyFrom(const Column& src, const std::vector<int64_t>& rows);
+
+  /// Number of distinct non-null values. O(1) for string columns (the
+  /// dictionary is exactly the distinct set); hash-based O(n) otherwise.
   int64_t CountDistinct() const;
 
   /// Minimum / maximum as Values; Null when the column is all-null/empty.
+  /// String columns scan the dictionary (O(d)) instead of the rows.
   Value Min() const;
   Value Max() const;
 
  private:
+  static const std::string& EmptyString();
+
+  /// Interns `v`, returning its code (existing or freshly assigned).
+  int32_t InternString(std::string v);
+
   DataType type_;
   std::vector<int64_t> int64_data_;
   std::vector<double> double_data_;
-  std::vector<std::string> string_data_;
   std::vector<uint8_t> validity_;  // 1 = valid; vector<uint8_t> beats vector<bool> here
+  // Dictionary encoding (string columns only): per-row codes plus the
+  // interned dictionary in first-appearance order and its lookup index.
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int32_t> dict_index_;
 };
 
 }  // namespace cape

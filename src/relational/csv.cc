@@ -182,6 +182,14 @@ Result<TablePtr> ReadCsvString(const std::string& text, const CsvReadOptions& op
 
   auto table = std::make_shared<Table>(schema);
   table->Reserve(static_cast<int64_t>(records.size()));
+  // Pre-size string dictionaries too. The mining attributes are
+  // low-cardinality, so a capped heuristic covers the common case without
+  // over-allocating hash buckets per column on large loads.
+  const int64_t dict_capacity =
+      std::min<int64_t>(static_cast<int64_t>(records.size()), 1024);
+  for (int c = 0; c < table->num_columns(); ++c) {
+    table->mutable_column(c).ReserveDict(dict_capacity);
+  }
   Row row;
   for (size_t r = 0; r < records.size(); ++r) {
     CAPE_FAILPOINT("csv.read_row");

@@ -1,7 +1,9 @@
 #include "relational/operators.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <limits>
 #include <numeric>
 #include <unordered_map>
 
@@ -10,6 +12,20 @@
 #include "common/macros.h"
 
 namespace cape {
+
+namespace {
+
+std::atomic<bool> g_dictionary_kernels{true};
+
+}  // namespace
+
+void SetDictionaryKernelsEnabled(bool enabled) {
+  g_dictionary_kernels.store(enabled, std::memory_order_relaxed);
+}
+
+bool DictionaryKernelsEnabled() {
+  return g_dictionary_kernels.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -142,9 +158,43 @@ const char* AggFuncToString(AggFunc func) {
 }
 
 GroupKeyEncoder::GroupKeyEncoder(const Table& table, std::vector<int> cols)
-    : table_(table), cols_(std::move(cols)) {}
+    : table_(table), cols_(std::move(cols)), use_codes_(DictionaryKernelsEnabled()) {}
 
 void GroupKeyEncoder::EncodeRow(int64_t row, std::string* buf) const {
+  if (use_codes_) {
+    // Compact format: 0x00 for NULL, else 0x01 followed by a fixed-width
+    // payload (8-byte int64/double, 4-byte dictionary code). The schema fixes
+    // each column's payload width and per-column encodings are prefix-free,
+    // so keys decode unambiguously: equal keys <=> equal projections. No type
+    // tag is needed — all rows of one column share a type.
+    for (int c : cols_) {
+      const Column& col = table_.column(c);
+      if (col.IsNull(row)) {
+        buf->push_back('\0');
+        continue;
+      }
+      buf->push_back('\1');
+      switch (col.type()) {
+        case DataType::kInt64: {
+          const int64_t v = col.GetInt64(row);
+          buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+          break;
+        }
+        case DataType::kDouble: {
+          double v = col.GetDouble(row);
+          if (v == 0.0) v = 0.0;  // canonicalize -0.0
+          buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+          break;
+        }
+        case DataType::kString: {
+          const int32_t code = col.GetCode(row);
+          buf->append(reinterpret_cast<const char*>(&code), sizeof(code));
+          break;
+        }
+      }
+    }
+    return;
+  }
   for (int c : cols_) {
     const Column& col = table_.column(c);
     if (col.IsNull(row)) {
@@ -177,6 +227,80 @@ void GroupKeyEncoder::EncodeRow(int64_t row, std::string* buf) const {
   }
 }
 
+RowEqualityMatcher::RowEqualityMatcher(const Table& table,
+                                       const std::vector<std::pair<int, Value>>& conditions) {
+  const bool use_codes = DictionaryKernelsEnabled();
+  conds_.reserve(conditions.size());
+  for (const auto& [col_idx, value] : conditions) {
+    Cond cond;
+    cond.col = &table.column(col_idx);
+    if (!use_codes) {
+      cond.kind = Kind::kBoxed;
+      cond.boxed = value;
+      conds_.push_back(std::move(cond));
+      continue;
+    }
+    if (value.is_null()) {
+      cond.kind = Kind::kIsNull;
+    } else if (cond.col->type() == DataType::kString) {
+      if (value.type() != DataType::kString) {
+        // A non-string value never equals a string cell (Value::Compare
+        // orders numerics before strings, never equal).
+        never_matches_ = true;
+        return;
+      }
+      cond.code = cond.col->FindCode(value.string_value());
+      if (cond.code == Column::kNullCode) {
+        never_matches_ = true;  // value absent from dictionary: no row matches
+        return;
+      }
+      cond.kind = Kind::kCode;
+    } else if (value.type() == DataType::kString) {
+      never_matches_ = true;  // string value vs numeric column: never equal
+      return;
+    } else if (cond.col->type() == DataType::kInt64 && value.type() == DataType::kInt64) {
+      cond.kind = Kind::kInt64;
+      cond.i64 = value.int64_value();
+    } else {
+      // Mixed numeric comparison goes through double, with Value::Compare's
+      // exact rule (see kDoubleEq in Matches).
+      cond.kind = Kind::kDoubleEq;
+      cond.f64 = value.AsDouble();
+    }
+    conds_.push_back(std::move(cond));
+  }
+}
+
+bool RowEqualityMatcher::Matches(int64_t row) const {
+  for (const Cond& cond : conds_) {
+    switch (cond.kind) {
+      case Kind::kIsNull:
+        if (!cond.col->IsNull(row)) return false;
+        break;
+      case Kind::kCode:
+        // kNullCode (-1) never equals a real code, so no separate null check.
+        if (cond.col->GetCode(row) != cond.code) return false;
+        break;
+      case Kind::kInt64:
+        if (cond.col->IsNull(row) || cond.col->GetInt64(row) != cond.i64) return false;
+        break;
+      case Kind::kDoubleEq: {
+        if (cond.col->IsNull(row)) return false;
+        const double x = cond.col->GetNumeric(row);
+        // Replicates Value::Compare exactly: (x<v)?-1:((x>v)?1:0) == 0, which
+        // treats NaN as equal to everything and -0.0 as equal to 0.0. A plain
+        // x == v would diverge on NaN.
+        if (x < cond.f64 || x > cond.f64) return false;
+        break;
+      }
+      case Kind::kBoxed:
+        if (cond.col->GetValue(row) != cond.boxed) return false;
+        break;
+    }
+  }
+  return true;
+}
+
 Result<TablePtr> GroupByAggregate(const Table& table, const std::vector<int>& group_cols,
                                   const std::vector<AggregateSpec>& aggs,
                                   StopToken* stop) {
@@ -191,49 +315,158 @@ Result<TablePtr> GroupByAggregate(const Table& table, const std::vector<int>& gr
     out_fields.push_back(Field{spec.output_name, AggOutputType(table, spec), true});
   }
 
-  GroupKeyEncoder encoder(table, group_cols);
-  // The table is keyed by the key's FNV-1a hash, computed once per row
-  // (std::unordered_map<std::string, ...> would re-hash the bytes on every
-  // probe and again on every rehash). Hash collisions are resolved by
-  // comparing the encoded key against the bucket's groups; groups keep
-  // their discovery order, which downstream output depends on.
-  std::unordered_map<uint64_t, std::vector<size_t>> group_buckets;
-  std::vector<std::string> group_keys;        // encoded key of each group
   std::vector<int64_t> representative_row;    // first row of each group
   std::vector<std::vector<AggState>> states;  // [group][agg]
 
-  // Sizing heuristic: grouping keeps at most num_rows distinct keys, and the
-  // mining workloads typically see group counts within a small factor of the
-  // row count, so reserving a quarter up front eliminates almost all rehash
-  // cycles without over-allocating for low-cardinality keys.
-  const size_t expected_groups =
-      group_cols.empty() ? 1 : static_cast<size_t>(table.num_rows() / 4 + 1);
-  group_buckets.reserve(expected_groups);
-  group_keys.reserve(expected_groups);
-
-  std::string key;
-  for (int64_t row = 0; row < table.num_rows(); ++row) {
-    CAPE_RETURN_IF_STOPPED(stop);
-    key.clear();
-    encoder.EncodeRow(row, &key);
-    const uint64_t hash = HashBytes(key.data(), key.size());
-    std::vector<size_t>& bucket = group_buckets[hash];
-    size_t group = states.size();
-    for (size_t candidate : bucket) {
-      if (group_keys[candidate] == key) {
-        group = candidate;
+  // Dense-key fast path (DESIGN.md §10): every group column that is a
+  // string maps rows onto its dictionary codes, and an int64 column with a
+  // narrow value range maps onto value - min; both are small dense integer
+  // domains, so the whole group key packs into one uint64 mixed-radix code.
+  // Rows are equal under the packed code exactly when they are equal under
+  // the byte encoder (per-column value-or-both-null equality), and groups
+  // are still numbered in discovery order, so the output is byte-identical
+  // to the generic path. Double columns, wide int ranges, and overflowing
+  // domain products fall back to the encoder below.
+  struct DenseKeyCol {
+    const Column* col;
+    uint64_t stride;
+    int64_t base;  // minimum value for int64 columns
+    bool is_string;
+  };
+  std::vector<DenseKeyCol> dense;
+  uint64_t domain_product = 1;
+  bool dense_ok = DictionaryKernelsEnabled() && !group_cols.empty() &&
+                  table.num_rows() < (int64_t{1} << 31);
+  if (dense_ok) {
+    for (int c : group_cols) {
+      const Column& col = table.column(c);
+      DenseKeyCol d{&col, domain_product, 0, false};
+      uint64_t domain;  // cardinality + 1 slot for NULL
+      if (col.type() == DataType::kString) {
+        d.is_string = true;
+        domain = static_cast<uint64_t>(col.dict_size()) + 1;
+      } else if (col.type() == DataType::kInt64) {
+        int64_t lo = 0, hi = 0;
+        bool any = false;
+        for (int64_t row = 0; row < table.num_rows(); ++row) {
+          if (col.IsNull(row)) continue;
+          const int64_t v = col.GetInt64(row);
+          lo = any ? std::min(lo, v) : v;
+          hi = any ? std::max(hi, v) : v;
+          any = true;
+        }
+        const uint64_t width = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+        if (width >= (uint64_t{1} << 22)) {
+          dense_ok = false;  // wide range: dense codes would be too sparse
+          break;
+        }
+        domain = width + 2;
+        d.base = lo;
+      } else {
+        dense_ok = false;  // double group keys keep the generic encoder
         break;
       }
+      if (domain_product > std::numeric_limits<uint64_t>::max() / domain) {
+        dense_ok = false;  // mixed-radix product overflows uint64
+        break;
+      }
+      domain_product *= domain;
+      dense.push_back(d);
     }
-    if (group == states.size()) {
-      bucket.push_back(group);
-      group_keys.push_back(key);
-      representative_row.push_back(row);
-      states.emplace_back(aggs.size());
+  }
+
+  const size_t expected_groups =
+      group_cols.empty() ? 1 : static_cast<size_t>(table.num_rows() / 4 + 1);
+
+  if (dense_ok) {
+    auto pack_key = [&dense](int64_t row) {
+      uint64_t key = 0;
+      for (const DenseKeyCol& d : dense) {
+        const uint64_t code =
+            d.is_string
+                ? static_cast<uint64_t>(d.col->GetCode(row) + 1)  // NULL -> 0
+                : (d.col->IsNull(row)
+                       ? 0
+                       : static_cast<uint64_t>(d.col->GetInt64(row) - d.base) + 1);
+        key += code * d.stride;
+      }
+      return key;
+    };
+    // Small key spaces use a direct-address table (one array access per
+    // row); larger ones fall back to an exact uint64-keyed hash map. Both
+    // avoid the byte encoding, string hashing, and per-group heap chains of
+    // the generic path.
+    const uint64_t direct_cap =
+        static_cast<uint64_t>(std::max<int64_t>(table.num_rows(), 1024)) * 4;
+    auto update_row = [&](int64_t row, size_t group, bool is_new) {
+      if (is_new) {
+        representative_row.push_back(row);
+        states.emplace_back(aggs.size());
+      }
+      std::vector<AggState>& group_states = states[group];
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        UpdateAggState(table, aggs[a], row, &group_states[a]);
+      }
+    };
+    if (domain_product <= direct_cap) {
+      std::vector<int32_t> group_of_key(domain_product, -1);
+      for (int64_t row = 0; row < table.num_rows(); ++row) {
+        CAPE_RETURN_IF_STOPPED(stop);
+        int32_t& slot = group_of_key[pack_key(row)];
+        const bool is_new = slot < 0;
+        if (is_new) slot = static_cast<int32_t>(states.size());
+        update_row(row, static_cast<size_t>(slot), is_new);
+      }
+    } else {
+      std::unordered_map<uint64_t, size_t> group_of_key;
+      group_of_key.reserve(expected_groups);
+      for (int64_t row = 0; row < table.num_rows(); ++row) {
+        CAPE_RETURN_IF_STOPPED(stop);
+        auto [it, is_new] = group_of_key.try_emplace(pack_key(row), states.size());
+        update_row(row, it->second, is_new);
+      }
     }
-    std::vector<AggState>& group_states = states[group];
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      UpdateAggState(table, aggs[a], row, &group_states[a]);
+  } else {
+    GroupKeyEncoder encoder(table, group_cols);
+    // The table is keyed by the key's FNV-1a hash, computed once per row
+    // (std::unordered_map<std::string, ...> would re-hash the bytes on every
+    // probe and again on every rehash). Hash collisions are resolved by
+    // comparing the encoded key against the bucket's groups; groups keep
+    // their discovery order, which downstream output depends on.
+    std::unordered_map<uint64_t, std::vector<size_t>> group_buckets;
+    std::vector<std::string> group_keys;  // encoded key of each group
+
+    // Sizing heuristic: grouping keeps at most num_rows distinct keys, and
+    // the mining workloads typically see group counts within a small factor
+    // of the row count, so reserving a quarter up front eliminates almost
+    // all rehash cycles without over-allocating for low-cardinality keys.
+    group_buckets.reserve(expected_groups);
+    group_keys.reserve(expected_groups);
+
+    std::string key;
+    for (int64_t row = 0; row < table.num_rows(); ++row) {
+      CAPE_RETURN_IF_STOPPED(stop);
+      key.clear();
+      encoder.EncodeRow(row, &key);
+      const uint64_t hash = HashBytes(key.data(), key.size());
+      std::vector<size_t>& bucket = group_buckets[hash];
+      size_t group = states.size();
+      for (size_t candidate : bucket) {
+        if (group_keys[candidate] == key) {
+          group = candidate;
+          break;
+        }
+      }
+      if (group == states.size()) {
+        bucket.push_back(group);
+        group_keys.push_back(key);
+        representative_row.push_back(row);
+        states.emplace_back(aggs.size());
+      }
+      std::vector<AggState>& group_states = states[group];
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        UpdateAggState(table, aggs[a], row, &group_states[a]);
+      }
     }
   }
 
@@ -290,15 +523,14 @@ Result<TablePtr> FilterEquals(const Table& table,
     CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, col));
     (void)value;
   }
-  return Filter(
-      table,
-      [&](int64_t row) {
-        for (const auto& [col, value] : conditions) {
-          if (table.GetValue(row, col) != value) return false;
-        }
-        return true;
-      },
-      stop);
+  RowEqualityMatcher matcher(table, conditions);
+  if (matcher.never_matches()) {
+    // A condition value that cannot occur in its column (e.g. a string absent
+    // from the dictionary) proves the selection is empty without a scan.
+    if (stop != nullptr && stop->ShouldStopNow()) return stop->ToStatus();
+    return std::make_shared<Table>(table.schema());
+  }
+  return Filter(table, [&](int64_t row) { return matcher.Matches(row); }, stop);
 }
 
 Result<TablePtr> Project(const Table& table, const std::vector<int>& cols,
@@ -373,11 +605,38 @@ Result<TablePtr> SortTable(const Table& table, const std::vector<SortKey>& keys,
                            StopToken* stop) {
   for (const SortKey& k : keys) CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, k.col));
   if (stop != nullptr && stop->ShouldStopNow()) return stop->ToStatus();
+  // With dictionary kernels on, each string sort key gets a sorted-code rank
+  // remap (ranks order exactly as the strings do), turning the O(n log n)
+  // comparison phase into pure integer compares for an O(d log d) setup cost.
+  std::vector<std::vector<int32_t>> string_ranks(keys.size());
+  if (DictionaryKernelsEnabled()) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const Column& col = table.column(keys[i].col);
+      if (col.type() == DataType::kString) string_ranks[i] = col.SortedCodeRanks();
+    }
+  }
   std::vector<int64_t> order(static_cast<size_t>(table.num_rows()));
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
-    for (const SortKey& k : keys) {
-      const int cmp = CompareCells(table.column(k.col), a, b);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const SortKey& k = keys[i];
+      const Column& col = table.column(k.col);
+      int cmp;
+      if (!string_ranks[i].empty()) {
+        // NULL-first, then by rank; rank equality <=> code equality <=>
+        // string equality, so ties break identically to the legacy compare.
+        const int32_t ca = col.GetCode(a);
+        const int32_t cb = col.GetCode(b);
+        if (ca < 0 || cb < 0) {
+          cmp = static_cast<int>(ca >= 0) - static_cast<int>(cb >= 0);
+        } else {
+          const int32_t ra = string_ranks[i][static_cast<size_t>(ca)];
+          const int32_t rb = string_ranks[i][static_cast<size_t>(cb)];
+          cmp = ra < rb ? -1 : (ra > rb ? 1 : 0);
+        }
+      } else {
+        cmp = CompareCells(col, a, b);
+      }
       if (cmp != 0) return k.ascending ? cmp < 0 : cmp > 0;
     }
     return false;

@@ -120,9 +120,24 @@ Result<TablePtr> Cube(const Table& table, const std::vector<int>& cube_cols,
                       const std::vector<AggregateSpec>& aggs,
                       const CubeOptions& options = {}, StopToken* stop = nullptr);
 
+/// Process-wide switch for the dictionary-code kernels (DESIGN.md §10).
+/// When enabled (the default), group keys encode 4-byte dictionary codes,
+/// equality selections compare pre-translated codes, and sorts compare
+/// sorted-code ranks; when disabled every kernel falls back to the legacy
+/// per-row string/Value comparisons. Outputs are byte-identical either way
+/// (pinned by determinism_test); the switch exists for A/B benchmarking and
+/// that equivalence fixture. Not intended to be flipped mid-query.
+void SetDictionaryKernelsEnabled(bool enabled);
+bool DictionaryKernelsEnabled();
+
 /// Internal helper shared by operators and the FD detector: encodes the
 /// projection of row `row` onto `cols` into a byte string such that two rows
 /// encode equal iff their projections are equal (value- and null-aware).
+///
+/// With dictionary kernels enabled, string cells encode as their fixed-width
+/// 4-byte dictionary code instead of length-prefixed bytes. Codes are only
+/// unique within one column, so encoded keys are comparable only among rows
+/// of the *same table* — which is the only way every consumer uses them.
 class GroupKeyEncoder {
  public:
   GroupKeyEncoder(const Table& table, std::vector<int> cols);
@@ -133,6 +148,49 @@ class GroupKeyEncoder {
  private:
   const Table& table_;
   std::vector<int> cols_;
+  bool use_codes_;
+};
+
+/// Conjunctive equality predicate compiled once per condition set: string
+/// condition values are translated to dictionary codes (one hash lookup per
+/// condition, not per row) and numeric values to unboxed comparisons, so
+/// Matches() is pure integer/double compares. Semantics are exactly those of
+/// `table.GetValue(row, col) == value` per condition (NULL matches NULL,
+/// cross-type numeric equality, NaN quirks included). With dictionary
+/// kernels disabled it falls back to boxed Value comparison per row.
+///
+/// Holds a pointer into `table`; must not outlive it. Column indices must be
+/// validated by the caller.
+class RowEqualityMatcher {
+ public:
+  RowEqualityMatcher(const Table& table, const std::vector<std::pair<int, Value>>& conditions);
+
+  /// True when no row can possibly satisfy the conditions (a string value
+  /// absent from the column's dictionary, or a type-mismatched value).
+  /// Callers short-circuit to an empty result without scanning.
+  bool never_matches() const { return never_matches_; }
+
+  bool Matches(int64_t row) const;
+
+ private:
+  enum class Kind : uint8_t {
+    kIsNull,    // condition value is NULL: row must be NULL
+    kInt64,     // exact int64 equality
+    kDoubleEq,  // numeric equality via !(x<v) && !(x>v) (Value::Compare's rule)
+    kCode,      // string column: dictionary code equality
+    kBoxed,     // legacy fallback: boxed Value comparison
+  };
+  struct Cond {
+    const Column* col = nullptr;
+    Kind kind = Kind::kBoxed;
+    int64_t i64 = 0;
+    double f64 = 0.0;
+    int32_t code = 0;
+    Value boxed;
+  };
+
+  std::vector<Cond> conds_;
+  bool never_matches_ = false;
 };
 
 }  // namespace cape

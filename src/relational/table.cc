@@ -73,9 +73,7 @@ Status Table::AppendRowsFrom(const Table& src, const std::vector<int64_t>& rows)
     }
   }
   for (int c = 0; c < num_columns(); ++c) {
-    Column& dst = columns_[static_cast<size_t>(c)];
-    const Column& from = src.column(c);
-    for (int64_t row : rows) dst.AppendFrom(from, row);
+    columns_[static_cast<size_t>(c)].AppendManyFrom(src.column(c), rows);
   }
   num_rows_ += static_cast<int64_t>(rows.size());
   return Status::OK();
