@@ -29,25 +29,53 @@ JSON_BENCHES=(
   bench_fig6b_expl_crime
   bench_parallel_mining
   bench_parallel_explain
+  bench_pattern_cache
 )
+
+# A failing bench must fail the aggregate: its entry becomes an explicit
+# {"name", "error", "exit_code"} marker (never a silently missing bench) and
+# the script exits nonzero after running everything else.
+failures=0
+
+mark_failure() {
+  local bench="$1" code="$2" reason="$3"
+  echo "error: ${bench} failed (${reason})" >&2
+  printf '{"name": "%s", "error": "%s", "exit_code": %d}\n' \
+    "${bench}" "${reason}" "${code}" > "${TMP_DIR}/${bench}.json"
+  failures=$((failures + 1))
+}
 
 docs=()
 for bench in "${JSON_BENCHES[@]}"; do
   exe="${BENCH_DIR}/${bench}"
   if [[ ! -x "${exe}" ]]; then
-    echo "warning: ${exe} missing, skipping" >&2
+    mark_failure "${bench}" 127 "executable missing"
+    docs+=("${TMP_DIR}/${bench}.json")
     continue
   fi
   echo "=== ${bench} ==="
-  "${exe}" --json "${TMP_DIR}/${bench}.json"
+  code=0
+  "${exe}" --json "${TMP_DIR}/${bench}.json" || code=$?
+  if [[ ${code} -ne 0 ]]; then
+    mark_failure "${bench}" "${code}" "exited nonzero"
+  elif [[ ! -s "${TMP_DIR}/${bench}.json" ]]; then
+    mark_failure "${bench}" 0 "wrote no JSON output"
+  fi
   docs+=("${TMP_DIR}/${bench}.json")
 done
 
 micro="${BENCH_DIR}/bench_micro_engine"
 if [[ -x "${micro}" ]]; then
   echo "=== bench_micro_engine ==="
+  code=0
   "${micro}" --benchmark_out="${TMP_DIR}/bench_micro_engine.json" \
-             --benchmark_out_format=json
+             --benchmark_out_format=json || code=$?
+  if [[ ${code} -ne 0 ]]; then
+    mark_failure bench_micro_engine "${code}" "exited nonzero"
+  fi
+  docs+=("${TMP_DIR}/bench_micro_engine.json")
+else
+  mark_failure bench_micro_engine 127 "executable missing"
   docs+=("${TMP_DIR}/bench_micro_engine.json")
 fi
 
@@ -62,4 +90,7 @@ fi
   echo ']}'
 } > "${OUT}"
 
-echo "wrote aggregate results to ${OUT} (${#docs[@]} benches)"
+echo "wrote aggregate results to ${OUT} (${#docs[@]} benches, ${failures} failed)"
+if [[ ${failures} -gt 0 ]]; then
+  exit 1
+fi

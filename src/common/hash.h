@@ -29,6 +29,40 @@ inline size_t HashBytes(const void* data, size_t len) {
   return static_cast<size_t>(h);
 }
 
+/// Incremental FNV-1a (64-bit) for content fingerprints and store checksums.
+/// The digest is a pure function of the byte stream fed to Update, so two
+/// digests are comparable across processes and across save/load boundaries.
+/// Single-byte substitutions always change the digest (xor then multiply by
+/// an odd prime is injective per step), which is what makes it usable as a
+/// corruption check for the binary pattern store.
+class Fnv64 {
+ public:
+  void Update(const void* data, size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h_ ^= p[i];
+      h_ *= 1099511628211ULL;
+    }
+  }
+
+  /// Fixed-width helpers so digests do not depend on caller-side buffering.
+  void UpdateU8(uint8_t v) { Update(&v, sizeof(v)); }
+  void UpdateU32(uint32_t v) { Update(&v, sizeof(v)); }
+  void UpdateU64(uint64_t v) { Update(&v, sizeof(v)); }
+  void UpdateI64(int64_t v) { Update(&v, sizeof(v)); }
+  void UpdateDouble(double v) { Update(&v, sizeof(v)); }
+  /// Length-prefixed so "ab","c" and "a","bc" digest differently.
+  void UpdateString(std::string_view s) {
+    UpdateU64(s.size());
+    Update(s.data(), s.size());
+  }
+
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_ = 14695981039346656037ULL;
+};
+
 }  // namespace cape
 
 #endif  // CAPE_COMMON_HASH_H_

@@ -30,9 +30,32 @@ Result<Engine> Engine::FromCsvFile(const std::string& path, const CsvReadOptions
 }
 
 Status Engine::MinePatterns(const std::string& miner_name) {
+  uint64_t fingerprint = 0;
+  uint64_t config_digest = 0;
+  if (pattern_cache_ != nullptr) {
+    fingerprint = table_->Fingerprint();
+    config_digest = MiningConfigDigest(mining_config_);
+    if (auto cached = pattern_cache_->Lookup(fingerprint, config_digest)) {
+      // Serving-cache hit: zero mining work. mine_ns == 0 is the observable
+      // contract benches and tests pin (DESIGN.md §11).
+      patterns_ = std::move(cached);
+      mining_profile_ = MiningProfile{};
+      run_stats_.mine_ns = 0;
+      run_stats_.mine_cpu_ns = 0;
+      run_stats_.mine_rows_scanned = 0;
+      run_stats_.mine_candidates = 0;
+      run_stats_.mine_candidates_skipped_fd = 0;
+      run_stats_.patterns_mined = static_cast<int64_t>(patterns_->size());
+      run_stats_.mine_truncated = false;
+      run_stats_.mine_stop_reason = StopReason::kNone;
+      run_stats_.cache_hits += 1;
+      return Status::OK();
+    }
+    run_stats_.cache_misses += 1;
+  }
   CAPE_ASSIGN_OR_RETURN(auto miner, MakeMinerByName(miner_name));
   CAPE_ASSIGN_OR_RETURN(MiningResult result, miner->Mine(*table_, mining_config_));
-  patterns_ = std::move(result.patterns);
+  patterns_ = std::make_shared<const PatternSet>(std::move(result.patterns));
   mining_profile_ = result.profile;
   run_stats_.mine_ns = result.profile.total_ns;
   run_stats_.mine_cpu_ns = result.profile.cpu_ns;
@@ -42,19 +65,41 @@ Status Engine::MinePatterns(const std::string& miner_name) {
   run_stats_.patterns_mined = static_cast<int64_t>(patterns_->size());
   run_stats_.mine_truncated = result.truncated;
   run_stats_.mine_stop_reason = result.stop_reason;
+  // Truncated results hold a subset of the full pattern set; caching one
+  // would serve incomplete explanations to every later request.
+  if (pattern_cache_ != nullptr && !result.truncated) {
+    run_stats_.cache_evictions +=
+        pattern_cache_->Insert(fingerprint, config_digest, patterns_, table_->schema());
+  }
   return Status::OK();
 }
 
 Status Engine::SavePatterns(const std::string& path) const {
-  if (!patterns_.has_value()) {
+  if (patterns_ == nullptr) {
     return Status::InvalidArgument("no patterns mined; call MinePatterns() first");
   }
   return SavePatternSet(*patterns_, schema(), path);
 }
 
+Status Engine::SavePatternsBinary(const std::string& path) const {
+  if (patterns_ == nullptr) {
+    return Status::InvalidArgument("no patterns mined; call MinePatterns() first");
+  }
+  return SavePatternSetBinary(*patterns_, schema(), path,
+                              MiningConfigDigest(mining_config_));
+}
+
 Status Engine::LoadPatterns(const std::string& path) {
-  CAPE_ASSIGN_OR_RETURN(PatternSet loaded, LoadPatternSet(path, schema()));
-  patterns_ = std::move(loaded);
+  PatternStoreMeta meta;
+  CAPE_ASSIGN_OR_RETURN(PatternSet loaded, LoadPatternSet(path, schema(), &meta));
+  patterns_ = std::make_shared<const PatternSet>(std::move(loaded));
+  // A binary store records which mining config produced it; use that to
+  // warm the serving cache so later MinePatterns calls hit without mining.
+  if (pattern_cache_ != nullptr && meta.format_version == kPatternStoreFormatVersion &&
+      meta.mining_config_digest != 0) {
+    pattern_cache_->Insert(table_->Fingerprint(), meta.mining_config_digest, patterns_,
+                           table_->schema());
+  }
   return Status::OK();
 }
 
@@ -66,7 +111,7 @@ Result<UserQuestion> Engine::MakeQuestion(const std::vector<std::string>& group_
 }
 
 Result<ExplainResult> Engine::Explain(const UserQuestion& question, bool optimized) const {
-  if (!patterns_.has_value()) {
+  if (patterns_ == nullptr) {
     return Status::InvalidArgument("no patterns mined; call MinePatterns() first");
   }
   auto generator = optimized ? MakeOptimizedExplainer() : MakeNaiveExplainer();
@@ -92,8 +137,15 @@ std::string Engine::RenderExplanations(const std::vector<Explanation>& explanati
   return RenderExplanationTable(explanations, schema());
 }
 
+Result<ExplainSession> Engine::MakeExplainSession() const {
+  if (patterns_ == nullptr) {
+    return Status::InvalidArgument("no patterns mined; call MinePatterns() first");
+  }
+  return ExplainSession(patterns_, distance_model_, explain_config_);
+}
+
 std::string Engine::RenderPatterns(size_t max_patterns) const {
-  if (!patterns_.has_value()) return "(no patterns mined)\n";
+  if (patterns_ == nullptr) return "(no patterns mined)\n";
   return patterns_->ToString(schema(), max_patterns);
 }
 

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/pattern_cache.h"
 #include "explain/baseline.h"
+#include "explain/explain_session.h"
 #include "explain/explainer.h"
 #include "pattern/mining.h"
 #include "relational/csv.h"
@@ -45,6 +47,13 @@ struct RunStats {
   bool explain_partial = false;
   StopReason explain_stop_reason = StopReason::kNone;
   std::string explain_stopped_stage;
+
+  // Pattern cache (cumulative over this engine's MinePatterns/LoadPatterns
+  // calls; zero when no cache is attached). A warm-cache MinePatterns run
+  // reports cache_hits == 1 with mine_ns == 0: zero mining work was done.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
 };
 
 /// The CAPE system facade: load a relation, mine aggregate regression
@@ -94,21 +103,40 @@ class Engine {
   }
   const DistanceModel& distance_model() const { return distance_model_; }
 
+  /// Attaches a (possibly shared) serving cache. When set, MinePatterns
+  /// first looks up (table fingerprint, mining-config digest) and serves a
+  /// hit with zero mining work; untruncated results are inserted after
+  /// mining. Deadline-truncated or cancelled runs are never cached — they
+  /// hold a subset of the full result and would poison later requests.
+  /// Non-owning; the cache must outlive the engine. nullptr detaches.
+  void set_pattern_cache(PatternCache* cache) { pattern_cache_ = cache; }
+  PatternCache* pattern_cache() const { return pattern_cache_; }
+
   /// Runs offline ARP mining with the named algorithm ("ARP-MINE" default;
   /// also NAIVE, CUBE, SHARE-GRP). Replaces any previously mined patterns.
   Status MinePatterns(const std::string& miner_name = "ARP-MINE");
 
   /// Injects an externally mined or filtered pattern set (used by benches
   /// to vary N_P).
-  void SetPatterns(PatternSet patterns) { patterns_ = std::move(patterns); }
+  void SetPatterns(PatternSet patterns) {
+    patterns_ = std::make_shared<const PatternSet>(std::move(patterns));
+  }
 
   /// Persists the mined patterns (offline phase) / restores them (online
-  /// phase). Loading validates the schema fingerprint embedded in the file.
+  /// phase). SavePatterns writes the human-readable text form;
+  /// SavePatternsBinary writes the binary store (with this engine's
+  /// mining-config digest). LoadPatterns sniffs the format, validates the
+  /// embedded schema, and — when a cache is attached and the store records
+  /// a config digest — warms the cache with the loaded set.
   Status SavePatterns(const std::string& path) const;
+  Status SavePatternsBinary(const std::string& path) const;
   Status LoadPatterns(const std::string& path);
 
-  bool has_patterns() const { return patterns_.has_value(); }
+  bool has_patterns() const { return patterns_ != nullptr; }
   const PatternSet& patterns() const { return *patterns_; }
+  /// Shared handle to the mined set (what the cache and ExplainSession
+  /// hold); nullptr before MinePatterns/SetPatterns/LoadPatterns.
+  const std::shared_ptr<const PatternSet>& shared_patterns() const { return patterns_; }
   const MiningProfile& mining_profile() const { return mining_profile_; }
 
   /// Per-request statistics for the most recent load/mine/explain calls.
@@ -123,6 +151,12 @@ class Engine {
   /// EXPL-GEN-OPT (Section 3.5) over EXPL-GEN-NAIVE (Algorithm 1).
   /// Requires MinePatterns()/SetPatterns() to have run.
   Result<ExplainResult> Explain(const UserQuestion& question, bool optimized = true) const;
+
+  /// Opens a batch serving session over the current pattern set: answers
+  /// many questions while memoizing question-independent work (aggregated
+  /// data tables, refinement adjacency). Results are byte-identical to
+  /// calling Explain() per question. Requires patterns.
+  Result<ExplainSession> MakeExplainSession() const;
 
   /// The Appendix A.2 pattern-free baseline, for comparison.
   Result<ExplainResult> ExplainBaseline(const UserQuestion& question) const;
@@ -140,7 +174,8 @@ class Engine {
   MiningConfig mining_config_;
   ExplainConfig explain_config_;
   DistanceModel distance_model_;
-  std::optional<PatternSet> patterns_;
+  std::shared_ptr<const PatternSet> patterns_;
+  PatternCache* pattern_cache_ = nullptr;
   MiningProfile mining_profile_;
   /// mutable: Explain() is logically const but records observability stats.
   mutable RunStats run_stats_;

@@ -1,0 +1,39 @@
+#include "explain/explain_session.h"
+
+#include "common/macros.h"
+
+namespace cape {
+
+Result<ExplainResult> ExplainSession::Explain(const UserQuestion& question, bool optimized) {
+  if (patterns_ == nullptr) {
+    return Status::InvalidArgument("ExplainSession has no pattern set");
+  }
+  if (state_.relation == nullptr) {
+    state_.relation = question.relation.get();
+  } else if (state_.relation != question.relation.get()) {
+    // The memoized γ tables are computed over the first question's
+    // relation; serving a different table from them would be silently
+    // wrong, so reject instead.
+    return Status::InvalidArgument(
+        "ExplainSession answers questions over one relation; open a new session "
+        "for a different table");
+  }
+  CAPE_ASSIGN_OR_RETURN(ExplainResult result,
+                        explain_internal::RunExplainWithState(question, *patterns_, distance_,
+                                                              config_, optimized, &state_));
+  state_.questions_answered += 1;
+  return result;
+}
+
+Result<std::vector<ExplainResult>> ExplainSession::ExplainBatch(
+    const std::vector<UserQuestion>& questions, bool optimized) {
+  std::vector<ExplainResult> out;
+  out.reserve(questions.size());
+  for (const UserQuestion& q : questions) {
+    CAPE_ASSIGN_OR_RETURN(ExplainResult result, Explain(q, optimized));
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace cape

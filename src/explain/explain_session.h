@@ -1,0 +1,72 @@
+#ifndef CAPE_EXPLAIN_EXPLAIN_SESSION_H_
+#define CAPE_EXPLAIN_EXPLAIN_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "explain/distance.h"
+#include "explain/explainer.h"
+#include "explain/explainer_internal.h"
+#include "explain/user_question.h"
+#include "pattern/pattern_set.h"
+
+namespace cape {
+
+/// Answers a batch of user questions against one mined PatternSet,
+/// memoizing the question-independent work the one-shot Explain() path
+/// redoes per question: the γ_{attrs,agg} aggregate tables and the
+/// refinement adjacency (which patterns refine which). This is the online
+/// half of CAPE's offline/online split at serving granularity — mine once,
+/// open a session, answer many questions.
+///
+/// Every answer is byte-identical to calling Engine::Explain() on the same
+/// question: the memoized structures only skip recomputation, never change
+/// the deterministic candidate order (DESIGN.md §11).
+///
+/// All questions in one session must target the relation of the first
+/// question (the γ tables are per-relation). Not intended for concurrent
+/// Explain() calls on the same session; open one session per serving thread
+/// — they can all share one cached PatternSet.
+class ExplainSession {
+ public:
+  ExplainSession(std::shared_ptr<const PatternSet> patterns, DistanceModel distance,
+                 ExplainConfig config)
+      : patterns_(std::move(patterns)), distance_(std::move(distance)),
+        config_(std::move(config)) {}
+
+  ExplainSession(ExplainSession&&) = default;
+  ExplainSession& operator=(ExplainSession&&) = default;
+  ExplainSession(const ExplainSession&) = delete;
+  ExplainSession& operator=(const ExplainSession&) = delete;
+
+  /// Answers one question. `optimized` selects EXPL-GEN-OPT over
+  /// EXPL-GEN-NAIVE, exactly as in Engine::Explain.
+  Result<ExplainResult> Explain(const UserQuestion& question, bool optimized = true);
+
+  /// Answers questions in order; fails fast on the first error.
+  Result<std::vector<ExplainResult>> ExplainBatch(const std::vector<UserQuestion>& questions,
+                                                  bool optimized = true);
+
+  const PatternSet& patterns() const { return *patterns_; }
+  ExplainConfig& config() { return config_; }
+  const ExplainConfig& config() const { return config_; }
+
+  /// Questions answered so far.
+  int64_t questions_answered() const { return state_.questions_answered; }
+  /// Distinct γ_{attrs,agg} tables memoized so far (grows sub-linearly in
+  /// questions — that is the point of the session).
+  size_t num_cached_agg_tables() const {
+    return state_.agg_cache == nullptr ? 0 : state_.agg_cache->num_entries();
+  }
+
+ private:
+  std::shared_ptr<const PatternSet> patterns_;
+  DistanceModel distance_;
+  ExplainConfig config_;
+  explain_internal::SessionState state_;
+};
+
+}  // namespace cape
+
+#endif  // CAPE_EXPLAIN_EXPLAIN_SESSION_H_

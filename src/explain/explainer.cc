@@ -11,10 +11,14 @@
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "explain/explainer_internal.h"
 
 namespace cape {
 
 namespace {
+
+using explain_internal::AggDataCache;
+using explain_internal::SessionState;
 
 /// Stable identity of a candidate explanation. The paper deduplicates per
 /// (P', t'); we deduplicate per counterbalance tuple t' (attrs + values),
@@ -121,50 +125,6 @@ class CandidatePool {
   SharedScoreFloor* floor_;
   std::unordered_map<std::string, Entry> best_;
   std::multiset<double, std::greater<double>> scores_;
-};
-
-/// Caches γ_{attrs, agg(A)}(R) tables shared by every (P, P') pair whose
-/// refinement has the same attribute set. Thread-safe: concurrent workers
-/// requesting the same key serialize on that entry (one computes, the rest
-/// reuse), while distinct keys compute in parallel.
-class AggDataCache {
- public:
-  explicit AggDataCache(const Table& relation) : relation_(relation) {}
-
-  Result<TablePtr> Get(AttrSet attrs, AggFunc agg, int agg_attr, StopToken* stop) {
-    const std::string key = std::to_string(attrs.bits()) + "|" +
-                            std::to_string(static_cast<int>(agg)) + "|" +
-                            std::to_string(agg_attr);
-    std::shared_ptr<Entry> entry;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      std::shared_ptr<Entry>& slot = cache_[key];
-      if (slot == nullptr) slot = std::make_shared<Entry>();
-      entry = slot;
-    }
-    std::lock_guard<std::mutex> lock(entry->mu);
-    if (entry->table != nullptr) return entry->table;
-    AggregateSpec spec;
-    spec.func = agg;
-    spec.input_col = agg_attr;
-    spec.output_name = "agg";
-    // A failed computation (deadline mid-aggregation) is not cached: the
-    // run is ending anyway, and a later retry must not see a poisoned slot.
-    CAPE_ASSIGN_OR_RETURN(TablePtr data,
-                          GroupByAggregate(relation_, attrs.ToIndices(), {spec}, stop));
-    entry->table = data;
-    return data;
-  }
-
- private:
-  struct Entry {
-    std::mutex mu;
-    TablePtr table;
-  };
-
-  const Table& relation_;
-  std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Entry>> cache_;
 };
 
 /// Relevant patterns (Definition 5) restricted to the question's aggregate:
@@ -367,13 +327,41 @@ Status EvaluatePair(const UserQuestion& q, const GlobalPattern& relevant,
 /// count.
 Result<ExplainResult> RunExplain(const UserQuestion& q, const PatternSet& patterns,
                                  const DistanceModel& distance, const ExplainConfig& config,
-                                 bool optimized) {
+                                 bool optimized, SessionState* state) {
   ExplainResult result;
   Stopwatch total;
   StopToken stop = config.MakeStopToken();
-  AggDataCache cache(*q.relation);
+  // One-shot calls build the γ cache per request; a session keeps one alive
+  // across its batch (the tables depend only on the relation).
+  std::unique_ptr<AggDataCache> local_cache;
+  AggDataCache* cache = nullptr;
+  if (state != nullptr) {
+    if (state->agg_cache == nullptr) {
+      state->agg_cache = std::make_unique<AggDataCache>(*q.relation);
+    }
+    cache = state->agg_cache.get();
+  } else {
+    local_cache = std::make_unique<AggDataCache>(*q.relation);
+    cache = local_cache.get();
+  }
   const bool prune_pairs = optimized && config.prune_pairs;
   const bool prune_locals = optimized && config.prune_locals;
+
+  // Refinement adjacency is question-independent; a session computes it
+  // once. The per-pattern lists keep enumeration order, so the pair list
+  // below is identical to the inline scan of the one-shot path.
+  const std::vector<GlobalPattern>& all = patterns.patterns();
+  if (state != nullptr && !state->adjacency_built) {
+    state->refinements.assign(all.size(), {});
+    for (size_t i = 0; i < all.size(); ++i) {
+      for (size_t j = 0; j < all.size(); ++j) {
+        if (all[j].pattern.IsRefinementOf(all[i].pattern)) {
+          state->refinements[i].push_back(static_cast<int64_t>(j));
+        }
+      }
+    }
+    state->adjacency_built = true;
+  }
 
   // Stage 1 (inline): relevant patterns, NORM per relevant pattern, and the
   // (P, P') pair list with Section 3.5 score upper bounds.
@@ -391,8 +379,7 @@ Result<ExplainResult> RunExplain(const UserQuestion& q, const PatternSet& patter
     }
     const double norm = norm_result.ValueOrDie();
     const double norm_denominator = std::fabs(norm) + config.epsilon;
-    for (const GlobalPattern& pp : patterns.patterns()) {
-      if (!pp.pattern.IsRefinementOf(p->pattern)) continue;
+    auto add_pair = [&](const GlobalPattern& pp) {
       result.profile.num_refinement_pairs += 1;
       double bound = 0.0;
       if (optimized) {
@@ -401,6 +388,17 @@ Result<ExplainResult> RunExplain(const UserQuestion& q, const PatternSet& patter
         bound = dev_up <= 0.0 ? 0.0 : dev_up / ((d_lb + config.epsilon) * norm_denominator);
       }
       pairs.push_back(PairTask{p, &pp, norm, bound});
+    };
+    if (state != nullptr) {
+      const size_t pattern_idx = static_cast<size_t>(p - all.data());
+      for (int64_t j : state->refinements[pattern_idx]) {
+        add_pair(all[static_cast<size_t>(j)]);
+      }
+    } else {
+      for (const GlobalPattern& pp : all) {
+        if (!pp.pattern.IsRefinementOf(p->pattern)) continue;
+        add_pair(pp);
+      }
     }
   }
   // Decreasing bound order raises the floor as early as possible. The sort
@@ -440,7 +438,7 @@ Result<ExplainResult> RunExplain(const UserQuestion& q, const PatternSet& patter
               continue;
             }
             CAPE_RETURN_IF_ERROR(EvaluatePair(
-                q, *pair.relevant, *pair.refinement, pair.norm, distance, config, &cache,
+                q, *pair.relevant, *pair.refinement, pair.norm, distance, config, cache,
                 prune_locals, i, &floor, &pools[static_cast<size_t>(worker)], &profile,
                 worker_stop));
           }
@@ -474,7 +472,8 @@ class NaiveExplainer final : public ExplanationGenerator {
   Result<ExplainResult> Explain(const UserQuestion& q, const PatternSet& patterns,
                                 const DistanceModel& distance,
                                 const ExplainConfig& config) override {
-    return RunExplain(q, patterns, distance, config, /*optimized=*/false);
+    return RunExplain(q, patterns, distance, config, /*optimized=*/false,
+                      /*state=*/nullptr);
   }
 };
 
@@ -486,11 +485,23 @@ class OptimizedExplainer final : public ExplanationGenerator {
   Result<ExplainResult> Explain(const UserQuestion& q, const PatternSet& patterns,
                                 const DistanceModel& distance,
                                 const ExplainConfig& config) override {
-    return RunExplain(q, patterns, distance, config, /*optimized=*/true);
+    return RunExplain(q, patterns, distance, config, /*optimized=*/true,
+                      /*state=*/nullptr);
   }
 };
 
 }  // namespace
+
+namespace explain_internal {
+
+Result<ExplainResult> RunExplainWithState(const UserQuestion& q, const PatternSet& patterns,
+                                          const DistanceModel& distance,
+                                          const ExplainConfig& config, bool optimized,
+                                          SessionState* state) {
+  return RunExplain(q, patterns, distance, config, optimized, state);
+}
+
+}  // namespace explain_internal
 
 std::unique_ptr<ExplanationGenerator> MakeNaiveExplainer() {
   return std::make_unique<NaiveExplainer>();

@@ -83,6 +83,15 @@ struct MiningConfig {
   }
 };
 
+/// Digest of every MiningConfig knob that affects *which* patterns are
+/// mined: thresholds, candidate-space restrictions, aggregate/model lists,
+/// excluded attributes, FD optimizations, and initial FDs. Performance and
+/// lifecycle knobs (num_threads, deadline_ms, cancel_token) are explicitly
+/// excluded — they never change an untruncated result (DESIGN.md §9), so
+/// cached pattern sets stay valid across them. Forms the second half of the
+/// PatternCache key next to Table::Fingerprint.
+uint64_t MiningConfigDigest(const MiningConfig& config);
+
 /// Time attribution for Figure 4 plus counters used in tests/benches.
 ///
 /// `total_ns` is always wall time. `cpu_ns` (and the regression_ns/query_ns

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/stopwatch.h"
 #include "stats/regression.h"
 
@@ -276,3 +277,30 @@ PatternSet FinalizePatterns(CandidateMap candidates, const MiningConfig& config)
 }
 
 }  // namespace cape::mining_internal
+
+namespace cape {
+
+uint64_t MiningConfigDigest(const MiningConfig& config) {
+  Fnv64 h;
+  h.UpdateU32(static_cast<uint32_t>(config.max_pattern_size));
+  h.UpdateDouble(config.local_gof_threshold);
+  h.UpdateI64(config.local_support_threshold);
+  h.UpdateDouble(config.global_confidence_threshold);
+  h.UpdateI64(config.global_support_threshold);
+  h.UpdateU64(config.agg_functions.size());
+  for (AggFunc f : config.agg_functions) h.UpdateU8(static_cast<uint8_t>(f));
+  h.UpdateU64(config.model_types.size());
+  for (ModelType m : config.model_types) h.UpdateU8(static_cast<uint8_t>(m));
+  h.UpdateU8(config.require_numeric_predictors ? 1 : 0);
+  h.UpdateU64(config.excluded_attrs.size());
+  for (const std::string& name : config.excluded_attrs) h.UpdateString(name);
+  h.UpdateU8(config.use_fd_optimizations ? 1 : 0);
+  h.UpdateU64(config.initial_fds.size());
+  for (const FunctionalDependency& fd : config.initial_fds.fds()) {
+    h.UpdateU64(fd.lhs.bits());
+    h.UpdateU32(static_cast<uint32_t>(fd.rhs));
+  }
+  return h.digest();
+}
+
+}  // namespace cape

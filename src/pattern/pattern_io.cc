@@ -1,9 +1,12 @@
 #include "pattern/pattern_io.h"
 
+#include <bit>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "common/hash.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -12,6 +15,11 @@ namespace cape {
 namespace {
 
 constexpr const char* kHeader = "CAPE_PATTERNS v1";
+
+// The binary store writes native fixed-width values; the format is defined
+// as little-endian, which every supported target is.
+static_assert(std::endian::native == std::endian::little,
+              "binary pattern store assumes a little-endian target");
 
 /// Percent-escapes characters that would break the line/space structure.
 std::string EscapeToken(const std::string& raw) {
@@ -125,6 +133,89 @@ Status ExpectTokens(const std::vector<std::string>& tokens, const char* tag,
   return Status::OK();
 }
 
+/// Attribute-mask helper shared by both parsers: every attribute reference
+/// in a file must fit the relation the patterns are loaded against.
+uint64_t SchemaAttrMask(const Schema& schema) {
+  return schema.num_fields() >= 64 ? ~uint64_t{0}
+                                   : ((uint64_t{1} << schema.num_fields()) - 1);
+}
+
+/// Header fields of one global-pattern record as raw integers, before any
+/// enum cast — filled by the text tokenizer or the binary reader and turned
+/// into a validated GlobalPattern by MakeValidatedPattern, so the two
+/// formats enforce identical invariants.
+struct RawPatternHeader {
+  uint64_t f_bits = 0;
+  uint64_t v_bits = 0;
+  int64_t agg = 0;
+  int64_t agg_attr = 0;
+  int64_t model = 0;
+  int64_t num_fragments = 0;
+  int64_t num_supported = 0;
+  int64_t num_holding = 0;
+  double max_positive_dev = 0.0;
+  double min_negative_dev = 0.0;
+  int64_t local_count = 0;
+};
+
+Result<GlobalPattern> MakeValidatedPattern(const RawPatternHeader& raw,
+                                           const Schema& schema, int64_t pi) {
+  const uint64_t attr_mask = SchemaAttrMask(schema);
+  if ((raw.f_bits & ~attr_mask) != 0 || (raw.v_bits & ~attr_mask) != 0) {
+    return Status::InvalidArgument(
+        "pattern record " + std::to_string(pi) +
+        " references attributes outside the relation's " +
+        std::to_string(schema.num_fields()) + " fields");
+  }
+  GlobalPattern gp;
+  gp.pattern.partition_attrs = AttrSet(raw.f_bits);
+  gp.pattern.predictor_attrs = AttrSet(raw.v_bits);
+  if (raw.agg < static_cast<int64_t>(AggFunc::kCount) ||
+      raw.agg > static_cast<int64_t>(AggFunc::kMax)) {
+    return Status::InvalidArgument("pattern record " + std::to_string(pi) +
+                                   " has unknown aggregate function id " +
+                                   std::to_string(raw.agg));
+  }
+  gp.pattern.agg = static_cast<AggFunc>(raw.agg);
+  if (raw.agg_attr != Pattern::kCountStar &&
+      (raw.agg_attr < 0 || raw.agg_attr >= schema.num_fields())) {
+    return Status::InvalidArgument("pattern record " + std::to_string(pi) +
+                                   " has aggregate attribute " +
+                                   std::to_string(raw.agg_attr) +
+                                   " outside the relation's fields");
+  }
+  gp.pattern.agg_attr = static_cast<int>(raw.agg_attr);
+  if (raw.model < static_cast<int64_t>(ModelType::kConst) ||
+      raw.model > static_cast<int64_t>(ModelType::kLinear)) {
+    return Status::InvalidArgument("pattern record " + std::to_string(pi) +
+                                   " has unknown model type id " +
+                                   std::to_string(raw.model));
+  }
+  gp.pattern.model = static_cast<ModelType>(raw.model);
+  gp.num_fragments = raw.num_fragments;
+  gp.num_supported = raw.num_supported;
+  gp.num_holding = raw.num_holding;
+  if (gp.num_fragments < 0 || gp.num_supported < 0 || gp.num_holding < 0) {
+    return Status::InvalidArgument("pattern record " + std::to_string(pi) +
+                                   " has negative fragment counters");
+  }
+  gp.max_positive_dev = raw.max_positive_dev;
+  gp.min_negative_dev = raw.min_negative_dev;
+  if (raw.local_count < 0) {
+    return Status::InvalidArgument("pattern record " + std::to_string(pi) +
+                                   " has negative local-pattern count");
+  }
+  if (!gp.pattern.IsWellFormed()) {
+    return Status::InvalidArgument("pattern record " + std::to_string(pi) +
+                                   " is not well-formed");
+  }
+  gp.global_confidence =
+      gp.num_supported > 0
+          ? static_cast<double>(gp.num_holding) / static_cast<double>(gp.num_supported)
+          : 0.0;
+  return gp;
+}
+
 }  // namespace
 
 std::string SerializePatternSet(const PatternSet& patterns, const Schema& schema) {
@@ -206,77 +297,28 @@ Result<PatternSet> DeserializePatternSet(const std::string& text, const Schema& 
                                    std::to_string(pattern_count));
   }
 
-  // Every attribute reference in the file must fit the relation the
-  // patterns are being loaded against.
-  const uint64_t attr_mask =
-      schema.num_fields() >= 64 ? ~uint64_t{0}
-                                : ((uint64_t{1} << schema.num_fields()) - 1);
-
   PatternSet out;
   for (int64_t pi = 0; pi < pattern_count; ++pi) {
     CAPE_ASSIGN_OR_RETURN(auto line, reader.NextLine());
     CAPE_RETURN_IF_ERROR(ExpectTokens(line, "pattern", 12));
-    GlobalPattern gp;
+    RawPatternHeader raw;
     CAPE_ASSIGN_OR_RETURN(int64_t f_bits, ParseInt64(line[1]));
     CAPE_ASSIGN_OR_RETURN(int64_t v_bits, ParseInt64(line[2]));
-    if ((static_cast<uint64_t>(f_bits) & ~attr_mask) != 0 ||
-        (static_cast<uint64_t>(v_bits) & ~attr_mask) != 0) {
-      return Status::InvalidArgument(
-          "pattern record " + std::to_string(pi) +
-          " references attributes outside the relation's " +
-          std::to_string(schema.num_fields()) + " fields");
-    }
-    gp.pattern.partition_attrs = AttrSet(static_cast<uint64_t>(f_bits));
-    gp.pattern.predictor_attrs = AttrSet(static_cast<uint64_t>(v_bits));
-    CAPE_ASSIGN_OR_RETURN(int64_t agg, ParseInt64(line[3]));
-    if (agg < static_cast<int64_t>(AggFunc::kCount) ||
-        agg > static_cast<int64_t>(AggFunc::kMax)) {
-      return Status::InvalidArgument("pattern record " + std::to_string(pi) +
-                                     " has unknown aggregate function id " +
-                                     std::to_string(agg));
-    }
-    gp.pattern.agg = static_cast<AggFunc>(agg);
-    CAPE_ASSIGN_OR_RETURN(int64_t agg_attr, ParseInt64(line[4]));
-    if (agg_attr != Pattern::kCountStar &&
-        (agg_attr < 0 || agg_attr >= schema.num_fields())) {
-      return Status::InvalidArgument("pattern record " + std::to_string(pi) +
-                                     " has aggregate attribute " +
-                                     std::to_string(agg_attr) +
-                                     " outside the relation's fields");
-    }
-    gp.pattern.agg_attr = static_cast<int>(agg_attr);
-    CAPE_ASSIGN_OR_RETURN(int64_t model, ParseInt64(line[5]));
-    if (model < static_cast<int64_t>(ModelType::kConst) ||
-        model > static_cast<int64_t>(ModelType::kLinear)) {
-      return Status::InvalidArgument("pattern record " + std::to_string(pi) +
-                                     " has unknown model type id " + std::to_string(model));
-    }
-    gp.pattern.model = static_cast<ModelType>(model);
-    CAPE_ASSIGN_OR_RETURN(gp.num_fragments, ParseInt64(line[6]));
-    CAPE_ASSIGN_OR_RETURN(gp.num_supported, ParseInt64(line[7]));
-    CAPE_ASSIGN_OR_RETURN(gp.num_holding, ParseInt64(line[8]));
-    if (gp.num_fragments < 0 || gp.num_supported < 0 || gp.num_holding < 0) {
-      return Status::InvalidArgument("pattern record " + std::to_string(pi) +
-                                     " has negative fragment counters");
-    }
-    CAPE_ASSIGN_OR_RETURN(gp.max_positive_dev, ParseDouble(line[9]));
-    CAPE_ASSIGN_OR_RETURN(gp.min_negative_dev, ParseDouble(line[10]));
-    CAPE_ASSIGN_OR_RETURN(int64_t local_count, ParseInt64(line[11]));
-    if (local_count < 0) {
-      return Status::InvalidArgument("pattern record " + std::to_string(pi) +
-                                     " has negative local-pattern count");
-    }
-    if (!gp.pattern.IsWellFormed()) {
-      return Status::InvalidArgument("pattern record " + std::to_string(pi) +
-                                     " is not well-formed");
-    }
-    gp.global_confidence =
-        gp.num_supported > 0
-            ? static_cast<double>(gp.num_holding) / static_cast<double>(gp.num_supported)
-            : 0.0;
+    raw.f_bits = static_cast<uint64_t>(f_bits);
+    raw.v_bits = static_cast<uint64_t>(v_bits);
+    CAPE_ASSIGN_OR_RETURN(raw.agg, ParseInt64(line[3]));
+    CAPE_ASSIGN_OR_RETURN(raw.agg_attr, ParseInt64(line[4]));
+    CAPE_ASSIGN_OR_RETURN(raw.model, ParseInt64(line[5]));
+    CAPE_ASSIGN_OR_RETURN(raw.num_fragments, ParseInt64(line[6]));
+    CAPE_ASSIGN_OR_RETURN(raw.num_supported, ParseInt64(line[7]));
+    CAPE_ASSIGN_OR_RETURN(raw.num_holding, ParseInt64(line[8]));
+    CAPE_ASSIGN_OR_RETURN(raw.max_positive_dev, ParseDouble(line[9]));
+    CAPE_ASSIGN_OR_RETURN(raw.min_negative_dev, ParseDouble(line[10]));
+    CAPE_ASSIGN_OR_RETURN(raw.local_count, ParseInt64(line[11]));
+    CAPE_ASSIGN_OR_RETURN(GlobalPattern gp, MakeValidatedPattern(raw, schema, pi));
 
     const int expected_fragment_arity = gp.pattern.partition_attrs.size();
-    for (int64_t li = 0; li < local_count; ++li) {
+    for (int64_t li = 0; li < raw.local_count; ++li) {
       CAPE_ASSIGN_OR_RETURN(auto local_line, reader.NextLine());
       CAPE_RETURN_IF_ERROR(ExpectTokens(local_line, "local", 4));
       LocalPattern local;
@@ -327,6 +369,318 @@ Result<PatternSet> DeserializePatternSet(const std::string& text, const Schema& 
   return out;
 }
 
+namespace {
+
+constexpr char kBinaryMagic[8] = {'C', 'A', 'P', 'E', 'A', 'R', 'P', 'B'};
+
+// Value tags of the binary codec (one byte per fragment value).
+enum class ValueTag : uint8_t { kNull = 0, kInt64 = 1, kDouble = 2, kString = 3 };
+
+// Model-record kinds.
+enum class ModelTag : uint8_t { kConst = 0, kLinear = 1 };
+
+void AppendRaw(std::string* out, const void* data, size_t len) {
+  out->append(static_cast<const char*>(data), len);
+}
+void AppendU8(std::string* out, uint8_t v) { AppendRaw(out, &v, sizeof(v)); }
+void AppendU32(std::string* out, uint32_t v) { AppendRaw(out, &v, sizeof(v)); }
+void AppendU64(std::string* out, uint64_t v) { AppendRaw(out, &v, sizeof(v)); }
+void AppendI64(std::string* out, int64_t v) { AppendRaw(out, &v, sizeof(v)); }
+void AppendF64(std::string* out, double v) { AppendRaw(out, &v, sizeof(v)); }
+void AppendLenString(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  AppendRaw(out, s.data(), s.size());
+}
+
+void AppendBinaryValue(std::string* out, const Value& v) {
+  if (v.is_null()) {
+    AppendU8(out, static_cast<uint8_t>(ValueTag::kNull));
+    return;
+  }
+  switch (v.type()) {
+    case DataType::kInt64:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kInt64));
+      AppendI64(out, v.int64_value());
+      return;
+    case DataType::kDouble:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kDouble));
+      AppendF64(out, v.double_value());
+      return;
+    case DataType::kString:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kString));
+      AppendLenString(out, v.string_value());
+      return;
+  }
+  AppendU8(out, static_cast<uint8_t>(ValueTag::kNull));
+}
+
+/// Bounds-checked cursor over the store's payload. Every read either
+/// succeeds in full or returns InvalidArgument without advancing past the
+/// end — corrupt length fields can never cause an out-of-bounds access.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Status Read(void* out, size_t len) {
+    if (len > remaining()) {
+      return Status::InvalidArgument("truncated pattern store (unexpected end of input)");
+    }
+    std::memcpy(out, data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Result<uint8_t> ReadU8() { return ReadAs<uint8_t>(); }
+  Result<uint32_t> ReadU32() { return ReadAs<uint32_t>(); }
+  Result<uint64_t> ReadU64() { return ReadAs<uint64_t>(); }
+  Result<int64_t> ReadI64() { return ReadAs<int64_t>(); }
+  Result<double> ReadF64() { return ReadAs<double>(); }
+
+  Result<std::string> ReadLenString() {
+    CAPE_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+    if (len > remaining()) {
+      return Status::InvalidArgument("truncated pattern store (string length " +
+                                     std::to_string(len) + " exceeds remaining bytes)");
+    }
+    std::string s(data_.data() + pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  Result<Value> ReadValue() {
+    CAPE_ASSIGN_OR_RETURN(uint8_t tag, ReadU8());
+    switch (static_cast<ValueTag>(tag)) {
+      case ValueTag::kNull:
+        return Value::Null();
+      case ValueTag::kInt64: {
+        CAPE_ASSIGN_OR_RETURN(int64_t v, ReadI64());
+        return Value::Int64(v);
+      }
+      case ValueTag::kDouble: {
+        CAPE_ASSIGN_OR_RETURN(double v, ReadF64());
+        return Value::Double(v);
+      }
+      case ValueTag::kString: {
+        CAPE_ASSIGN_OR_RETURN(std::string s, ReadLenString());
+        return Value::String(std::move(s));
+      }
+    }
+    return Status::InvalidArgument("unknown value tag " + std::to_string(tag) +
+                                   " in pattern store");
+  }
+
+ private:
+  template <typename T>
+  Result<T> ReadAs() {
+    T v;
+    CAPE_RETURN_IF_ERROR(Read(&v, sizeof(T)));
+    return v;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializePatternSetBinary(const PatternSet& patterns, const Schema& schema,
+                                      uint64_t mining_config_digest) {
+  std::string out;
+  AppendRaw(&out, kBinaryMagic, sizeof(kBinaryMagic));
+  AppendU32(&out, kPatternStoreFormatVersion);
+  AppendU64(&out, schema.Digest());
+  AppendU64(&out, mining_config_digest);
+  AppendU32(&out, static_cast<uint32_t>(schema.num_fields()));
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    AppendLenString(&out, schema.field(i).name);
+    AppendU8(&out, static_cast<uint8_t>(schema.field(i).type));
+  }
+  AppendU64(&out, patterns.size());
+  for (const GlobalPattern& gp : patterns.patterns()) {
+    const Pattern& p = gp.pattern;
+    AppendU64(&out, p.partition_attrs.bits());
+    AppendU64(&out, p.predictor_attrs.bits());
+    AppendU8(&out, static_cast<uint8_t>(p.agg));
+    AppendI64(&out, p.agg_attr);
+    AppendU8(&out, static_cast<uint8_t>(p.model));
+    AppendI64(&out, gp.num_fragments);
+    AppendI64(&out, gp.num_supported);
+    AppendI64(&out, gp.num_holding);
+    AppendF64(&out, gp.max_positive_dev);
+    AppendF64(&out, gp.min_negative_dev);
+    AppendU64(&out, gp.locals.size());
+    for (const LocalPattern& local : gp.locals) {
+      AppendI64(&out, local.support);
+      AppendF64(&out, local.max_positive_dev);
+      AppendF64(&out, local.min_negative_dev);
+      for (const Value& v : local.fragment) AppendBinaryValue(&out, v);
+      if (local.model->type() == ModelType::kConst) {
+        const auto* model = static_cast<const ConstantRegression*>(local.model.get());
+        AppendU8(&out, static_cast<uint8_t>(ModelTag::kConst));
+        AppendF64(&out, model->beta());
+        AppendF64(&out, model->goodness_of_fit());
+        AppendU64(&out, model->num_samples());
+      } else {
+        const auto* model = static_cast<const LinearRegression*>(local.model.get());
+        AppendU8(&out, static_cast<uint8_t>(ModelTag::kLinear));
+        AppendU32(&out, static_cast<uint32_t>(model->coefficients().size()));
+        for (double c : model->coefficients()) AppendF64(&out, c);
+        AppendF64(&out, model->goodness_of_fit());
+        AppendU64(&out, model->num_samples());
+      }
+    }
+  }
+  Fnv64 checksum;
+  checksum.Update(out.data(), out.size());
+  AppendU64(&out, checksum.digest());
+  return out;
+}
+
+bool LooksLikeBinaryPatternStore(std::string_view bytes) {
+  return bytes.size() >= sizeof(kBinaryMagic) &&
+         std::memcmp(bytes.data(), kBinaryMagic, sizeof(kBinaryMagic)) == 0;
+}
+
+Result<PatternSet> DeserializePatternSetBinary(std::string_view bytes, const Schema& schema,
+                                               PatternStoreMeta* meta) {
+  if (!LooksLikeBinaryPatternStore(bytes)) {
+    return Status::InvalidArgument("not a CAPE binary pattern store (bad magic)");
+  }
+  if (bytes.size() < sizeof(kBinaryMagic) + sizeof(uint64_t)) {
+    return Status::InvalidArgument("truncated pattern store (shorter than header)");
+  }
+  // The whole store is covered by the trailing checksum; verifying it first
+  // turns any corruption or truncation into one clean error before a single
+  // field is interpreted.
+  const size_t payload_size = bytes.size() - sizeof(uint64_t);
+  Fnv64 checksum;
+  checksum.Update(bytes.data(), payload_size);
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, bytes.data() + payload_size, sizeof(stored_checksum));
+  if (checksum.digest() != stored_checksum) {
+    return Status::InvalidArgument(
+        "pattern store checksum mismatch (corrupt or truncated file)");
+  }
+
+  ByteReader reader(bytes.substr(sizeof(kBinaryMagic), payload_size - sizeof(kBinaryMagic)));
+  CAPE_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kPatternStoreFormatVersion) {
+    return Status::InvalidArgument("unsupported pattern store format version " +
+                                   std::to_string(version) + " (expected " +
+                                   std::to_string(kPatternStoreFormatVersion) + ")");
+  }
+  CAPE_ASSIGN_OR_RETURN(uint64_t schema_digest, reader.ReadU64());
+  CAPE_ASSIGN_OR_RETURN(uint64_t config_digest, reader.ReadU64());
+  if (meta != nullptr) {
+    meta->format_version = version;
+    meta->schema_digest = schema_digest;
+    meta->mining_config_digest = config_digest;
+  }
+
+  // Field-by-field comparison before the digest check so mismatches name the
+  // offending field instead of reporting an opaque digest difference.
+  CAPE_ASSIGN_OR_RETURN(uint32_t field_count, reader.ReadU32());
+  if (static_cast<int64_t>(field_count) != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "pattern store was mined against a schema with " + std::to_string(field_count) +
+        " fields; current relation has " + std::to_string(schema.num_fields()));
+  }
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    CAPE_ASSIGN_OR_RETURN(std::string name, reader.ReadLenString());
+    CAPE_ASSIGN_OR_RETURN(uint8_t type, reader.ReadU8());
+    if (name != schema.field(i).name ||
+        type != static_cast<uint8_t>(schema.field(i).type)) {
+      return Status::InvalidArgument(
+          "pattern store field " + std::to_string(i) + " is '" + name +
+          "', relation has '" + schema.field(i).name + " " +
+          DataTypeToString(schema.field(i).type) + "'");
+    }
+  }
+  if (schema_digest != schema.Digest()) {
+    return Status::InvalidArgument(
+        "pattern store schema digest does not match the current relation");
+  }
+
+  CAPE_ASSIGN_OR_RETURN(uint64_t pattern_count, reader.ReadU64());
+  PatternSet out;
+  for (uint64_t pi = 0; pi < pattern_count; ++pi) {
+    RawPatternHeader raw;
+    CAPE_ASSIGN_OR_RETURN(raw.f_bits, reader.ReadU64());
+    CAPE_ASSIGN_OR_RETURN(raw.v_bits, reader.ReadU64());
+    CAPE_ASSIGN_OR_RETURN(uint8_t agg, reader.ReadU8());
+    raw.agg = agg;
+    CAPE_ASSIGN_OR_RETURN(raw.agg_attr, reader.ReadI64());
+    CAPE_ASSIGN_OR_RETURN(uint8_t model, reader.ReadU8());
+    raw.model = model;
+    CAPE_ASSIGN_OR_RETURN(raw.num_fragments, reader.ReadI64());
+    CAPE_ASSIGN_OR_RETURN(raw.num_supported, reader.ReadI64());
+    CAPE_ASSIGN_OR_RETURN(raw.num_holding, reader.ReadI64());
+    CAPE_ASSIGN_OR_RETURN(raw.max_positive_dev, reader.ReadF64());
+    CAPE_ASSIGN_OR_RETURN(raw.min_negative_dev, reader.ReadF64());
+    CAPE_ASSIGN_OR_RETURN(uint64_t local_count, reader.ReadU64());
+    if (local_count > reader.remaining()) {
+      // Each local record is > 1 byte, so a count beyond the remaining byte
+      // count is corrupt regardless of content (prevents absurd loop bounds).
+      return Status::InvalidArgument("pattern store local-pattern count " +
+                                     std::to_string(local_count) +
+                                     " exceeds remaining input");
+    }
+    raw.local_count = static_cast<int64_t>(local_count);
+    CAPE_ASSIGN_OR_RETURN(GlobalPattern gp,
+                          MakeValidatedPattern(raw, schema, static_cast<int64_t>(pi)));
+
+    const int expected_fragment_arity = gp.pattern.partition_attrs.size();
+    for (uint64_t li = 0; li < local_count; ++li) {
+      LocalPattern local;
+      CAPE_ASSIGN_OR_RETURN(local.support, reader.ReadI64());
+      CAPE_ASSIGN_OR_RETURN(local.max_positive_dev, reader.ReadF64());
+      CAPE_ASSIGN_OR_RETURN(local.min_negative_dev, reader.ReadF64());
+      local.fragment.reserve(static_cast<size_t>(expected_fragment_arity));
+      for (int f = 0; f < expected_fragment_arity; ++f) {
+        CAPE_ASSIGN_OR_RETURN(Value v, reader.ReadValue());
+        local.fragment.push_back(std::move(v));
+      }
+      CAPE_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
+      if (static_cast<ModelTag>(kind) == ModelTag::kConst) {
+        CAPE_ASSIGN_OR_RETURN(double beta, reader.ReadF64());
+        CAPE_ASSIGN_OR_RETURN(double gof, reader.ReadF64());
+        CAPE_ASSIGN_OR_RETURN(uint64_t n, reader.ReadU64());
+        local.model = ConstantRegression::FromParams(beta, gof, static_cast<size_t>(n));
+      } else if (static_cast<ModelTag>(kind) == ModelTag::kLinear) {
+        CAPE_ASSIGN_OR_RETURN(uint32_t coef_count, reader.ReadU32());
+        if (coef_count > reader.remaining() / sizeof(double)) {
+          return Status::InvalidArgument("pattern store coefficient count " +
+                                         std::to_string(coef_count) +
+                                         " exceeds remaining input");
+        }
+        std::vector<double> coefs;
+        coefs.reserve(coef_count);
+        for (uint32_t c = 0; c < coef_count; ++c) {
+          CAPE_ASSIGN_OR_RETURN(double coef, reader.ReadF64());
+          coefs.push_back(coef);
+        }
+        CAPE_ASSIGN_OR_RETURN(double gof, reader.ReadF64());
+        CAPE_ASSIGN_OR_RETURN(uint64_t n, reader.ReadU64());
+        local.model =
+            LinearRegression::FromParams(std::move(coefs), gof, static_cast<size_t>(n));
+      } else {
+        return Status::InvalidArgument("unknown model kind " + std::to_string(kind) +
+                                       " in pattern store");
+      }
+      gp.locals.push_back(std::move(local));
+    }
+    out.Add(std::move(gp));
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("pattern store has " +
+                                   std::to_string(reader.remaining()) +
+                                   " trailing bytes after the last pattern");
+  }
+  return out;
+}
+
 Status SavePatternSet(const PatternSet& patterns, const Schema& schema,
                       const std::string& path) {
   CAPE_FAILPOINT("pattern_io.save");
@@ -337,13 +691,42 @@ Status SavePatternSet(const PatternSet& patterns, const Schema& schema,
   return Status::OK();
 }
 
-Result<PatternSet> LoadPatternSet(const std::string& path, const Schema& schema) {
+Result<PatternSet> LoadPatternSet(const std::string& path, const Schema& schema,
+                                  PatternStoreMeta* meta) {
   CAPE_FAILPOINT("pattern_io.load");
-  std::ifstream file(path);
+  std::ifstream file(path, std::ios::binary);
   if (!file.is_open()) return Status::IOError("cannot open '" + path + "' for reading");
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return DeserializePatternSet(buffer.str(), schema);
+  std::string bytes = std::move(buffer).str();
+  // Format sniffing: binary stores are self-identifying via the magic, so
+  // both the offline (text, diffable) and serving (binary) artifacts load
+  // through the same entry point.
+  if (LooksLikeBinaryPatternStore(bytes)) {
+    return DeserializePatternSetBinary(bytes, schema, meta);
+  }
+  return DeserializePatternSet(bytes, schema);
+}
+
+Status SavePatternSetBinary(const PatternSet& patterns, const Schema& schema,
+                            const std::string& path, uint64_t mining_config_digest) {
+  CAPE_FAILPOINT("pattern_io.save");
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open()) return Status::IOError("cannot open '" + path + "' for writing");
+  const std::string bytes = SerializePatternSetBinary(patterns, schema, mining_config_digest);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file.good()) return Status::IOError("error writing '" + path + "'");
+  return Status::OK();
+}
+
+Result<PatternSet> LoadPatternSetBinary(const std::string& path, const Schema& schema,
+                                        PatternStoreMeta* meta) {
+  CAPE_FAILPOINT("pattern_io.load");
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return DeserializePatternSetBinary(std::move(buffer).str(), schema, meta);
 }
 
 }  // namespace cape

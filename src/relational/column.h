@@ -114,6 +114,13 @@ class Column {
   Value Min() const;
   Value Max() const;
 
+  /// Folds this column's full content — type, validity bitmap, typed data,
+  /// and (for string columns) the dictionary plus per-row codes — into `h`.
+  /// Two columns with equal logical content built by the same append
+  /// sequence hash equal; any row/dictionary mutation changes the digest.
+  /// Feeds Table::Fingerprint for pattern-cache invalidation.
+  void HashContent(Fnv64* h) const;
+
  private:
   static const std::string& EmptyString();
 

@@ -1,5 +1,7 @@
 #include "relational/schema.h"
 
+#include "common/hash.h"
+
 namespace cape {
 
 Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
@@ -39,6 +41,17 @@ std::string Schema::ToString() const {
   }
   out += ")";
   return out;
+}
+
+uint64_t Schema::Digest() const {
+  Fnv64 h;
+  h.UpdateU64(fields_.size());
+  for (const Field& f : fields_) {
+    h.UpdateString(f.name);
+    h.UpdateU8(static_cast<uint8_t>(f.type));
+    h.UpdateU8(f.nullable ? 1 : 0);
+  }
+  return h.digest();
 }
 
 }  // namespace cape

@@ -51,6 +51,12 @@ class Schema {
   /// "(author: string, year: int64, ...)"
   std::string ToString() const;
 
+  /// Content digest over field order, names, types, and nullability. Two
+  /// schemas digest equal iff they compare equal; the binary pattern store
+  /// embeds this so a load against the wrong relation fails before any
+  /// attribute index is mis-bound.
+  uint64_t Digest() const;
+
   friend bool operator==(const Schema& a, const Schema& b) { return a.fields_ == b.fields_; }
 
  private:

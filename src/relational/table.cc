@@ -154,6 +154,14 @@ Status Table::Validate() const {
   return Status::OK();
 }
 
+uint64_t Table::Fingerprint() const {
+  Fnv64 h;
+  h.UpdateU64(schema_->Digest());
+  h.UpdateI64(num_rows_);
+  for (const Column& col : columns_) col.HashContent(&h);
+  return h.digest();
+}
+
 TablePtr MakeEmptyTable(std::vector<Field> fields) {
   return std::make_shared<Table>(Schema::Make(std::move(fields)));
 }

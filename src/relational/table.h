@@ -64,6 +64,15 @@ class Table {
   /// names). Intended for tests and after bulk construction.
   Status Validate() const;
 
+  /// Content fingerprint over the schema digest, row count, and every
+  /// column's full storage (types, validity bitmaps, data, dictionaries).
+  /// Equal-content tables fingerprint equal; any appended row, changed cell,
+  /// or schema difference changes it. This is the cache key half that
+  /// invalidates persisted pattern sets when the underlying relation
+  /// changes (PatternCache); O(bytes of the table), so callers cache the
+  /// result rather than recomputing per lookup.
+  uint64_t Fingerprint() const;
+
  private:
   std::shared_ptr<Schema> schema_;
   std::vector<Column> columns_;

@@ -186,5 +186,56 @@ TEST(TableTest, MakeEmptyTableHelper) {
   EXPECT_EQ(t->num_columns(), 1);
 }
 
+/// Fingerprint is the content hash that keys the pattern serving cache: any
+/// visible change to schema or data must move it, and equal content must
+/// reproduce it (across separately built instances).
+
+TEST(TableTest, FingerprintIsReproducibleForEqualContent) {
+  Table a(PubSchema());
+  Table b(PubSchema());  // equal schema, different shared_ptr
+  for (Table* t : {&a, &b}) {
+    ASSERT_TRUE(t->AppendRow({Value::String("A"), Value::Int64(1), Value::Double(0.5)}).ok());
+    ASSERT_TRUE(t->AppendRow({Value::String("B"), Value::Int64(2), Value::Null()}).ok());
+  }
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_EQ(a.Fingerprint(), a.Fingerprint());  // stable across calls
+}
+
+TEST(TableTest, FingerprintChangesWithData) {
+  Table base(PubSchema());
+  ASSERT_TRUE(base.AppendRow({Value::String("A"), Value::Int64(1), Value::Double(0.5)}).ok());
+  const uint64_t fp = base.Fingerprint();
+
+  // Appending a row moves it.
+  Table more(PubSchema());
+  ASSERT_TRUE(more.AppendRow({Value::String("A"), Value::Int64(1), Value::Double(0.5)}).ok());
+  ASSERT_TRUE(more.AppendRow({Value::String("A"), Value::Int64(1), Value::Double(0.5)}).ok());
+  EXPECT_NE(more.Fingerprint(), fp);
+
+  // A single changed cell moves it.
+  Table cell(PubSchema());
+  ASSERT_TRUE(cell.AppendRow({Value::String("A"), Value::Int64(2), Value::Double(0.5)}).ok());
+  EXPECT_NE(cell.Fingerprint(), fp);
+
+  // NULL vs a present value moves it (null bitmaps are hashed).
+  Table with_null(PubSchema());
+  ASSERT_TRUE(with_null.AppendRow({Value::String("A"), Value::Int64(1), Value::Null()}).ok());
+  EXPECT_NE(with_null.Fingerprint(), fp);
+
+  // A dictionary-only difference (same codes, different string) moves it.
+  Table other_string(PubSchema());
+  ASSERT_TRUE(
+      other_string.AppendRow({Value::String("B"), Value::Int64(1), Value::Double(0.5)}).ok());
+  EXPECT_NE(other_string.Fingerprint(), fp);
+}
+
+TEST(TableTest, FingerprintChangesWithSchema) {
+  Table a(PubSchema());
+  Table renamed(Schema::Make({Field{"writer", DataType::kString, false},
+                              Field{"year", DataType::kInt64, false},
+                              Field{"score", DataType::kDouble, true}}));
+  EXPECT_NE(a.Fingerprint(), renamed.Fingerprint());  // even while both empty
+}
+
 }  // namespace
 }  // namespace cape
