@@ -1,0 +1,96 @@
+#ifndef CAPE_COMMON_ANNOTATIONS_H_
+#define CAPE_COMMON_ANNOTATIONS_H_
+
+/// Thread-safety annotations (Clang Thread Safety Analysis).
+///
+/// These macros expand to Clang's capability attributes when compiling with
+/// Clang and to nothing elsewhere, so annotated code builds unchanged under
+/// GCC. With `-DCAPE_ANALYZE=ON` (CMakeLists.txt) the tree is compiled with
+/// `-Wthread-safety -Werror`, turning lock-discipline violations — reading a
+/// CAPE_GUARDED_BY field without its mutex, releasing a lock twice, calling a
+/// CAPE_REQUIRES function unlocked — into compile errors on every build
+/// rather than TSan findings on lucky schedules (DESIGN.md §12).
+///
+/// Usage, by example:
+///
+///   class Registry {
+///    public:
+///     void Add(std::string name) {
+///       MutexLock lock(mu_);
+///       names_.push_back(std::move(name));
+///     }
+///    private:
+///     Mutex mu_;
+///     std::vector<std::string> names_ CAPE_GUARDED_BY(mu_);
+///   };
+///
+/// Private helpers that assume the lock is already held take
+/// CAPE_REQUIRES(mu_) instead of re-locking; the analysis then checks every
+/// caller. Annotate new concurrent code at the field level — a GUARDED_BY on
+/// each shared field is what gives the analysis (and the next reader) the
+/// lock protocol.
+
+#if defined(__clang__)
+#define CAPE_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CAPE_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define CAPE_CAPABILITY(x) CAPE_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define CAPE_SCOPED_CAPABILITY CAPE_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define CAPE_GUARDED_BY(x) CAPE_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Declares that the data pointed to by a pointer member is protected by the
+/// given capability (the pointer itself is not).
+#define CAPE_PT_GUARDED_BY(x) CAPE_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares a required lock-acquisition order between two mutexes.
+#define CAPE_ACQUIRED_BEFORE(...) \
+  CAPE_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define CAPE_ACQUIRED_AFTER(...) \
+  CAPE_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the given capabilities.
+#define CAPE_REQUIRES(...) \
+  CAPE_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define CAPE_REQUIRES_SHARED(...) \
+  CAPE_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the given capabilities.
+#define CAPE_ACQUIRE(...) \
+  CAPE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define CAPE_ACQUIRE_SHARED(...) \
+  CAPE_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define CAPE_RELEASE(...) \
+  CAPE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define CAPE_RELEASE_SHARED(...) \
+  CAPE_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability when it returns `ret`.
+#define CAPE_TRY_ACQUIRE(...) \
+  CAPE_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// The function may only be called while NOT holding the given capabilities
+/// (deadlock prevention for self-locking public APIs).
+#define CAPE_EXCLUDES(...) CAPE_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the calling thread holds the capability, and
+/// tells the analysis to assume it from here on.
+#define CAPE_ASSERT_CAPABILITY(x) \
+  CAPE_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define CAPE_RETURN_CAPABILITY(x) CAPE_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a justification comment (DESIGN.md §12).
+#define CAPE_NO_THREAD_SAFETY_ANALYSIS \
+  CAPE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // CAPE_COMMON_ANNOTATIONS_H_

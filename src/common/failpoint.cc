@@ -2,10 +2,11 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/annotations.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/string_util.h"
 
 namespace cape::failpoint {
@@ -37,8 +38,8 @@ struct Spec {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, Spec> active;
+  Mutex mu;
+  std::unordered_map<std::string, Spec> active CAPE_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -113,7 +114,7 @@ Status Activate(const std::string& site, StatusCode code, std::string message, i
     return Status::InvalidArgument("failpoint must be armed with an error code");
   }
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto [it, inserted] = r.active.emplace(site, Spec{});
   it->second = Spec{code, std::move(message), skip, count};
   if (inserted) active_count().fetch_add(1, std::memory_order_relaxed);
@@ -122,7 +123,7 @@ Status Activate(const std::string& site, StatusCode code, std::string message, i
 
 void Deactivate(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   if (r.active.erase(site) > 0) {
     active_count().fetch_sub(1, std::memory_order_relaxed);
   }
@@ -130,7 +131,7 @@ void Deactivate(const std::string& site) {
 
 void DeactivateAll() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   active_count().fetch_sub(static_cast<int>(r.active.size()),
                            std::memory_order_relaxed);
   r.active.clear();
@@ -138,7 +139,7 @@ void DeactivateAll() {
 
 Status Trigger(const char* site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.active.find(site);
   if (it == r.active.end()) return Status::OK();
   Spec& spec = it->second;

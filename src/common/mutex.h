@@ -1,0 +1,87 @@
+#ifndef CAPE_COMMON_MUTEX_H_
+#define CAPE_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace cape {
+
+/// Annotated synchronization primitives.
+///
+/// All locking in CAPE goes through these wrappers instead of raw
+/// std::mutex/std::lock_guard — tools/lint.py enforces that outside this
+/// file no raw primitive appears in src/. The wrappers carry the Clang
+/// thread-safety capability attributes (annotations.h), so a CAPE_GUARDED_BY
+/// field can only be touched while its Mutex is provably held; the
+/// `CAPE_ANALYZE=ON` build turns violations into compile errors.
+///
+/// The wrappers are zero-cost: header-only forwarding onto std::mutex /
+/// std::condition_variable, so the mutex-wrapper migration cannot perturb
+/// timing or output (determinism_test / random_equivalence_test prove
+/// byte-identical results at 1/2/4/8 threads).
+class CAPE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CAPE_ACQUIRE() { mu_.lock(); }
+  void Unlock() CAPE_RELEASE() { mu_.unlock(); }
+  bool TryLock() CAPE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // CondVar::Wait needs the underlying handle
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (the only way CAPE code should hold one). Scoped
+/// acquisition means early returns — including the ones CAPE_RETURN_IF_ERROR
+/// and CAPE_FAILPOINT expand to — always release, and the analysis knows it.
+class CAPE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CAPE_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() CAPE_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with cape::Mutex.
+///
+/// No predicate overload on purpose: Clang's analysis treats a lambda body
+/// as a separate unannotated function, so a predicate reading GUARDED_BY
+/// fields would warn. Write the standard explicit loop instead — the guarded
+/// reads then sit in the scope that holds the lock:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` (which the caller must hold), blocks until
+  /// notified, and reacquires `mu` before returning. Spurious wakeups are
+  /// possible, as with any condition variable: always wait in a loop.
+  void Wait(Mutex& mu) CAPE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock keeps ownership
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cape
+
+#endif  // CAPE_COMMON_MUTEX_H_

@@ -14,8 +14,11 @@ namespace cape {
 /// It is the return type of fallible functions that produce a value, in the
 /// style of arrow::Result. Use ValueOrDie()/operator* after checking ok(),
 /// or the CAPE_ASSIGN_OR_RETURN macro (macros.h) to propagate errors.
+///
+/// [[nodiscard]] like Status: an ignored Result is an ignored error. Use
+/// CAPE_IGNORE_STATUS (status.h) for the rare documented discard.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value (implicit so `return value;` works).
   Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

@@ -31,7 +31,13 @@ const char* StatusCodeToString(StatusCode code);
 /// either a Status or a Result<T> (see result.h). An OK status carries no
 /// allocation; error statuses carry a code and a message. This mirrors the
 /// Arrow/RocksDB idiom recommended for database C++ code.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a returned Status is a
+/// compile-time warning everywhere and an error under -Werror builds
+/// (CAPE_ANALYZE / CAPE_WERROR). Where discarding really is the intended
+/// behavior, say so explicitly with CAPE_IGNORE_STATUS and a comment
+/// explaining why (DESIGN.md §12).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -123,5 +129,14 @@ class Status {
 };
 
 }  // namespace cape
+
+/// Documented discard of a Status (or Result<T>) return value.
+///
+/// `[[nodiscard]]` makes an ignored return a build error; this macro is the
+/// explicit opt-out for the rare sites where dropping the status is a
+/// deliberate, reviewed decision (e.g. best-effort cleanup on a path that is
+/// already failing). Every use must carry a comment saying why discarding is
+/// correct — tools/lint.py does not police this, reviewers do.
+#define CAPE_IGNORE_STATUS(expr) static_cast<void>(expr)
 
 #endif  // CAPE_COMMON_STATUS_H_

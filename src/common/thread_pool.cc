@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -32,18 +32,18 @@ ThreadPool& ThreadPool::Global() {
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -68,11 +68,11 @@ namespace {
 struct ParallelForState {
   std::atomic<int64_t> next{0};
   std::atomic<bool> stop_all{false};
-  std::mutex mu;
-  std::condition_variable done_cv;
-  int remaining = 0;
-  Status first_error;  // non-stop failure — takes precedence
-  Status first_stop;   // deadline/cancellation
+  Mutex mu;
+  CondVar done_cv;
+  int remaining CAPE_GUARDED_BY(mu) = 0;
+  Status first_error CAPE_GUARDED_BY(mu);  // non-stop failure — takes precedence
+  Status first_stop CAPE_GUARDED_BY(mu);   // deadline/cancellation
 };
 
 }  // namespace
@@ -86,7 +86,10 @@ Status ThreadPool::ParallelFor(
   const int workers = PlannedWorkers(n, opts);
 
   ParallelForState state;
-  state.remaining = workers;
+  {
+    MutexLock lock(state.mu);
+    state.remaining = workers;
+  }
 
   auto run_worker = [&state, &body, &opts, n, grain](int worker) {
     StopToken stop = opts.stop;  // per-worker copy (per-holder stride state)
@@ -113,7 +116,7 @@ Status ThreadPool::ParallelFor(
         break;
       }
     }
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     if (!failure.ok()) {
       state.stop_all.store(true, std::memory_order_relaxed);
       if (failure.IsStop()) {
@@ -122,7 +125,7 @@ Status ThreadPool::ParallelFor(
         state.first_error = std::move(failure);
       }
     }
-    if (--state.remaining == 0) state.done_cv.notify_all();
+    if (--state.remaining == 0) state.done_cv.NotifyAll();
   };
 
   // Workers 1..W-1 go to the pool; the caller runs worker 0 inline. With a
@@ -133,11 +136,11 @@ Status ThreadPool::ParallelFor(
   }
   run_worker(0);
   {
-    std::unique_lock<std::mutex> lock(state.mu);
-    state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+    MutexLock lock(state.mu);
+    while (state.remaining != 0) state.done_cv.Wait(state.mu);
+    if (!state.first_error.ok()) return state.first_error;
+    if (!state.first_stop.ok()) return state.first_stop;
   }
-  if (!state.first_error.ok()) return state.first_error;
-  if (!state.first_stop.ok()) return state.first_stop;
   return Status::OK();
 }
 

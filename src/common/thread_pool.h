@@ -2,16 +2,16 @@
 #define CAPE_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/cancellation.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace cape {
@@ -88,14 +88,14 @@ class ThreadPool {
                                                 StopToken* stop)>& body);
 
  private:
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> task) CAPE_EXCLUDES(mu_);
+  void WorkerLoop() CAPE_EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ CAPE_GUARDED_BY(mu_);
+  bool shutdown_ CAPE_GUARDED_BY(mu_) = false;
 };
 
 /// Monotone score floor shared by the scoring workers of one explain

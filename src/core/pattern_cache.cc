@@ -1,0 +1,186 @@
+#include "core/pattern_cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "common/hash.h"
+#include "pattern/pattern_io.h"
+#include "stats/regression.h"
+
+namespace cape {
+
+namespace {
+
+std::string EntryFileName(uint64_t fingerprint, uint64_t digest) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "arp-%016" PRIx64 "-%016" PRIx64 ".arpb", fingerprint,
+                digest);
+  return buf;
+}
+
+/// Parses "arp-<16 hex>-<16 hex>.arpb"; false for any other filename.
+bool ParseEntryFileName(const std::string& name, uint64_t* fingerprint, uint64_t* digest) {
+  constexpr size_t kLen = 4 + 16 + 1 + 16 + 5;  // "arp-" hex "-" hex ".arpb"
+  if (name.size() != kLen || name.rfind("arp-", 0) != 0 ||
+      name.substr(kLen - 5) != ".arpb" || name[4 + 16] != '-') {
+    return false;
+  }
+  char* end = nullptr;
+  const std::string fp_hex = name.substr(4, 16);
+  const std::string dg_hex = name.substr(4 + 16 + 1, 16);
+  *fingerprint = std::strtoull(fp_hex.c_str(), &end, 16);
+  if (end != fp_hex.c_str() + 16) return false;
+  *digest = std::strtoull(dg_hex.c_str(), &end, 16);
+  return end == dg_hex.c_str() + 16;
+}
+
+}  // namespace
+
+uint64_t EstimatePatternSetBytes(const PatternSet& patterns) {
+  uint64_t bytes = sizeof(PatternSet);
+  for (const GlobalPattern& gp : patterns.patterns()) {
+    bytes += sizeof(GlobalPattern);
+    for (const LocalPattern& local : gp.locals) {
+      bytes += sizeof(LocalPattern);
+      for (const Value& v : local.fragment) {
+        bytes += sizeof(Value);
+        if (!v.is_null() && v.type() == DataType::kString) {
+          bytes += v.string_value().size();
+        }
+      }
+      if (local.model != nullptr) {
+        bytes += sizeof(LinearRegression);
+        if (local.model->type() == ModelType::kLinear) {
+          const auto* linear = static_cast<const LinearRegression*>(local.model.get());
+          bytes += linear->coefficients().size() * sizeof(double);
+        }
+      }
+    }
+  }
+  return bytes;
+}
+
+size_t PatternCache::KeyHash::operator()(const Key& k) const {
+  Fnv64 h;
+  h.UpdateU64(k.fingerprint);
+  h.UpdateU64(k.digest);
+  return static_cast<size_t>(h.digest());
+}
+
+PatternCache::PatternCache(uint64_t byte_budget) : byte_budget_(byte_budget) {}
+
+std::shared_ptr<const PatternSet> PatternCache::Lookup(uint64_t table_fingerprint,
+                                                       uint64_t mining_config_digest) {
+  const Key key{table_fingerprint, mining_config_digest};
+  MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.patterns;
+}
+
+int64_t PatternCache::Insert(uint64_t table_fingerprint, uint64_t mining_config_digest,
+                             std::shared_ptr<const PatternSet> patterns,
+                             std::shared_ptr<const Schema> schema) {
+  if (patterns == nullptr) return 0;
+  const Key key{table_fingerprint, mining_config_digest};
+  const uint64_t bytes = EstimatePatternSetBytes(*patterns);
+  MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_used_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(patterns), std::move(schema), bytes, lru_.begin()};
+  bytes_used_ += bytes;
+  return EvictToBudgetLocked();
+}
+
+int64_t PatternCache::EvictToBudgetLocked() {
+  int64_t evicted = 0;
+  while (bytes_used_ > byte_budget_ && entries_.size() > 1) {
+    const Key victim = lru_.back();
+    auto it = entries_.find(victim);
+    bytes_used_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evicted;
+  }
+  evictions_ += evicted;
+  return evicted;
+}
+
+Status PatternCache::SaveToDirectory(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory '" + dir + "': " + ec.message());
+  }
+  MutexLock lock(mu_);
+  for (const auto& [key, entry] : entries_) {
+    const std::string path =
+        (std::filesystem::path(dir) / EntryFileName(key.fingerprint, key.digest)).string();
+    CAPE_RETURN_IF_ERROR(
+        SavePatternSetBinary(*entry.patterns, *entry.schema, path, key.digest));
+  }
+  return Status::OK();
+}
+
+Result<int> PatternCache::LoadFromDirectory(const std::string& dir, const Schema& schema,
+                                            uint64_t table_fingerprint) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot read directory '" + dir + "': " + ec.message());
+  }
+  auto schema_copy = std::make_shared<Schema>(schema);
+  int loaded = 0;
+  for (const auto& dirent : it) {
+    uint64_t fingerprint = 0;
+    uint64_t digest = 0;
+    if (!ParseEntryFileName(dirent.path().filename().string(), &fingerprint, &digest)) {
+      continue;
+    }
+    if (fingerprint != table_fingerprint) continue;
+    PatternStoreMeta meta;
+    Result<PatternSet> patterns =
+        LoadPatternSetBinary(dirent.path().string(), schema, &meta);
+    // A store that fails validation (corrupt bytes, schema drift) is
+    // skipped, not fatal: disk state must never poison the serving cache.
+    if (!patterns.ok()) continue;
+    Insert(fingerprint, meta.mining_config_digest,
+           std::make_shared<const PatternSet>(std::move(patterns).ValueOrDie()), schema_copy);
+    ++loaded;
+  }
+  return loaded;
+}
+
+PatternCache::Stats PatternCache::stats() const {
+  MutexLock lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = static_cast<int64_t>(entries_.size());
+  s.bytes_used = bytes_used_;
+  s.byte_budget = byte_budget_;
+  return s;
+}
+
+void PatternCache::Clear() {
+  MutexLock lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  bytes_used_ = 0;
+}
+
+}  // namespace cape

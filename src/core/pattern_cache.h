@@ -1,0 +1,116 @@
+#ifndef CAPE_CORE_PATTERN_CACHE_H_
+#define CAPE_CORE_PATTERN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "pattern/pattern_set.h"
+#include "relational/schema.h"
+
+namespace cape {
+
+/// Cross-question (and cross-engine) serving cache for mined pattern sets.
+///
+/// CAPE's offline/online split (Section 5: mine ARPs once, answer many user
+/// questions) only amortizes if the mined set is actually reused. Entries are
+/// keyed by (Table::Fingerprint, MiningConfigDigest): the fingerprint covers
+/// every content byte of the relation, so mutating the data invalidates by
+/// construction, and the config digest covers every result-affecting mining
+/// knob, so performance knobs (thread count, deadlines) share entries.
+///
+/// Thread-safe; all operations take one internal mutex. Entries are
+/// shared_ptr<const PatternSet> so concurrent readers serve from the same
+/// immutable set without copies. Eviction is LRU under a byte budget
+/// (estimated in-memory footprint); the most recent insert is always
+/// retained even when it alone exceeds the budget, so a large mining result
+/// is never silently dropped on arrival.
+///
+/// Truncation rule: callers must not insert deadline-truncated or otherwise
+/// partial mining results — the Engine enforces this (DESIGN.md §11).
+class PatternCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t entries = 0;
+    uint64_t bytes_used = 0;
+    uint64_t byte_budget = 0;
+  };
+
+  static constexpr uint64_t kDefaultByteBudget = 64ull << 20;  // 64 MiB
+
+  explicit PatternCache(uint64_t byte_budget = kDefaultByteBudget);
+
+  /// Returns the cached set (marking it most-recently-used) or nullptr.
+  std::shared_ptr<const PatternSet> Lookup(uint64_t table_fingerprint,
+                                           uint64_t mining_config_digest)
+      CAPE_EXCLUDES(mu_);
+
+  /// Inserts (or replaces) an entry and evicts LRU entries until the byte
+  /// budget holds again. `schema` is retained so the entry can be persisted
+  /// to disk without external context. Returns the number of evictions this
+  /// insert caused.
+  int64_t Insert(uint64_t table_fingerprint, uint64_t mining_config_digest,
+                 std::shared_ptr<const PatternSet> patterns,
+                 std::shared_ptr<const Schema> schema) CAPE_EXCLUDES(mu_);
+
+  /// Writes every entry as a self-describing binary store
+  /// (`arp-<fingerprint>-<digest>.arpb`) inside `dir`, creating it if
+  /// needed.
+  Status SaveToDirectory(const std::string& dir) const CAPE_EXCLUDES(mu_);
+
+  /// Loads the stores in `dir` whose filename fingerprint matches
+  /// `table_fingerprint` and whose embedded schema matches `schema`,
+  /// inserting them under their recorded mining-config digest. Returns the
+  /// number of entries loaded. Files that fail to parse are skipped (a
+  /// corrupt store must not poison the cache).
+  Result<int> LoadFromDirectory(const std::string& dir, const Schema& schema,
+                                uint64_t table_fingerprint) CAPE_EXCLUDES(mu_);
+
+  Stats stats() const CAPE_EXCLUDES(mu_);
+
+  void Clear() CAPE_EXCLUDES(mu_);
+
+ private:
+  struct Key {
+    uint64_t fingerprint = 0;
+    uint64_t digest = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+  struct Entry {
+    std::shared_ptr<const PatternSet> patterns;
+    std::shared_ptr<const Schema> schema;
+    uint64_t bytes = 0;
+    std::list<Key>::iterator lru_it;
+  };
+
+  /// Evicts LRU entries (never the most recent one) until within budget.
+  /// Returns the number of evictions.
+  int64_t EvictToBudgetLocked() CAPE_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  const uint64_t byte_budget_;  // immutable after construction — not guarded
+  uint64_t bytes_used_ CAPE_GUARDED_BY(mu_) = 0;
+  int64_t hits_ CAPE_GUARDED_BY(mu_) = 0;
+  int64_t misses_ CAPE_GUARDED_BY(mu_) = 0;
+  int64_t evictions_ CAPE_GUARDED_BY(mu_) = 0;
+  std::list<Key> lru_ CAPE_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<Key, Entry, KeyHash> entries_ CAPE_GUARDED_BY(mu_);
+};
+
+/// Estimated resident size of a pattern set (used for the cache budget).
+uint64_t EstimatePatternSetBytes(const PatternSet& patterns);
+
+}  // namespace cape
+
+#endif  // CAPE_CORE_PATTERN_CACHE_H_

@@ -1,15 +1,21 @@
 #ifndef CAPE_EXPLAIN_EXPLAIN_SESSION_H_
 #define CAPE_EXPLAIN_EXPLAIN_SESSION_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "explain/distance.h"
 #include "explain/explainer.h"
-#include "explain/explainer_internal.h"
 #include "explain/user_question.h"
 #include "pattern/pattern_set.h"
+
+namespace cape::explain_internal {
+// Defined in explainer_internal.h; held behind a unique_ptr so this public
+// header never includes an internal one (tools/lint.py internal-include rule).
+struct SessionState;
+}  // namespace cape::explain_internal
 
 namespace cape {
 
@@ -31,12 +37,11 @@ namespace cape {
 class ExplainSession {
  public:
   ExplainSession(std::shared_ptr<const PatternSet> patterns, DistanceModel distance,
-                 ExplainConfig config)
-      : patterns_(std::move(patterns)), distance_(std::move(distance)),
-        config_(std::move(config)) {}
+                 ExplainConfig config);
+  ~ExplainSession();
 
-  ExplainSession(ExplainSession&&) = default;
-  ExplainSession& operator=(ExplainSession&&) = default;
+  ExplainSession(ExplainSession&&) noexcept;
+  ExplainSession& operator=(ExplainSession&&) noexcept;
   ExplainSession(const ExplainSession&) = delete;
   ExplainSession& operator=(const ExplainSession&) = delete;
 
@@ -53,18 +58,16 @@ class ExplainSession {
   const ExplainConfig& config() const { return config_; }
 
   /// Questions answered so far.
-  int64_t questions_answered() const { return state_.questions_answered; }
+  int64_t questions_answered() const;
   /// Distinct γ_{attrs,agg} tables memoized so far (grows sub-linearly in
   /// questions — that is the point of the session).
-  size_t num_cached_agg_tables() const {
-    return state_.agg_cache == nullptr ? 0 : state_.agg_cache->num_entries();
-  }
+  size_t num_cached_agg_tables() const;
 
  private:
   std::shared_ptr<const PatternSet> patterns_;
   DistanceModel distance_;
   ExplainConfig config_;
-  explain_internal::SessionState state_;
+  std::unique_ptr<explain_internal::SessionState> state_;
 };
 
 }  // namespace cape

@@ -2,12 +2,13 @@
 #define CAPE_EXPLAIN_EXPLAINER_INTERNAL_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/cancellation.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "explain/explainer.h"
 #include "relational/operators.h"
@@ -27,18 +28,19 @@ class AggDataCache {
 
   const Table& relation() const { return relation_; }
 
-  Result<TablePtr> Get(AttrSet attrs, AggFunc agg, int agg_attr, StopToken* stop) {
+  Result<TablePtr> Get(AttrSet attrs, AggFunc agg, int agg_attr, StopToken* stop)
+      CAPE_EXCLUDES(mu_) {
     const std::string key = std::to_string(attrs.bits()) + "|" +
                             std::to_string(static_cast<int>(agg)) + "|" +
                             std::to_string(agg_attr);
     std::shared_ptr<Entry> entry;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       std::shared_ptr<Entry>& slot = cache_[key];
       if (slot == nullptr) slot = std::make_shared<Entry>();
       entry = slot;
     }
-    std::lock_guard<std::mutex> lock(entry->mu);
+    MutexLock lock(entry->mu);
     if (entry->table != nullptr) return entry->table;
     AggregateSpec spec;
     spec.func = agg;
@@ -52,20 +54,20 @@ class AggDataCache {
     return data;
   }
 
-  size_t num_entries() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t num_entries() const CAPE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return cache_.size();
   }
 
  private:
   struct Entry {
-    std::mutex mu;
-    TablePtr table;
+    Mutex mu;
+    TablePtr table CAPE_GUARDED_BY(mu);
   };
 
   const Table& relation_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Entry>> cache_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> cache_ CAPE_GUARDED_BY(mu_);
 };
 
 /// Question-independent work memoized across one ExplainSession's batch:

@@ -474,7 +474,7 @@ class ByteReader {
  private:
   template <typename T>
   Result<T> ReadAs() {
-    T v;
+    T v{};  // zero-init: Read() fills it, but GCC can't see through the memcpy
     CAPE_RETURN_IF_ERROR(Read(&v, sizeof(T)));
     return v;
   }

@@ -154,7 +154,7 @@ TEST(StringUtilTest, StringFormat) {
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch watch;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GT(watch.ElapsedNanos(), 0);
   EXPECT_GE(watch.ElapsedSeconds(), 0.0);
 }
@@ -164,7 +164,7 @@ TEST(StopwatchTest, ScopedTimerAccumulates) {
   {
     ScopedTimer t(&acc);
     volatile double sink = 0;
-    for (int i = 0; i < 10000; ++i) sink += i;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
   }
   EXPECT_GT(acc, 0);
   int64_t first = acc;

@@ -1,0 +1,47 @@
+# Negative-compile check driver (run via `cmake -P` from a ctest entry).
+#
+# Compiles SOURCE twice with COMPILER:
+#   1. control: as-is                      — must COMPILE (proves the harness
+#      itself is sound: headers found, flags valid, fixed code accepted);
+#   2. violation: with -DCAPE_NC_VIOLATION — must FAIL (proves the check
+#      under test actually rejects the seeded bug).
+#
+# Without the control compile, a broken include path or bad flag would make
+# the violation compile "fail" and the test silently pass for the wrong
+# reason.
+#
+# Expected -D definitions: COMPILER, SOURCE, INCLUDE_DIR, FLAGS (one string,
+# space-separated).
+
+foreach(var COMPILER SOURCE INCLUDE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_compile.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+separate_arguments(flag_list UNIX_COMMAND "${FLAGS}")
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only ${flag_list} -I${INCLUDE_DIR} ${SOURCE}
+  RESULT_VARIABLE control_rc
+  OUTPUT_VARIABLE control_out
+  ERROR_VARIABLE control_err)
+if(NOT control_rc EQUAL 0)
+  message(FATAL_ERROR
+    "control compile of ${SOURCE} failed (the harness is broken, not the "
+    "check):\n${control_out}${control_err}")
+endif()
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only -DCAPE_NC_VIOLATION ${flag_list}
+          -I${INCLUDE_DIR} ${SOURCE}
+  RESULT_VARIABLE violation_rc
+  OUTPUT_VARIABLE violation_out
+  ERROR_VARIABLE violation_err)
+if(violation_rc EQUAL 0)
+  message(FATAL_ERROR
+    "seeded violation in ${SOURCE} COMPILED under '${FLAGS}' — the check it "
+    "exercises is not enforcing anything")
+endif()
+
+message(STATUS "ok: ${SOURCE} control compiles, violation rejected")

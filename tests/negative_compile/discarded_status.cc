@@ -1,0 +1,33 @@
+// Negative-compile fixture: a silently dropped Status / Result<T> must not
+// build. Compiled twice by check_compile.cmake with -Werror=unused-result:
+// once as-is (control — must compile, including the CAPE_IGNORE_STATUS
+// documented-discard path) and once with -DCAPE_NC_VIOLATION (must fail,
+// proving [[nodiscard]] on Status and Result<T> is enforced).
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace {
+
+cape::Status MightFail() { return cape::Status::IOError("injected"); }
+
+cape::Result<int> MightProduce() { return 42; }
+
+}  // namespace
+
+int main() {
+#ifdef CAPE_NC_VIOLATION
+  MightFail();     // dropped Status — must be a build error
+  MightProduce();  // dropped Result<T> — must be a build error
+  return 0;
+#else
+  // Checked consumption compiles...
+  cape::Status st = MightFail();
+  if (!st.ok()) return 1;
+  cape::Result<int> r = MightProduce();
+  if (!r.ok()) return 1;
+  // ...and so does an explicit, documented discard.
+  CAPE_IGNORE_STATUS(MightFail());
+  return *r == 42 ? 0 : 1;
+#endif
+}

@@ -1,0 +1,38 @@
+// Negative-compile fixture: accessing a CAPE_GUARDED_BY field without
+// holding its Mutex must not build under Clang's thread-safety analysis.
+// Compiled twice by check_compile.cmake with -Wthread-safety -Werror (Clang
+// only): once as-is (control — the correctly locked version must compile)
+// and once with -DCAPE_NC_VIOLATION (the unguarded read must fail).
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    cape::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Read() {
+#ifdef CAPE_NC_VIOLATION
+    return value_;  // unguarded read of a GUARDED_BY field — must not build
+#else
+    cape::MutexLock lock(mu_);
+    return value_;
+#endif
+  }
+
+ private:
+  cape::Mutex mu_;
+  int value_ CAPE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read() == 1 ? 0 : 1;
+}

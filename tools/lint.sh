@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Local lint entry point: self-test first (so a broken linter can't silently
+# pass), then the repo. Usage: tools/lint.sh [files...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+python3 tools/lint.py --self-test
+exec python3 tools/lint.py "$@"

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# clang-tidy driver for CAPE (config: .clang-tidy at the repo root).
+#
+# Usage:
+#   tools/run_clang_tidy.sh                 # all of src/
+#   tools/run_clang_tidy.sh --changed [REF] # only files changed vs REF
+#                                           # (default: origin/main, falling
+#                                           # back to HEAD~1)
+#   tools/run_clang_tidy.sh FILE...         # specific files
+#
+# Environment:
+#   CLANG_TIDY  clang-tidy binary (default: clang-tidy on PATH)
+#   BUILD_DIR   compile-commands build dir (default: build-tidy; configured
+#               on demand as a library-only build so GTest/benchmark are not
+#               required)
+#
+# Exits 2 with a clear message when clang-tidy is not installed — the CI
+# `lint` job installs it; locally `apt install clang-tidy` (or equivalent).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+BUILD_DIR="${BUILD_DIR:-build-tidy}"
+
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: '$CLANG_TIDY' not found on PATH." >&2
+  echo "Install clang-tidy (e.g. 'apt install clang-tidy') or set CLANG_TIDY." >&2
+  exit 2
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: configuring $BUILD_DIR for compile_commands.json" >&2
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DCAPE_BUILD_TESTS=OFF -DCAPE_BUILD_BENCHMARKS=OFF \
+    -DCAPE_BUILD_EXAMPLES=OFF >/dev/null
+fi
+
+declare -a files=()
+if [[ $# -ge 1 && "$1" == "--changed" ]]; then
+  ref="${2:-}"
+  if [[ -z "$ref" ]]; then
+    if git rev-parse --verify origin/main >/dev/null 2>&1; then
+      ref=origin/main
+    else
+      ref=HEAD~1
+    fi
+  fi
+  while IFS= read -r f; do
+    [[ "$f" == src/*.cc ]] && [[ -f "$f" ]] && files+=("$f")
+  done < <(git diff --name-only "$ref" -- 'src/*.cc')
+  if [[ ${#files[@]} -eq 0 ]]; then
+    echo "run_clang_tidy.sh: no changed src/*.cc files vs $ref — nothing to do"
+    exit 0
+  fi
+elif [[ $# -ge 1 ]]; then
+  files=("$@")
+else
+  while IFS= read -r f; do
+    files+=("$f")
+  done < <(find src -name '*.cc' | sort)
+fi
+
+echo "run_clang_tidy.sh: ${#files[@]} file(s), build dir $BUILD_DIR"
+# -p points at compile_commands.json; clang-tidy picks up .clang-tidy from
+# the source tree. Exit status is clang-tidy's own: nonzero on errors (or on
+# warnings when WarningsAsErrors promotes them).
+"$CLANG_TIDY" -p "$BUILD_DIR" --quiet "${files[@]}"
+echo "run_clang_tidy.sh: clean"
