@@ -1,0 +1,235 @@
+// Chaos load harness for the explanation server (DESIGN.md §13): drives a
+// thousand concurrent EXPLAIN WHY sessions through the in-process
+// ServerHarness, first quiet and then with failpoints firing inside the
+// explanation pipeline at ~1% per scan (chaos mode, the CAPE_FAILPOINTS
+// syntax). The harness *fails* — nonzero exit — unless every submitted
+// request reaches exactly one terminal outcome: an answer, a truncated
+// answer, or a structured rejection. Latency percentiles and the
+// shed/timeout/rejection tallies go into the JSON document for
+// BENCH_results.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/failpoint.h"
+#include "common/mutex.h"
+#include "common/stopwatch.h"
+#include "datagen/dblp.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+using namespace cape;          // NOLINT
+using namespace cape::bench;   // NOLINT
+using namespace cape::server;  // NOLINT
+
+namespace {
+
+constexpr int kRequests = 1000;
+constexpr int kWorkers = 8;
+constexpr int64_t kWaitBudgetMs = 300000;  // hang detector, not a tuning knob
+
+struct Collector {
+  Mutex mu;
+  CondVar cv;
+  std::vector<Response> responses CAPE_GUARDED_BY(mu);
+
+  RequestScheduler::ResponseCallback Callback() {
+    return [this](const Response& response) {
+      MutexLock lock(mu);
+      responses.push_back(response);
+      cv.NotifyAll();
+    };
+  }
+
+  /// Waits for `n` terminal responses; false on timeout (a hung request —
+  /// exactly what the chaos harness exists to catch).
+  bool WaitFor(size_t n, int64_t budget_ms) CAPE_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    const Deadline deadline = Deadline::AfterMillis(budget_ms);
+    while (responses.size() < n) {
+      const int64_t remaining_ms = deadline.RemainingNanos() / 1000000;
+      if (remaining_ms <= 0) return false;
+      cv.WaitFor(mu, remaining_ms < 100 ? remaining_ms : 100);
+    }
+    return true;
+  }
+};
+
+std::string ExplainLine(const Table& table, int64_t row, int64_t id,
+                        int64_t deadline_ms) {
+  const int author = table.schema()->GetFieldIndex("author");
+  const int venue = table.schema()->GetFieldIndex("venue");
+  const int year = table.schema()->GetFieldIndex("year");
+  const Row values = table.GetRow(row);
+  std::string line = "[id=" + std::to_string(id);
+  if (deadline_ms > 0) line += " deadline_ms=" + std::to_string(deadline_ms);
+  line += " top_k=5] EXPLAIN WHY count(*) IS ";
+  line += row % 2 == 0 ? "HIGH" : "LOW";
+  line += " FOR author = '" + values[author].string_value() + "'";
+  line += ", venue = '" + values[venue].string_value() + "'";
+  line += ", year = " + std::to_string(values[year].int64_value());
+  line += " FROM pub";
+  return line;
+}
+
+int64_t Percentile(std::vector<int64_t> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t index = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+/// One storm: submits kRequests concurrent EXPLAINs (every tenth with a
+/// 1 ms deadline so shedding/truncation paths stay hot), waits for all
+/// terminal responses, and verifies the exactly-one-outcome invariant.
+/// Returns false on any violation.
+bool RunPhase(ServerHarness* harness, const Table& table, const char* phase,
+              BenchJson* json) {
+  Collector collector;
+  Stopwatch wall;
+  for (int i = 0; i < kRequests; ++i) {
+    const int64_t row = (static_cast<int64_t>(i) * 37) % table.num_rows();
+    const int64_t deadline_ms = i % 10 == 9 ? 1 : 20000;
+    harness->CallAsync(ExplainLine(table, row, i + 1, deadline_ms),
+                       collector.Callback());
+  }
+  if (!collector.WaitFor(kRequests, kWaitBudgetMs)) {
+    std::fprintf(stderr, "[bench] %s: requests hung past %lld ms\n", phase,
+                 static_cast<long long>(kWaitBudgetMs));
+    return false;
+  }
+  const double wall_s = wall.ElapsedNanos() * 1e-9;
+
+  std::map<Outcome, int64_t> outcomes;
+  std::vector<int64_t> latencies_ms;
+  std::map<int64_t, int> by_id;
+  MutexLock lock(collector.mu);
+  for (const Response& r : collector.responses) {
+    ++outcomes[r.outcome];
+    ++by_id[r.id];
+    latencies_ms.push_back(r.elapsed_ms);
+  }
+  bool ok = true;
+  if (by_id.size() != static_cast<size_t>(kRequests)) {
+    std::fprintf(stderr, "[bench] %s: %zu distinct ids, expected %d\n", phase,
+                 by_id.size(), kRequests);
+    ok = false;
+  }
+  for (const auto& [id, count] : by_id) {
+    if (count != 1) {
+      std::fprintf(stderr, "[bench] %s: request %lld answered %d times\n", phase,
+                   static_cast<long long>(id), count);
+      ok = false;
+    }
+  }
+  int64_t total = 0;
+  for (const auto& [outcome, count] : outcomes) total += count;
+  if (total != kRequests) {
+    std::fprintf(stderr, "[bench] %s: outcome sum %lld != %d\n", phase,
+                 static_cast<long long>(total), kRequests);
+    ok = false;
+  }
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const int64_t p50 = Percentile(latencies_ms, 0.50);
+  const int64_t p99 = Percentile(latencies_ms, 0.99);
+  std::printf(
+      "%-6s ok=%lld degraded=%lld truncated=%lld shed=%lld overloaded=%lld "
+      "retry_after=%lld errors=%lld  p50=%lldms p99=%lldms  %.0f req/s\n",
+      phase, static_cast<long long>(outcomes[Outcome::kOk]),
+      static_cast<long long>(outcomes[Outcome::kDegraded]),
+      static_cast<long long>(outcomes[Outcome::kTruncated]),
+      static_cast<long long>(outcomes[Outcome::kShed]),
+      static_cast<long long>(outcomes[Outcome::kOverloaded]),
+      static_cast<long long>(outcomes[Outcome::kRetryAfter]),
+      static_cast<long long>(outcomes[Outcome::kError]),
+      static_cast<long long>(p50), static_cast<long long>(p99),
+      static_cast<double>(kRequests) / wall_s);
+
+  json->BeginResult();
+  json->Add("phase", std::string(phase));
+  json->Add("requests", static_cast<int64_t>(kRequests));
+  json->Add("ok", outcomes[Outcome::kOk]);
+  json->Add("degraded", outcomes[Outcome::kDegraded]);
+  json->Add("truncated", outcomes[Outcome::kTruncated]);
+  json->Add("shed", outcomes[Outcome::kShed]);
+  json->Add("overloaded", outcomes[Outcome::kOverloaded]);
+  json->Add("retry_after", outcomes[Outcome::kRetryAfter]);
+  json->Add("errors", outcomes[Outcome::kError]);
+  json->Add("p50_ms", p50);
+  json->Add("p99_ms", p99);
+  json->Add("wall_s", wall_s);
+  json->Add("requests_per_s", static_cast<double>(kRequests) / wall_s);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Banner("Server chaos load",
+         "1000 concurrent EXPLAIN WHY sessions, quiet then 1% failpoint chaos");
+  const std::string json_path = ParseJsonPath(argc, argv);
+
+  DblpOptions data;
+  data.num_rows = 3000;
+  data.seed = 5;
+  auto table = CheckResult(GenerateDblp(data), "GenerateDblp");
+  Engine engine = CheckResult(Engine::FromTable(table), "Engine::FromTable");
+  MiningConfig& mining = engine.mining_config();
+  mining.max_pattern_size = 3;
+  mining.local_gof_threshold = 0.2;
+  mining.local_support_threshold = 3;
+  mining.global_confidence_threshold = 0.3;
+  mining.global_support_threshold = 10;
+  mining.agg_functions = {AggFunc::kCount};
+  mining.excluded_attrs = {"pubid"};
+  CheckOk(engine.MinePatterns(), "MinePatterns");
+  std::printf("mined %zu patterns over %lld rows\n\n", engine.patterns().size(),
+              static_cast<long long>(table->num_rows()));
+
+  ServerOptions options;
+  options.num_workers = kWorkers;
+  options.scheduler.admission.max_in_system = 4096;
+  options.scheduler.default_deadline_ms = 20000;
+  options.scheduler.degrade_queue_depth = 64;
+  options.scheduler.degraded_top_k = 3;
+  ServerHarness harness(&engine, options);
+
+  BenchJson json("server_load");
+  json.AddConfig("dataset", "dblp");
+  json.AddConfig("num_rows", static_cast<int64_t>(data.num_rows));
+  json.AddConfig("seed", static_cast<int64_t>(data.seed));
+  json.AddConfig("requests_per_phase", static_cast<int64_t>(kRequests));
+  json.AddConfig("workers", static_cast<int64_t>(kWorkers));
+  json.AddConfig("chaos_spec", "explain.norm=io%0.01;explain.refine=io%0.01");
+
+  bool ok = RunPhase(&harness, *table, "quiet", &json);
+
+  CheckOk(failpoint::ActivateFromSpec("explain.norm=io%0.01"), "arm explain.norm");
+  CheckOk(failpoint::ActivateFromSpec("explain.refine=io%0.01"), "arm explain.refine");
+  ok = RunPhase(&harness, *table, "chaos", &json) && ok;
+  failpoint::DeactivateAll();
+
+  harness.Shutdown();
+  const RequestScheduler::Stats stats = harness.scheduler().stats();
+  const int64_t terminal = stats.ok + stats.degraded + stats.truncated + stats.shed +
+                           stats.overloaded + stats.retry_after + stats.errors;
+  if (stats.submitted != terminal) {
+    std::fprintf(stderr, "[bench] scheduler bookkeeping: submitted=%lld terminal=%lld\n",
+                 static_cast<long long>(stats.submitted),
+                 static_cast<long long>(terminal));
+    ok = false;
+  }
+  std::printf("\npeak queue depth: %lld\n", static_cast<long long>(stats.peak_queued));
+
+  if (!json_path.empty()) json.Write(json_path);
+  if (!ok) {
+    std::fprintf(stderr, "[bench] FAILED: a request was lost or double-answered\n");
+    return 1;
+  }
+  std::printf("every request reached exactly one terminal outcome\n");
+  return 0;
+}

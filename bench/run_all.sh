@@ -30,6 +30,7 @@ JSON_BENCHES=(
   bench_parallel_mining
   bench_parallel_explain
   bench_pattern_cache
+  bench_server_load
 )
 
 # A failing bench must fail the aggregate: its entry becomes an explicit

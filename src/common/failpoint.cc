@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/annotations.h"
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/mutex.h"
 #include "common/string_util.h"
@@ -14,8 +15,8 @@ namespace cape::failpoint {
 namespace {
 
 /// Every fault-injection site compiled into the library. Keep in sync with
-/// the CAPE_FAILPOINT() lines; failpoint_test iterates this list and forces
-/// a fault at each site in turn.
+/// the CAPE_FAILPOINT()/CAPE_FAILPOINT_FIRES() lines; failpoint_test
+/// iterates this list and forces a fault at each site in turn.
 constexpr const char* kSites[] = {
     "csv.open",         // ReadCsvFile: file open / slurp
     "csv.read_row",     // ReadCsvString: per-record parse loop
@@ -28,6 +29,10 @@ constexpr const char* kSites[] = {
     "sql.execute",      // ExecuteSelect entry
     "pattern_io.save",  // SavePatternSet file write
     "pattern_io.load",  // LoadPatternSet file read
+    "engine.cache_admit",         // Engine::MinePatterns: serving-cache insert (degrade)
+    "pattern_cache.save_entry",   // PatternCache::SaveToDirectory per-entry write
+    "pattern_cache.load_entry",   // PatternCache::LoadFromDirectory per-entry read (degrade)
+    "pattern_cache.lookup_race",  // PatternCache::Lookup: simulated concurrent eviction (degrade)
 };
 
 struct Spec {
@@ -35,6 +40,8 @@ struct Spec {
   std::string message;
   int skip = 0;    // hits to let through before firing
   int count = -1;  // firings left; -1 = unlimited
+  double probability = 1.0;  // chance an eligible hit fires
+  uint64_t rng = 0;          // xorshift64* state; 0 = exact (no sampling)
 };
 
 struct Registry {
@@ -65,24 +72,31 @@ StatusCode ParseKind(const std::string& kind) {
   return StatusCode::kIOError;  // "io" and anything else
 }
 
-/// Parses CAPE_FAILPOINTS="site=kind[@skip];site2=kind" once at startup.
+/// Deterministic per-site uniform draw in [0, 1): xorshift64* seeded from
+/// the site name, reset by each Activate. Chaos runs are therefore
+/// reproducible — the same activation fires on the same hit sequence.
+double NextUniform(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return static_cast<double>((x * 0x2545F4914F6CDD1Dull) >> 11) * 0x1.0p-53;
+}
+
+uint64_t SeedFor(const std::string& site) {
+  Fnv64 h;
+  h.Update(site.data(), site.size());
+  // Never zero (xorshift fixed point).
+  return h.digest() | 1ull;
+}
+
+/// Parses CAPE_FAILPOINTS="site=kind[@skip][%p];site2=kind" once at startup.
 void LoadFromEnv() {
   const char* env = std::getenv("CAPE_FAILPOINTS");
   if (env == nullptr || *env == '\0') return;
   for (const std::string& entry : SplitString(env, ';')) {
-    const size_t eq = entry.find('=');
-    if (eq == std::string::npos) continue;
-    const std::string site = entry.substr(0, eq);
-    std::string kind = entry.substr(eq + 1);
-    int skip = 0;
-    const size_t at = kind.find('@');
-    if (at != std::string::npos) {
-      auto parsed = ParseInt64(kind.substr(at + 1));
-      if (parsed.ok()) skip = static_cast<int>(*parsed);
-      kind = kind.substr(0, at);
-    }
-    Status st = Activate(site, ParseKind(kind),
-                         "injected fault (CAPE_FAILPOINTS) at " + site, skip);
+    Status st = ActivateFromSpec(entry);
     if (!st.ok()) {
       CAPE_LOG(Warning) << "ignoring CAPE_FAILPOINTS entry '" << entry
                         << "': " << st.ToString();
@@ -106,19 +120,58 @@ bool AnyActive() {
 }
 
 Status Activate(const std::string& site, StatusCode code, std::string message, int skip,
-                int count) {
+                int count, double probability) {
   if (!IsKnownSite(site)) {
     return Status::InvalidArgument("unknown failpoint site '" + site + "'");
   }
   if (code == StatusCode::kOk) {
     return Status::InvalidArgument("failpoint must be armed with an error code");
   }
+  if (!(probability > 0.0) || probability > 1.0) {
+    return Status::InvalidArgument("failpoint probability must be in (0, 1]");
+  }
   Registry& r = registry();
   MutexLock lock(r.mu);
   auto [it, inserted] = r.active.emplace(site, Spec{});
-  it->second = Spec{code, std::move(message), skip, count};
+  it->second = Spec{code,  std::move(message), skip, count, probability,
+                    probability < 1.0 ? SeedFor(site) : 0};
   if (inserted) active_count().fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+Status ActivateFromSpec(const std::string& entry) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("failpoint spec '" + entry +
+                                   "' is not of the form site=kind[@skip][%p]");
+  }
+  const std::string site = entry.substr(0, eq);
+  std::string kind = entry.substr(eq + 1);
+  double probability = 1.0;
+  const size_t pct = kind.find('%');
+  if (pct != std::string::npos) {
+    auto parsed = ParseDouble(kind.substr(pct + 1));
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("failpoint spec '" + entry +
+                                     "' has an unparseable probability");
+    }
+    probability = *parsed;
+    kind = kind.substr(0, pct);
+  }
+  int skip = 0;
+  const size_t at = kind.find('@');
+  if (at != std::string::npos) {
+    auto parsed = ParseInt64(kind.substr(at + 1));
+    if (!parsed.ok() || *parsed < 0) {
+      return Status::InvalidArgument("failpoint spec '" + entry +
+                                     "' has an unparseable @skip");
+    }
+    skip = static_cast<int>(*parsed);
+    kind = kind.substr(0, at);
+  }
+  return Activate(site, ParseKind(kind),
+                  "injected fault (CAPE_FAILPOINTS) at " + site, skip,
+                  /*count=*/-1, probability);
 }
 
 void Deactivate(const std::string& site) {
@@ -148,6 +201,12 @@ Status Trigger(const char* site) {
     return Status::OK();
   }
   if (spec.count == 0) return Status::OK();
+  // Probabilistic sites sample an eligible hit; a losing draw passes through
+  // without consuming `count`, so chaos activations keep firing at the armed
+  // rate for the life of the run.
+  if (spec.rng != 0 && NextUniform(&spec.rng) >= spec.probability) {
+    return Status::OK();
+  }
   if (spec.count > 0) --spec.count;
   return Status(spec.code, spec.message.empty()
                                ? "injected fault at " + std::string(site)

@@ -15,14 +15,23 @@
 /// letting tests prove that every stage converts injected faults into clean
 /// Status returns — no crash, no leak, no partial mutation.
 ///
-/// With CAPE_ENABLE_FAILPOINTS=OFF at configure time the macro compiles to
-/// nothing. When compiled in but inactive (the production default) each site
-/// costs a single relaxed atomic load and a predictable branch.
+/// Sites with *degrade* semantics — where the correct response to a fault is
+/// to absorb it (skip a poisoned cache entry, fall back to a cold mine)
+/// rather than propagate it — use CAPE_FAILPOINT_FIRES(name) in a plain `if`
+/// and handle the firing inline.
+///
+/// With CAPE_ENABLE_FAILPOINTS=OFF at configure time both macros compile to
+/// nothing / false. When compiled in but inactive (the production default)
+/// each site costs a single relaxed atomic load and a predictable branch.
 ///
 /// Environment syntax (parsed once at first use):
-///   CAPE_FAILPOINTS="csv.read_row=io;mining.sort=internal@3"
-/// i.e. `site=kind[@skip]` entries separated by ';', where kind is one of
-/// io|internal|oom and skip is the number of hits to let through first.
+///   CAPE_FAILPOINTS="csv.read_row=io;mining.sort=internal@3;explain.norm=io%0.01"
+/// i.e. `site=kind[@skip][%probability]` entries separated by ';', where
+/// kind is one of io|internal|oom, skip is the number of hits to let through
+/// first (trigger-after-N), and probability in (0, 1] makes each eligible
+/// hit fire with that probability from a deterministic per-site stream —
+/// chaos mode without recompiles. Omitting `%probability` keeps the exact
+/// every-hit-fires semantics.
 
 namespace cape::failpoint {
 
@@ -34,10 +43,18 @@ std::vector<std::string> AllSites();
 bool AnyActive();
 
 /// Arms `site` to fail with `code`/`message`. The first `skip` hits pass
-/// through; after that each hit fails, `count` times in total (-1 =
-/// unlimited). InvalidArgument when `site` is not a registered site.
+/// through; after that each hit fails with probability `probability`
+/// (sampled from a deterministic per-site stream reset by each Activate),
+/// `count` times in total (-1 = unlimited). Hits that pass the skip gate but
+/// lose the probability draw do not consume `count`. InvalidArgument when
+/// `site` is not a registered site or `probability` is outside (0, 1].
 Status Activate(const std::string& site, StatusCode code, std::string message,
-                int skip = 0, int count = -1);
+                int skip = 0, int count = -1, double probability = 1.0);
+
+/// Arms one site from a CAPE_FAILPOINTS-style entry
+/// `site=kind[@skip][%probability]` (see the header comment). Exposed so
+/// tests can exercise the env syntax without the parse-once env gate.
+Status ActivateFromSpec(const std::string& entry);
 
 /// Disarms one site / all sites.
 void Deactivate(const std::string& site);
@@ -52,9 +69,9 @@ class ScopedFailpoint {
   explicit ScopedFailpoint(std::string site,
                            StatusCode code = StatusCode::kIOError,
                            std::string message = "injected fault", int skip = 0,
-                           int count = -1)
+                           int count = -1, double probability = 1.0)
       : site_(std::move(site)),
-        status_(Activate(site_, code, std::move(message), skip, count)) {}
+        status_(Activate(site_, code, std::move(message), skip, count, probability)) {}
   ~ScopedFailpoint() { Deactivate(site_); }
 
   ScopedFailpoint(const ScopedFailpoint&) = delete;
@@ -74,6 +91,7 @@ class ScopedFailpoint {
 #define CAPE_FAILPOINT(site) \
   do {                       \
   } while (false)
+#define CAPE_FAILPOINT_FIRES(site) false
 #else
 #define CAPE_FAILPOINT(site)                                    \
   do {                                                          \
@@ -82,6 +100,11 @@ class ScopedFailpoint {
       if (!_fp_st.ok()) return _fp_st;                          \
     }                                                           \
   } while (false)
+/// Soft-site form: evaluates to true when the armed site fires, for degrade
+/// paths where the caller absorbs the fault instead of returning it.
+#define CAPE_FAILPOINT_FIRES(site)                        \
+  (CAPE_PREDICT_FALSE(::cape::failpoint::AnyActive()) &&  \
+   !::cape::failpoint::Trigger(site).ok())
 #endif
 
 #endif  // CAPE_COMMON_FAILPOINT_H_

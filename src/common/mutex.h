@@ -1,6 +1,7 @@
 #ifndef CAPE_COMMON_MUTEX_H_
 #define CAPE_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -73,6 +74,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller's MutexLock keeps ownership
+  }
+
+  /// Like Wait but gives up after `timeout_ms` milliseconds. Returns false
+  /// on timeout, true when notified (spurious wakeups included — re-check
+  /// the predicate either way). Non-positive timeouts return false without
+  /// blocking, so deadline-driven loops can pass a remaining budget directly.
+  bool WaitFor(Mutex& mu, int64_t timeout_ms) CAPE_REQUIRES(mu) {
+    if (timeout_ms <= 0) return false;
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms));
+    lock.release();  // the caller's MutexLock keeps ownership
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

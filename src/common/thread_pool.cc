@@ -30,6 +30,8 @@ ThreadPool& ThreadPool::Global() {
   return *pool;
 }
 
+void ThreadPool::Submit(std::function<void()> task) { Enqueue(std::move(task)); }
+
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
     MutexLock lock(mu_);

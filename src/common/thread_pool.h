@@ -62,6 +62,14 @@ class ThreadPool {
     StopToken stop;
   };
 
+  /// Enqueues one standalone task for any pool worker. Unlike ParallelFor
+  /// the caller does not participate and does not block; tasks run in FIFO
+  /// order as workers free up. The task must not throw (there is no caller
+  /// to propagate to) and must not block forever on another Submit-ed task
+  /// — the serving layer (src/server) uses cooperative deadlines to bound
+  /// every task it submits.
+  void Submit(std::function<void()> task) CAPE_EXCLUDES(mu_);
+
   /// Number of distinct worker ids ParallelFor(n, opts) will use; callers
   /// size per-worker state arrays with this.
   int PlannedWorkers(int64_t n, const ParallelForOptions& opts) const;

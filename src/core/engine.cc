@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "pattern/pattern_io.h"
 #include "relational/csv.h"
@@ -7,7 +8,9 @@
 namespace cape {
 
 Engine::Engine(TablePtr table)
-    : table_(std::move(table)), distance_model_(DistanceModel::MakeDefault(*table_)) {}
+    : table_(std::move(table)),
+      distance_model_(DistanceModel::MakeDefault(*table_)),
+      stats_cell_(std::make_unique<StatsCell>()) {}
 
 Result<Engine> Engine::FromTable(TablePtr table) {
   if (table == nullptr) return Status::InvalidArgument("table must not be null");
@@ -24,8 +27,11 @@ Result<Engine> Engine::FromCsvFile(const std::string& path, const CsvReadOptions
   if (report == nullptr) report = &local_report;
   CAPE_ASSIGN_OR_RETURN(TablePtr table, ReadCsvFile(path, options, report));
   CAPE_ASSIGN_OR_RETURN(Engine engine, FromTable(std::move(table)));
-  engine.run_stats_.rows_loaded = report->num_rows_loaded;
-  engine.run_stats_.rows_quarantined = report->num_rows_quarantined;
+  {
+    MutexLock lock(engine.stats_cell_->mu);
+    engine.stats_cell_->stats.rows_loaded = report->num_rows_loaded;
+    engine.stats_cell_->stats.rows_quarantined = report->num_rows_quarantined;
+  }
   return engine;
 }
 
@@ -40,36 +46,49 @@ Status Engine::MinePatterns(const std::string& miner_name) {
       // contract benches and tests pin (DESIGN.md §11).
       patterns_ = std::move(cached);
       mining_profile_ = MiningProfile{};
-      run_stats_.mine_ns = 0;
-      run_stats_.mine_cpu_ns = 0;
-      run_stats_.mine_rows_scanned = 0;
-      run_stats_.mine_candidates = 0;
-      run_stats_.mine_candidates_skipped_fd = 0;
-      run_stats_.patterns_mined = static_cast<int64_t>(patterns_->size());
-      run_stats_.mine_truncated = false;
-      run_stats_.mine_stop_reason = StopReason::kNone;
-      run_stats_.cache_hits += 1;
+      MutexLock lock(stats_cell_->mu);
+      RunStats& stats = stats_cell_->stats;
+      stats.mine_ns = 0;
+      stats.mine_cpu_ns = 0;
+      stats.mine_rows_scanned = 0;
+      stats.mine_candidates = 0;
+      stats.mine_candidates_skipped_fd = 0;
+      stats.patterns_mined = static_cast<int64_t>(patterns_->size());
+      stats.mine_truncated = false;
+      stats.mine_stop_reason = StopReason::kNone;
+      stats.cache_hits += 1;
       return Status::OK();
     }
-    run_stats_.cache_misses += 1;
+    MutexLock lock(stats_cell_->mu);
+    stats_cell_->stats.cache_misses += 1;
   }
   CAPE_ASSIGN_OR_RETURN(auto miner, MakeMinerByName(miner_name));
   CAPE_ASSIGN_OR_RETURN(MiningResult result, miner->Mine(*table_, mining_config_));
   patterns_ = std::make_shared<const PatternSet>(std::move(result.patterns));
   mining_profile_ = result.profile;
-  run_stats_.mine_ns = result.profile.total_ns;
-  run_stats_.mine_cpu_ns = result.profile.cpu_ns;
-  run_stats_.mine_rows_scanned = result.profile.num_rows_scanned;
-  run_stats_.mine_candidates = result.profile.num_candidates;
-  run_stats_.mine_candidates_skipped_fd = result.profile.num_candidates_skipped_fd;
-  run_stats_.patterns_mined = static_cast<int64_t>(patterns_->size());
-  run_stats_.mine_truncated = result.truncated;
-  run_stats_.mine_stop_reason = result.stop_reason;
+  {
+    MutexLock lock(stats_cell_->mu);
+    RunStats& stats = stats_cell_->stats;
+    stats.mine_ns = result.profile.total_ns;
+    stats.mine_cpu_ns = result.profile.cpu_ns;
+    stats.mine_rows_scanned = result.profile.num_rows_scanned;
+    stats.mine_candidates = result.profile.num_candidates;
+    stats.mine_candidates_skipped_fd = result.profile.num_candidates_skipped_fd;
+    stats.patterns_mined = static_cast<int64_t>(patterns_->size());
+    stats.mine_truncated = result.truncated;
+    stats.mine_stop_reason = result.stop_reason;
+  }
   // Truncated results hold a subset of the full pattern set; caching one
-  // would serve incomplete explanations to every later request.
-  if (pattern_cache_ != nullptr && !result.truncated) {
-    run_stats_.cache_evictions +=
+  // would serve incomplete explanations to every later request. Cache
+  // admission itself is best-effort: a fault here (simulated concurrent
+  // eviction / admission race) keeps the freshly mined result and simply
+  // leaves the cache cold — the request still succeeds.
+  if (pattern_cache_ != nullptr && !result.truncated &&
+      !CAPE_FAILPOINT_FIRES("engine.cache_admit")) {
+    const int64_t evictions =
         pattern_cache_->Insert(fingerprint, config_digest, patterns_, table_->schema());
+    MutexLock lock(stats_cell_->mu);
+    stats_cell_->stats.cache_evictions += evictions;
   }
   return Status::OK();
 }
@@ -118,14 +137,18 @@ Result<ExplainResult> Engine::Explain(const UserQuestion& question, bool optimiz
   CAPE_ASSIGN_OR_RETURN(
       ExplainResult result,
       generator->Explain(question, *patterns_, distance_model_, explain_config_));
-  run_stats_.explain_ns = result.profile.total_ns;
-  run_stats_.explain_cpu_ns = result.profile.cpu_ns;
-  run_stats_.explain_pairs_considered = result.profile.num_refinement_pairs;
-  run_stats_.explain_pairs_pruned = result.profile.num_pairs_pruned;
-  run_stats_.explain_tuples_checked = result.profile.num_tuples_checked;
-  run_stats_.explain_partial = result.partial;
-  run_stats_.explain_stop_reason = result.stop_reason;
-  run_stats_.explain_stopped_stage = result.stopped_stage;
+  {
+    MutexLock lock(stats_cell_->mu);
+    RunStats& stats = stats_cell_->stats;
+    stats.explain_ns = result.profile.total_ns;
+    stats.explain_cpu_ns = result.profile.cpu_ns;
+    stats.explain_pairs_considered = result.profile.num_refinement_pairs;
+    stats.explain_pairs_pruned = result.profile.num_pairs_pruned;
+    stats.explain_tuples_checked = result.profile.num_tuples_checked;
+    stats.explain_partial = result.partial;
+    stats.explain_stop_reason = result.stop_reason;
+    stats.explain_stopped_stage = result.stopped_stage;
+  }
   return result;
 }
 

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/pattern_cache.h"
 #include "explain/baseline.h"
@@ -54,6 +56,18 @@ struct RunStats {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
+
+  // Serving counters (cumulative, bumped by the request scheduler when this
+  // engine backs a server — DESIGN.md §13; zero otherwise). `serve_requests`
+  // counts admitted requests; `serve_rejected` structured admission
+  // rejections (OVERLOADED / RETRY_AFTER); `serve_shed` admitted requests
+  // dropped before execution because their deadline had already expired;
+  // `serve_deadline_truncated` requests answered with a deadline-truncated
+  // (partial but subset-consistent) result.
+  int64_t serve_requests = 0;
+  int64_t serve_rejected = 0;
+  int64_t serve_shed = 0;
+  int64_t serve_deadline_truncated = 0;
 };
 
 /// The CAPE system facade: load a relation, mine aggregate regression
@@ -72,6 +86,17 @@ struct RunStats {
 ///                           AggFunc::kCount, "*", Direction::kLow));
 ///   CAPE_ASSIGN_OR_RETURN(auto result, engine.Explain(question));
 ///   std::cout << engine.RenderExplanations(result.explanations);
+///
+/// Concurrency contract (the serving path relies on this): once the offline
+/// phase is done — configuration set, patterns mined or loaded — the const
+/// surface is re-entrant. Any number of threads may call Explain(),
+/// ExplainBaseline(), MakeQuestion(), MakeExplainSession(), run_stats(), and
+/// the accessors concurrently; observability is recorded under an internal
+/// stats mutex (last-writer-wins for the per-request explain_* fields,
+/// exact sums for the cumulative counters). The non-const surface
+/// (MinePatterns, LoadPatterns, set_* and the mutable config accessors) is
+/// NOT safe to run concurrently with the const surface — servers do all
+/// mutation before accepting traffic (DESIGN.md §13).
 class Engine {
  public:
   /// Wraps an in-memory relation. The table must validate.
@@ -139,8 +164,25 @@ class Engine {
   const std::shared_ptr<const PatternSet>& shared_patterns() const { return patterns_; }
   const MiningProfile& mining_profile() const { return mining_profile_; }
 
-  /// Per-request statistics for the most recent load/mine/explain calls.
-  const RunStats& run_stats() const { return run_stats_; }
+  /// Snapshot of the per-request statistics for the most recent
+  /// load/mine/explain calls plus the cumulative cache/serving counters.
+  /// Returned by value under the stats mutex, so a snapshot taken while
+  /// other threads run Explain() is internally consistent (never torn).
+  RunStats run_stats() const CAPE_EXCLUDES(stats_cell_->mu) {
+    MutexLock lock(stats_cell_->mu);
+    return stats_cell_->stats;
+  }
+
+  /// Adds to the cumulative serving counters (called by the request
+  /// scheduler; each delta may be zero). Thread-safe.
+  void RecordServeCounters(int64_t requests, int64_t rejected, int64_t shed,
+                           int64_t deadline_truncated) const CAPE_EXCLUDES(stats_cell_->mu) {
+    MutexLock lock(stats_cell_->mu);
+    stats_cell_->stats.serve_requests += requests;
+    stats_cell_->stats.serve_rejected += rejected;
+    stats_cell_->stats.serve_shed += shed;
+    stats_cell_->stats.serve_deadline_truncated += deadline_truncated;
+  }
 
   /// Builds a validated user question against this engine's relation.
   Result<UserQuestion> MakeQuestion(const std::vector<std::string>& group_by,
@@ -170,6 +212,14 @@ class Engine {
  private:
   explicit Engine(TablePtr table);
 
+  /// Stats live behind a heap cell so the mutex survives Engine moves and
+  /// const methods (Explain) can record observability without `mutable` on
+  /// the whole struct.
+  struct StatsCell {
+    mutable Mutex mu;
+    RunStats stats CAPE_GUARDED_BY(mu);
+  };
+
   TablePtr table_;
   MiningConfig mining_config_;
   ExplainConfig explain_config_;
@@ -177,8 +227,7 @@ class Engine {
   std::shared_ptr<const PatternSet> patterns_;
   PatternCache* pattern_cache_ = nullptr;
   MiningProfile mining_profile_;
-  /// mutable: Explain() is logically const but records observability stats.
-  mutable RunStats run_stats_;
+  std::unique_ptr<StatsCell> stats_cell_;
 };
 
 }  // namespace cape

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "pattern/pattern_io.h"
 #include "stats/regression.h"
@@ -81,6 +82,13 @@ std::shared_ptr<const PatternSet> PatternCache::Lookup(uint64_t table_fingerprin
     ++misses_;
     return nullptr;
   }
+  // Simulated concurrent eviction: the entry vanished between the caller's
+  // decision to look and our read. Degrades to a miss — the caller mines
+  // cold, exactly as if the LRU had raced ahead of it.
+  if (CAPE_FAILPOINT_FIRES("pattern_cache.lookup_race")) {
+    ++misses_;
+    return nullptr;
+  }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   return it->second.patterns;
@@ -127,6 +135,9 @@ Status PatternCache::SaveToDirectory(const std::string& dir) const {
   }
   MutexLock lock(mu_);
   for (const auto& [key, entry] : entries_) {
+    // Injected ENOSPC-style write failure; propagated so callers know the
+    // on-disk snapshot is incomplete.
+    CAPE_FAILPOINT("pattern_cache.save_entry");
     const std::string path =
         (std::filesystem::path(dir) / EntryFileName(key.fingerprint, key.digest)).string();
     CAPE_RETURN_IF_ERROR(
@@ -151,6 +162,9 @@ Result<int> PatternCache::LoadFromDirectory(const std::string& dir, const Schema
       continue;
     }
     if (fingerprint != table_fingerprint) continue;
+    // Injected corrupt-read: treat the entry exactly like a store that fails
+    // validation below — skip it, leave the cache cold for that key.
+    if (CAPE_FAILPOINT_FIRES("pattern_cache.load_entry")) continue;
     PatternStoreMeta meta;
     Result<PatternSet> patterns =
         LoadPatternSetBinary(dirent.path().string(), schema, &meta);

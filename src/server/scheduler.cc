@@ -1,0 +1,329 @@
+#include "server/scheduler.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/string_util.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+
+namespace cape::server {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Deadline::Clock::now().time_since_epoch())
+      .count();
+}
+
+std::string SchedulerStatsJson(const RequestScheduler::Stats& s) {
+  std::string out = "{";
+  out += "\"submitted\":" + std::to_string(s.submitted);
+  out += ",\"ok\":" + std::to_string(s.ok);
+  out += ",\"degraded\":" + std::to_string(s.degraded);
+  out += ",\"truncated\":" + std::to_string(s.truncated);
+  out += ",\"shed\":" + std::to_string(s.shed);
+  out += ",\"overloaded\":" + std::to_string(s.overloaded);
+  out += ",\"retry_after\":" + std::to_string(s.retry_after);
+  out += ",\"errors\":" + std::to_string(s.errors);
+  out += ",\"peak_queued\":" + std::to_string(s.peak_queued);
+  return out + "}";
+}
+
+std::string EngineStatsJson(const RunStats& s) {
+  std::string out = "{";
+  out += "\"serve_requests\":" + std::to_string(s.serve_requests);
+  out += ",\"serve_rejected\":" + std::to_string(s.serve_rejected);
+  out += ",\"serve_shed\":" + std::to_string(s.serve_shed);
+  out += ",\"serve_deadline_truncated\":" + std::to_string(s.serve_deadline_truncated);
+  out += ",\"patterns_mined\":" + std::to_string(s.patterns_mined);
+  out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(s.cache_misses);
+  return out + "}";
+}
+
+}  // namespace
+
+RequestScheduler::RequestScheduler(const Engine* engine, Catalog catalog, ThreadPool* pool,
+                                   SchedulerConfig config)
+    : engine_(engine),
+      catalog_(std::move(catalog)),
+      pool_(pool),
+      config_(config),
+      admission_(config.admission) {
+  MutexLock lock(mu_);
+  max_sessions_ =
+      config_.num_sessions > 0 ? config_.num_sessions : pool_->num_threads() + 1;
+}
+
+RequestScheduler::~RequestScheduler() { Shutdown(); }
+
+void RequestScheduler::Submit(Request request, ResponseCallback done) {
+  const int64_t now_ns = NowNanos();
+  Response rejection;
+  rejection.id = request.id;
+  {
+    MutexLock lock(mu_);
+    ++stats_.submitted;
+    if (!draining_) {
+      const AdmissionDecision decision = admission_.Admit(request.tenant, now_ns);
+      if (decision.kind == AdmissionDecision::Kind::kAdmit) {
+        Pending pending;
+        pending.deadline_budget_ms =
+            request.deadline_ms > 0
+                ? (request.deadline_ms < config_.max_deadline_ms ? request.deadline_ms
+                                                                 : config_.max_deadline_ms)
+                : config_.default_deadline_ms;
+        pending.deadline = Deadline::AfterMillis(pending.deadline_budget_ms);
+        pending.enqueue_ns = now_ns;
+        pending.request = std::move(request);
+        pending.done = std::move(done);
+        queue_.push_back(std::move(pending));
+        ++inflight_;
+        if (static_cast<int64_t>(queue_.size()) > stats_.peak_queued) {
+          stats_.peak_queued = static_cast<int64_t>(queue_.size());
+        }
+        pool_->Submit([this] { RunOne(); });
+        return;
+      }
+      rejection.outcome = decision.kind == AdmissionDecision::Kind::kRetryAfter
+                              ? Outcome::kRetryAfter
+                              : Outcome::kOverloaded;
+      if (decision.kind == AdmissionDecision::Kind::kRetryAfter) {
+        rejection.retry_after_ms = decision.retry_after_ms;
+      }
+    } else {
+      // Draining: reject instead of queueing work that would outlive the
+      // server. OVERLOADED tells well-behaved clients to back off.
+      rejection.outcome = Outcome::kOverloaded;
+    }
+    if (rejection.outcome == Outcome::kRetryAfter) {
+      ++stats_.retry_after;
+    } else {
+      ++stats_.overloaded;
+    }
+  }
+  engine_->RecordServeCounters(/*requests=*/0, /*rejected=*/1, /*shed=*/0,
+                               /*deadline_truncated=*/0);
+  done(rejection);
+}
+
+std::unique_ptr<ExplainSession> RequestScheduler::AcquireSession() {
+  MutexLock lock(mu_);
+  while (free_sessions_.empty() && sessions_outstanding_ >= max_sessions_) {
+    session_cv_.Wait(mu_);
+  }
+  ++sessions_outstanding_;
+  if (!free_sessions_.empty()) {
+    std::unique_ptr<ExplainSession> session = std::move(free_sessions_.back());
+    free_sessions_.pop_back();
+    return session;
+  }
+  Result<ExplainSession> fresh = engine_->MakeExplainSession();
+  if (!fresh.ok()) {
+    // Only possible when the engine has no patterns — a setup error surfaced
+    // per-request as a structured kError by Execute.
+    --sessions_outstanding_;
+    session_cv_.NotifyOne();
+    return nullptr;
+  }
+  return std::make_unique<ExplainSession>(std::move(fresh).ValueOrDie());
+}
+
+void RequestScheduler::ReleaseSession(std::unique_ptr<ExplainSession> session) {
+  MutexLock lock(mu_);
+  --sessions_outstanding_;
+  if (session != nullptr) free_sessions_.push_back(std::move(session));
+  session_cv_.NotifyOne();
+}
+
+void RequestScheduler::RunOne() {
+  Pending pending;
+  std::function<void()> hook;
+  bool degraded = false;
+  {
+    MutexLock lock(mu_);
+    if (queue_.empty()) return;  // defensive: one task is submitted per entry
+    pending = std::move(queue_.front());
+    queue_.pop_front();
+    hook = execution_hook_;
+    degraded = config_.degrade_queue_depth > 0 &&
+               static_cast<int>(queue_.size()) >= config_.degrade_queue_depth;
+  }
+
+  // Overload shedding: work whose deadline already passed while queued is
+  // answered with a structured rejection instead of burning a worker on a
+  // result nobody is waiting for.
+  if (pending.deadline.Expired()) {
+    Response response;
+    response.id = pending.request.id;
+    response.outcome = Outcome::kShed;
+    Finish(&pending, std::move(response));
+    return;
+  }
+
+  if (hook) hook();
+
+  std::unique_ptr<ExplainSession> session = AcquireSession();
+  Response response = Execute(pending, session.get(), degraded);
+  ReleaseSession(std::move(session));
+  Finish(&pending, std::move(response));
+}
+
+Response RequestScheduler::Execute(const Pending& pending, ExplainSession* session,
+                                   bool degraded) {
+  Response response;
+  response.id = pending.request.id;
+  // The zero-crash guarantee for serving threads: anything an execution path
+  // throws (ParallelFor converts worker exceptions to Status, but the
+  // serving layer defends in depth) becomes a structured error response.
+  try {
+    const std::string verb = ToLowerAscii(TrimWhitespace(pending.request.statement));
+    if (verb == "ping" || verb == "ping;") {
+      response.outcome = Outcome::kOk;
+      response.payload_json = "\"pong\"";
+      return response;
+    }
+    if (verb == "stats" || verb == "stats;") {
+      response.outcome = Outcome::kOk;
+      response.payload_json = "{\"engine\":" + EngineStatsJson(engine_->run_stats()) +
+                              ",\"scheduler\":" + SchedulerStatsJson(stats()) + "}";
+      return response;
+    }
+
+    Result<Statement> parsed = ParseStatement(pending.request.statement);
+    if (!parsed.ok()) {
+      response.outcome = Outcome::kError;
+      response.error = parsed.status().message();
+      return response;
+    }
+
+    if (const auto* cmd = std::get_if<ExplainWhyCommand>(&*parsed)) {
+      if (session == nullptr) {
+        response.outcome = Outcome::kError;
+        response.error = "engine has no mined patterns";
+        return response;
+      }
+      Result<UserQuestion> question = BuildQuestion(catalog_, *cmd);
+      if (!question.ok()) {
+        response.outcome = Outcome::kError;
+        response.error = question.status().message();
+        return response;
+      }
+      int top_k = pending.request.top_k > 0 ? static_cast<int>(pending.request.top_k)
+                  : cmd->top_k.has_value()  ? static_cast<int>(*cmd->top_k)
+                                            : config_.top_k;
+      const bool capped = degraded && top_k > config_.degraded_top_k;
+      if (capped) top_k = config_.degraded_top_k;
+
+      const int64_t remaining_ms = pending.deadline.RemainingNanos() / 1000000;
+      ExplainConfig& session_config = session->config();
+      session_config.top_k = top_k;
+      session_config.deadline_ms = remaining_ms > 1 ? remaining_ms : 1;
+      session_config.cancel_token = CancellationToken();
+      session_config.num_threads = 1;  // concurrency comes from many requests
+
+      Result<ExplainResult> result = session->Explain(*question);
+      if (!result.ok()) {
+        response.outcome = Outcome::kError;
+        response.error = result.status().message();
+        return response;
+      }
+      response.payload_json =
+          ExplanationsToJson(result->explanations, *engine_->table()->schema());
+      response.outcome = result->partial ? Outcome::kTruncated
+                         : capped        ? Outcome::kDegraded
+                                         : Outcome::kOk;
+      return response;
+    }
+
+    const auto& query = std::get<SelectQuery>(*parsed);
+    StopToken stop(pending.deadline);
+    Result<TablePtr> table = ExecuteSelect(catalog_, query, &stop);
+    if (!table.ok()) {
+      response.outcome = Outcome::kError;
+      response.error = table.status().message();
+      return response;
+    }
+    response.outcome = degraded ? Outcome::kDegraded : Outcome::kOk;
+    response.payload_json = TableToJson(**table);
+    return response;
+  } catch (const std::exception& e) {
+    response.outcome = Outcome::kError;
+    response.error = std::string("unexpected exception: ") + e.what();
+    return response;
+  } catch (...) {
+    response.outcome = Outcome::kError;
+    response.error = "unexpected non-standard exception";
+    return response;
+  }
+}
+
+void RequestScheduler::CountOutcome(Outcome outcome) {
+  MutexLock lock(mu_);
+  switch (outcome) {
+    case Outcome::kOk:
+      ++stats_.ok;
+      break;
+    case Outcome::kDegraded:
+      ++stats_.degraded;
+      break;
+    case Outcome::kTruncated:
+      ++stats_.truncated;
+      break;
+    case Outcome::kShed:
+      ++stats_.shed;
+      break;
+    case Outcome::kOverloaded:
+      ++stats_.overloaded;
+      break;
+    case Outcome::kRetryAfter:
+      ++stats_.retry_after;
+      break;
+    case Outcome::kError:
+      ++stats_.errors;
+      break;
+  }
+}
+
+void RequestScheduler::Finish(Pending* pending, Response response) {
+  const int64_t now_ns = NowNanos();
+  response.elapsed_ms = (now_ns - pending->enqueue_ns) / 1000000;
+  CountOutcome(response.outcome);
+  engine_->RecordServeCounters(
+      /*requests=*/1, /*rejected=*/0,
+      /*shed=*/response.outcome == Outcome::kShed ? 1 : 0,
+      /*deadline_truncated=*/response.outcome == Outcome::kTruncated ? 1 : 0);
+  // Post-paid debit: the request's wall occupancy and response bytes.
+  admission_.Release(pending->request.tenant, now_ns,
+                     static_cast<double>(now_ns - pending->enqueue_ns) / 1e6,
+                     static_cast<int64_t>(response.payload_json.size()));
+  pending->done(response);
+  MutexLock lock(mu_);
+  if (--inflight_ == 0) drain_cv_.NotifyAll();
+}
+
+void RequestScheduler::Shutdown() {
+  MutexLock lock(mu_);
+  draining_ = true;
+  while (inflight_ > 0) drain_cv_.Wait(mu_);
+}
+
+RequestScheduler::Stats RequestScheduler::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+int RequestScheduler::queue_depth() const {
+  MutexLock lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+void RequestScheduler::SetExecutionHookForTest(std::function<void()> hook) {
+  MutexLock lock(mu_);
+  execution_hook_ = std::move(hook);
+}
+
+}  // namespace cape::server

@@ -1,0 +1,150 @@
+#ifndef CAPE_SERVER_SCHEDULER_H_
+#define CAPE_SERVER_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "relational/catalog.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+
+/// The serving core (DESIGN.md §13): turns parsed Requests into Responses
+/// on a shared ThreadPool, with admission control in front, per-request
+/// deadlines through the engine's cooperative-stop plumbing, a degradation
+/// tier under pressure, and drain-based shutdown behind.
+///
+/// The invariant everything here defends: every Submit() ends in exactly one
+/// callback invocation, whatever happens in between — rejection, shedding,
+/// deadline truncation, execution error, injected fault, or shutdown.
+
+namespace cape::server {
+
+struct SchedulerConfig {
+  AdmissionConfig admission;
+
+  /// Deadline applied when the request does not carry one; requests may ask
+  /// for less but are clamped to max_deadline_ms.
+  int64_t default_deadline_ms = 2000;
+  int64_t max_deadline_ms = 60000;
+
+  /// top_k when neither the request header nor the statement names one.
+  int top_k = 10;
+
+  /// Degradation tier: once the backlog reaches this depth, requests are
+  /// answered with top_k capped to `degraded_top_k` (outcome "degraded") —
+  /// cheaper answers drain the queue faster than full ones. <= 0 disables.
+  int degrade_queue_depth = 0;
+  int degraded_top_k = 3;
+
+  /// Pooled ExplainSessions (each memoizes γ agg tables across the requests
+  /// it serves; one is held per executing request). <= 0 sizes to the pool's
+  /// worker count + 1.
+  int num_sessions = 0;
+};
+
+class RequestScheduler {
+ public:
+  /// Cumulative terminal-outcome counters; `submitted` equals the sum of the
+  /// outcome counters once the scheduler is idle.
+  struct Stats {
+    int64_t submitted = 0;
+    int64_t ok = 0;
+    int64_t degraded = 0;
+    int64_t truncated = 0;
+    int64_t shed = 0;
+    int64_t overloaded = 0;
+    int64_t retry_after = 0;
+    int64_t errors = 0;
+    int64_t peak_queued = 0;
+  };
+
+  using ResponseCallback = std::function<void(const Response&)>;
+
+  /// `engine` must have patterns mined/loaded and stay immutable (only its
+  /// const, re-entrant surface is used); `catalog` names the tables SQL
+  /// statements may reference; `pool` runs the requests. Neither engine nor
+  /// pool is owned; both must outlive the scheduler.
+  RequestScheduler(const Engine* engine, Catalog catalog, ThreadPool* pool,
+                   SchedulerConfig config);
+
+  /// Drains (Shutdown) before destruction.
+  ~RequestScheduler();
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Never blocks. Either rejects synchronously (callback runs on the
+  /// calling thread before Submit returns) or enqueues, in which case the
+  /// callback runs exactly once later on a pool worker. Callbacks must be
+  /// thread-safe against other responses and must not block for long — they
+  /// run on serving threads.
+  void Submit(Request request, ResponseCallback done) CAPE_EXCLUDES(mu_);
+
+  /// Stops admitting (new Submits reject OVERLOADED), waits for every
+  /// in-flight request to reach its terminal callback, and returns.
+  /// Idempotent. Must not be called from a pool worker.
+  void Shutdown() CAPE_EXCLUDES(mu_);
+
+  Stats stats() const CAPE_EXCLUDES(mu_);
+  int queue_depth() const CAPE_EXCLUDES(mu_);
+
+  /// Test hook, run on the worker just before a request executes (after the
+  /// shed check). Lets tests hold requests in the executing state to fill
+  /// the queue deterministically. Not for production use.
+  void SetExecutionHookForTest(std::function<void()> hook) CAPE_EXCLUDES(mu_);
+
+ private:
+  struct Pending {
+    Request request;
+    ResponseCallback done;
+    Deadline deadline;
+    int64_t enqueue_ns = 0;
+    int64_t deadline_budget_ms = 0;
+  };
+
+  /// Pops and fully serves one queued request (pool task body).
+  void RunOne() CAPE_EXCLUDES(mu_);
+
+  /// Executes the statement of `pending` on `session`; returns the terminal
+  /// response (never throws; all errors become Outcome::kError).
+  Response Execute(const Pending& pending, ExplainSession* session, bool degraded);
+
+  /// Delivers `response`, debits admission, bumps counters. The single
+  /// terminal path for admitted requests.
+  void Finish(Pending* pending, Response response) CAPE_EXCLUDES(mu_);
+
+  void CountOutcome(Outcome outcome) CAPE_EXCLUDES(mu_);
+
+  std::unique_ptr<ExplainSession> AcquireSession() CAPE_EXCLUDES(mu_);
+  void ReleaseSession(std::unique_ptr<ExplainSession> session) CAPE_EXCLUDES(mu_);
+
+  const Engine* const engine_;
+  const Catalog catalog_;
+  ThreadPool* const pool_;
+  const SchedulerConfig config_;
+  AdmissionController admission_;
+
+  mutable Mutex mu_;
+  CondVar drain_cv_;
+  CondVar session_cv_;
+  std::deque<Pending> queue_ CAPE_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<ExplainSession>> free_sessions_ CAPE_GUARDED_BY(mu_);
+  int sessions_outstanding_ CAPE_GUARDED_BY(mu_) = 0;
+  int max_sessions_ CAPE_GUARDED_BY(mu_) = 0;
+  int inflight_ CAPE_GUARDED_BY(mu_) = 0;
+  bool draining_ CAPE_GUARDED_BY(mu_) = false;
+  Stats stats_ CAPE_GUARDED_BY(mu_);
+  std::function<void()> execution_hook_ CAPE_GUARDED_BY(mu_);
+};
+
+}  // namespace cape::server
+
+#endif  // CAPE_SERVER_SCHEDULER_H_

@@ -1,0 +1,277 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace cape::server {
+
+Catalog MakeServingCatalog(const Engine& engine, const std::string& table_name) {
+  Catalog catalog;
+  catalog.RegisterOrReplaceTable(table_name, engine.table());
+  return catalog;
+}
+
+// ---------------------------------------------------------------------------
+// ServerHarness
+
+ServerHarness::ServerHarness(const Engine* engine, ServerOptions options)
+    : pool_(options.num_workers < 1 ? 1 : options.num_workers),
+      scheduler_(std::make_unique<RequestScheduler>(
+          engine, MakeServingCatalog(*engine, options.table_name), &pool_,
+          options.scheduler)) {}
+
+ServerHarness::~ServerHarness() { Shutdown(); }
+
+void ServerHarness::Shutdown() { scheduler_->Shutdown(); }
+
+void ServerHarness::CallAsync(const std::string& line,
+                              RequestScheduler::ResponseCallback done) {
+  Result<Request> parsed = ParseRequestLine(line);
+  if (!parsed.ok()) {
+    Response response;
+    response.outcome = Outcome::kError;
+    response.error = parsed.status().message();
+    done(response);
+    return;
+  }
+  scheduler_->Submit(std::move(*parsed), std::move(done));
+}
+
+Response ServerHarness::Call(const std::string& line) {
+  struct Latch {
+    Mutex mu;
+    CondVar cv;
+    bool done CAPE_GUARDED_BY(mu) = false;
+    Response response CAPE_GUARDED_BY(mu);
+  };
+  auto latch = std::make_shared<Latch>();
+  CallAsync(line, [latch](const Response& response) {
+    MutexLock lock(latch->mu);
+    latch->response = response;
+    latch->done = true;
+    latch->cv.NotifyAll();
+  });
+  MutexLock lock(latch->mu);
+  while (!latch->done) latch->cv.Wait(latch->mu);
+  return latch->response;
+}
+
+// ---------------------------------------------------------------------------
+// CapeServer
+
+/// One TCP client. The read buffer is only touched by the IO task; fd and
+/// closed are shared with serving workers writing responses, so writes and
+/// closes are serialized by `mu` — a response raced by a disconnect is
+/// dropped, never written to a reused descriptor.
+struct CapeServer::Connection {
+  Mutex mu;
+  int fd CAPE_GUARDED_BY(mu) = -1;
+  bool closed CAPE_GUARDED_BY(mu) = false;
+  std::string read_buffer;  // IO task only
+
+  void Close() CAPE_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    if (!closed) {
+      closed = true;
+      ::close(fd);
+    }
+  }
+};
+
+CapeServer::CapeServer(const Engine* engine, ServerOptions options)
+    : options_(std::move(options)),
+      // +1: the IO loop permanently occupies one worker.
+      pool_((options_.num_workers < 1 ? 1 : options_.num_workers) + 1),
+      scheduler_(std::make_unique<RequestScheduler>(
+          engine, MakeServingCatalog(*engine, options_.table_name), &pool_,
+          options_.scheduler)) {}
+
+CapeServer::~CapeServer() { Stop(); }
+
+Status CapeServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IOError("socket(): " + std::string(strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string err = strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind/listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("pipe(): " + std::string(strerror(errno)));
+  }
+
+  {
+    MutexLock lock(io_mu_);
+    io_running_ = true;
+  }
+  started_ = true;
+  pool_.Submit([this] { IoLoop(); });
+  return Status::OK();
+}
+
+void CapeServer::ProcessBuffered(const std::shared_ptr<Connection>& conn) {
+  size_t newline;
+  while ((newline = conn->read_buffer.find('\n')) != std::string::npos) {
+    std::string line = conn->read_buffer.substr(0, newline);
+    conn->read_buffer.erase(0, newline + 1);
+    const std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) continue;
+    if (ToLowerAscii(trimmed) == "quit") {
+      conn->Close();
+      return;
+    }
+    Result<Request> parsed = ParseRequestLine(line);
+    if (!parsed.ok()) {
+      Response response;
+      response.outcome = Outcome::kError;
+      response.error = parsed.status().message();
+      WriteResponse(conn, response);
+      continue;
+    }
+    scheduler_->Submit(std::move(*parsed), [conn](const Response& response) {
+      WriteResponse(conn, response);
+    });
+  }
+}
+
+void CapeServer::WriteResponse(const std::shared_ptr<Connection>& conn,
+                               const Response& response) {
+  const std::string line = RenderResponse(response) + "\n";
+  MutexLock lock(conn->mu);
+  if (conn->closed) return;  // client went away first; the response is dropped
+  size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        ::send(conn->fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      conn->closed = true;
+      ::close(conn->fd);
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void CapeServer::IoLoop() {
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::vector<pollfd> fds;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    // Compact out connections the client or a failed write closed.
+    std::vector<std::shared_ptr<Connection>> live;
+    for (const auto& conn : connections) {
+      MutexLock lock(conn->mu);
+      if (conn->closed) continue;
+      fds.push_back(pollfd{conn->fd, POLLIN, 0});
+      live.push_back(conn);
+    }
+    connections = std::move(live);
+
+    if (::poll(fds.data(), fds.size(), /*timeout_ms=*/-1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      // One read after POLLIN cannot block and drains enough to re-arm.
+      char drain[64];
+      const ssize_t ignored = ::read(wake_pipe_[0], drain, sizeof(drain));
+      (void)ignored;
+      continue;  // re-check stop_requested_
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (client >= 0) {
+        auto conn = std::make_shared<Connection>();
+        {
+          MutexLock lock(conn->mu);
+          conn->fd = client;
+        }
+        connections.push_back(std::move(conn));
+      }
+    }
+    for (size_t i = 2; i < fds.size(); ++i) {
+      const auto& conn = connections[i - 2];
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      char buf[4096];
+      const ssize_t n = ::recv(fds[i].fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        conn->Close();
+        continue;
+      }
+      conn->read_buffer.append(buf, static_cast<size_t>(n));
+      ProcessBuffered(conn);
+    }
+  }
+  // Leave connections open: Stop() drains the scheduler first so in-flight
+  // responses still reach their clients, then closes every descriptor.
+  for (const auto& conn : connections) {
+    MutexLock lock(io_mu_);
+    draining_connections_.push_back(conn);
+  }
+  MutexLock lock(io_mu_);
+  io_running_ = false;
+  io_done_cv_.NotifyAll();
+}
+
+void CapeServer::Stop() {
+  if (!started_) {
+    scheduler_->Shutdown();
+    return;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  const ssize_t ignored = ::write(wake_pipe_[1], "x", 1);
+  (void)ignored;
+  {
+    MutexLock lock(io_mu_);
+    while (io_running_) io_done_cv_.Wait(io_mu_);
+  }
+  // Drain: every admitted request reaches its terminal response and is
+  // written to its (still open) connection.
+  scheduler_->Shutdown();
+  std::vector<std::shared_ptr<Connection>> to_close;
+  {
+    MutexLock lock(io_mu_);
+    to_close.swap(draining_connections_);
+  }
+  for (const auto& conn : to_close) conn->Close();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (wake_pipe_[0] >= 0) {
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+  }
+  started_ = false;
+}
+
+}  // namespace cape::server

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "core/engine.h"
 #include "core/pattern_cache.h"
 #include "datagen/crime.h"
@@ -191,6 +192,54 @@ TEST(ParallelEquivalenceTest, ExplainTopKIdenticalAcrossThreadCounts) {
         EXPECT_EQ(got.deviation, want.deviation);
         EXPECT_EQ(got.distance, want.distance);
       }
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, CancelledSessionStaysByteIdenticalAcrossThreadCounts) {
+  // A cancelled request must be invisible afterwards: whatever partial
+  // memoization the aborted run left in a session, the next (uncancelled)
+  // answer from that session is byte-identical to the single-threaded
+  // one-shot reference — at every thread count.
+  Engine engine = MakeEngine(5);
+  ASSERT_TRUE(engine.MinePatterns().ok());
+  auto q = engine.MakeQuestion({"author", "venue", "year"},
+                               {Value::String(kDblpPlantedAuthor), Value::String("SIGKDD"),
+                                Value::Int64(2007)},
+                               AggFunc::kCount, "*", Direction::kLow);
+  ASSERT_TRUE(q.ok());
+  engine.explain_config().num_threads = 1;
+  auto reference = engine.Explain(*q);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_FALSE(reference->explanations.empty());
+
+  for (int threads : {1, 2, 4}) {
+    auto session = engine.MakeExplainSession();
+    ASSERT_TRUE(session.ok());
+    session->config().num_threads = threads;
+    CancellationSource source;
+    source.RequestCancel();
+    session->config().cancel_token = source.token();
+    auto interrupted = session->Explain(*q);
+    ASSERT_TRUE(interrupted.ok()) << interrupted.status().ToString();
+    EXPECT_TRUE(interrupted->partial) << threads << " threads";
+    EXPECT_EQ(interrupted->stop_reason, StopReason::kCancelled) << threads << " threads";
+
+    session->config().cancel_token = CancellationToken();
+    auto resumed = session->Explain(*q);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    EXPECT_FALSE(resumed->partial) << threads << " threads";
+    ASSERT_EQ(resumed->explanations.size(), reference->explanations.size())
+        << threads << " threads";
+    for (size_t i = 0; i < resumed->explanations.size(); ++i) {
+      const Explanation& got = resumed->explanations[i];
+      const Explanation& want = reference->explanations[i];
+      EXPECT_EQ(got.score, want.score) << threads << " threads";
+      EXPECT_EQ(got.tuple_values, want.tuple_values) << threads << " threads";
+      EXPECT_EQ(got.relevant_pattern, want.relevant_pattern) << threads << " threads";
+      EXPECT_EQ(got.refinement_pattern, want.refinement_pattern) << threads << " threads";
+      EXPECT_EQ(got.deviation, want.deviation) << threads << " threads";
+      EXPECT_EQ(got.distance, want.distance) << threads << " threads";
     }
   }
 }

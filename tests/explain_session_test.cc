@@ -9,6 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/mutex.h"
+#include "common/thread_pool.h"
 #include "core/engine.h"
 #include "datagen/dblp.h"
 
@@ -163,6 +166,80 @@ TEST(ExplainSessionTest, RejectsQuestionsOverADifferentRelation) {
   EXPECT_FALSE(served.ok());
   EXPECT_TRUE(served.status().IsInvalidArgument());
   EXPECT_EQ(session->questions_answered(), 1);  // the rejection did not count
+}
+
+TEST(ExplainSessionTest, CancelledBatchLeavesSessionReusable) {
+  Engine engine = MakeEngine();
+  ASSERT_TRUE(engine.MinePatterns().ok());
+  const std::vector<UserQuestion> questions = MakeQuestions(engine);
+
+  std::vector<ExplainResult> reference;
+  for (const UserQuestion& q : questions) {
+    auto r = engine.Explain(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    reference.push_back(std::move(*r));
+  }
+
+  auto cancelled = engine.MakeExplainSession();
+  auto healthy = engine.MakeExplainSession();
+  ASSERT_TRUE(cancelled.ok());
+  ASSERT_TRUE(healthy.ok());
+  CancellationSource source;
+  cancelled->config().cancel_token = source.token();
+  source.RequestCancel();  // every answer in the batch observes the stop
+
+  // Serve both batches concurrently on a shared pool (the serving shape:
+  // one session per thread over one engine). The cancelled batch must not
+  // disturb the healthy session's answers in any way.
+  struct Latch {
+    Mutex mu;
+    CondVar cv;
+    int remaining CAPE_GUARDED_BY(mu) = 2;
+  } latch;
+  Result<std::vector<ExplainResult>> cancelled_batch =
+      Status::InvalidArgument("pending");
+  Result<std::vector<ExplainResult>> healthy_batch = Status::InvalidArgument("pending");
+  ThreadPool pool(2);
+  auto run = [&latch](ExplainSession* session, const std::vector<UserQuestion>& qs,
+                      Result<std::vector<ExplainResult>>* out) {
+    *out = session->ExplainBatch(qs);
+    MutexLock lock(latch.mu);
+    if (--latch.remaining == 0) latch.cv.NotifyAll();
+  };
+  pool.Submit([&] { run(&*cancelled, questions, &cancelled_batch); });
+  pool.Submit([&] { run(&*healthy, questions, &healthy_batch); });
+  {
+    MutexLock lock(latch.mu);
+    while (latch.remaining > 0) latch.cv.Wait(latch.mu);
+  }
+
+  // The cancelled batch still terminates cleanly: OK status, every answer
+  // marked partial with the cancellation reason.
+  ASSERT_TRUE(cancelled_batch.ok()) << cancelled_batch.status().ToString();
+  ASSERT_EQ(cancelled_batch->size(), questions.size());
+  for (const ExplainResult& r : *cancelled_batch) {
+    EXPECT_TRUE(r.partial);
+    EXPECT_EQ(r.stop_reason, StopReason::kCancelled);
+  }
+
+  ASSERT_TRUE(healthy_batch.ok()) << healthy_batch.status().ToString();
+  ASSERT_EQ(healthy_batch->size(), questions.size());
+  for (size_t i = 0; i < questions.size(); ++i) {
+    ExpectSameResult((*healthy_batch)[i], reference[i],
+                     "healthy concurrent question " + std::to_string(i));
+  }
+
+  // The memoized γ tables the cancelled batch left behind must be reusable:
+  // clearing the token and re-answering gives answers byte-identical to the
+  // one-shot reference — the aborted run never half-populated the cache.
+  cancelled->config().cancel_token = CancellationToken();
+  for (size_t i = 0; i < questions.size(); ++i) {
+    auto reanswered = cancelled->Explain(questions[i]);
+    ASSERT_TRUE(reanswered.ok()) << reanswered.status().ToString();
+    EXPECT_FALSE(reanswered->partial);
+    ExpectSameResult(*reanswered, reference[i],
+                     "re-answered question " + std::to_string(i));
+  }
 }
 
 TEST(ExplainSessionTest, RequiresMinedPatterns) {

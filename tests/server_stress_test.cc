@@ -1,0 +1,216 @@
+// Chaos and concurrency stress for the serving stack (DESIGN.md §13). The
+// core protocol guarantee under test: every submitted request reaches
+// exactly one terminal response — answer, truncated answer, or structured
+// rejection — even with failpoints firing probabilistically inside the
+// explanation pipeline, tight deadlines, and malformed input mixed into a
+// concurrent storm. A second test pins byte-determinism of concurrent
+// answers, and a third exercises shutdown racing a live storm.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/mutex.h"
+#include "core/engine.h"
+#include "datagen/dblp.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace cape::server {
+namespace {
+
+Engine MakeServingEngine() {
+  DblpOptions options;
+  options.num_rows = 2000;
+  options.seed = 5;
+  auto table = GenerateDblp(options);
+  EXPECT_TRUE(table.ok());
+  Engine engine = std::move(Engine::FromTable(std::move(table).ValueOrDie())).ValueOrDie();
+  MiningConfig& mining = engine.mining_config();
+  mining.max_pattern_size = 3;
+  mining.local_gof_threshold = 0.2;
+  mining.local_support_threshold = 3;
+  mining.global_confidence_threshold = 0.3;
+  mining.global_support_threshold = 10;
+  mining.agg_functions = {AggFunc::kCount};
+  mining.excluded_attrs = {"pubid"};
+  EXPECT_TRUE(engine.MinePatterns().ok());
+  return engine;
+}
+
+std::string PlantedExplainLine(const std::string& header) {
+  std::string line = header;
+  if (!line.empty()) line += " ";
+  line += "EXPLAIN WHY count(*) IS LOW FOR author = '";
+  line += kDblpPlantedAuthor;
+  line += "', venue = 'SIGKDD', year = 2007 FROM pub";
+  return line;
+}
+
+struct Collector {
+  Mutex mu;
+  CondVar cv;
+  std::vector<Response> responses CAPE_GUARDED_BY(mu);
+
+  RequestScheduler::ResponseCallback Callback() {
+    return [this](const Response& response) {
+      MutexLock lock(mu);
+      responses.push_back(response);
+      cv.NotifyAll();
+    };
+  }
+  std::vector<Response> WaitFor(size_t n) CAPE_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    while (responses.size() < n) cv.Wait(mu);
+    return responses;
+  }
+};
+
+/// Disarms every failpoint on scope exit, whatever assertions fired.
+struct FailpointCleanup {
+  ~FailpointCleanup() { failpoint::DeactivateAll(); }
+};
+
+TEST(ServerStressTest, ChaosStormEndsEveryRequestInExactlyOneOutcome) {
+  FailpointCleanup cleanup;
+  Engine engine = MakeServingEngine();
+
+  ServerOptions options;
+  options.num_workers = 4;
+  options.scheduler.admission.max_in_system = 4096;
+  options.scheduler.default_deadline_ms = 30000;
+  options.scheduler.degrade_queue_depth = 32;
+  ServerHarness harness(&engine, options);
+
+  // Chaos mode: the explanation pipeline's aggregation and drill-down scans
+  // each fail ~1% of the time, exactly as CAPE_FAILPOINTS would arm them.
+  ASSERT_TRUE(failpoint::ActivateFromSpec("explain.norm=io%0.01").ok());
+  ASSERT_TRUE(failpoint::ActivateFromSpec("explain.refine=io%0.01").ok());
+
+  const int kRequests = 400;
+  Collector collector;
+  for (int i = 0; i < kRequests; ++i) {
+    const std::string id = "id=" + std::to_string(i + 1);
+    std::string line;
+    switch (i % 5) {
+      case 0:
+      case 1:
+        line = PlantedExplainLine("[" + id + " top_k=5]");
+        break;
+      case 2:  // tight deadline: answered, truncated, or shed — never lost
+        line = PlantedExplainLine("[" + id + " deadline_ms=1]");
+        break;
+      case 3:
+        line = "[" + id + "] ping";
+        break;
+      default:  // malformed: structured parse error, never a dropped request
+        line = "[" + id + " wat=1] ping";
+        break;
+    }
+    harness.CallAsync(line, collector.Callback());
+  }
+
+  const std::vector<Response> responses = collector.WaitFor(kRequests);
+  ASSERT_EQ(responses.size(), static_cast<size_t>(kRequests));
+
+  // Exactly one terminal response per request. Well-formed requests echo
+  // their unique id; parse rejections echo id 0 (the header never applied),
+  // so the malformed fifth all land there.
+  std::map<int64_t, int> by_id;
+  std::map<Outcome, int> by_outcome;
+  for (const Response& r : responses) {
+    ++by_id[r.id];
+    ++by_outcome[r.outcome];
+    if (r.outcome == Outcome::kError) {
+      EXPECT_FALSE(r.error.empty());
+    }
+  }
+  const int malformed = kRequests / 5;
+  EXPECT_EQ(by_id[0], malformed);
+  EXPECT_EQ(by_id.size(), static_cast<size_t>(kRequests - malformed + 1));
+  for (const auto& [id, count] : by_id) {
+    if (id == 0) continue;
+    EXPECT_EQ(count, 1) << "request " << id << " answered " << count << " times";
+  }
+  // The malformed fifth never reached the scheduler, so its bookkeeping
+  // (idle now) must balance: submitted == sum of terminal outcomes.
+  const RequestScheduler::Stats stats = harness.scheduler().stats();
+  EXPECT_EQ(stats.submitted, stats.ok + stats.degraded + stats.truncated + stats.shed +
+                                 stats.overloaded + stats.retry_after + stats.errors);
+  EXPECT_GE(by_outcome[Outcome::kError], kRequests / 5);  // the malformed ones
+  EXPECT_GT(by_outcome[Outcome::kOk] + by_outcome[Outcome::kDegraded] +
+                by_outcome[Outcome::kTruncated],
+            0);
+
+  failpoint::DeactivateAll();
+
+  // Chaos is gone: full-service answers for the planted question are
+  // byte-identical to a fresh, quiet call.
+  const Response reference = harness.Call(PlantedExplainLine("[id=9999 top_k=5]"));
+  ASSERT_EQ(reference.outcome, Outcome::kOk) << reference.error;
+  for (const Response& r : responses) {
+    // ids are 1-based: id % 5 in {1, 2} are the full-service explains.
+    if (r.outcome == Outcome::kOk && (r.id % 5 == 1 || r.id % 5 == 2)) {
+      EXPECT_EQ(r.payload_json, reference.payload_json)
+          << "request " << r.id << " diverged";
+    }
+  }
+}
+
+TEST(ServerStressTest, ConcurrentAnswersAreByteIdentical) {
+  Engine engine = MakeServingEngine();
+  ServerOptions options;
+  options.num_workers = 4;
+  options.scheduler.admission.max_in_system = 4096;
+  options.scheduler.default_deadline_ms = 30000;
+  ServerHarness harness(&engine, options);
+
+  const std::string line = PlantedExplainLine("[top_k=5]");
+  const Response reference = harness.Call(line);
+  ASSERT_EQ(reference.outcome, Outcome::kOk) << reference.error;
+  ASSERT_FALSE(reference.payload_json.empty());
+
+  const int kRequests = 64;
+  Collector collector;
+  for (int i = 0; i < kRequests; ++i) harness.CallAsync(line, collector.Callback());
+  const std::vector<Response> responses = collector.WaitFor(kRequests);
+  for (const Response& r : responses) {
+    ASSERT_EQ(r.outcome, Outcome::kOk) << r.error;
+    // Many sessions, many workers, one answer: the memoized γ tables only
+    // skip recomputation, never change bytes (DESIGN.md §11).
+    EXPECT_EQ(r.payload_json, reference.payload_json);
+  }
+}
+
+TEST(ServerStressTest, ShutdownDuringStormLosesNoRequest) {
+  Engine engine = MakeServingEngine();
+  ServerOptions options;
+  options.num_workers = 2;
+  options.scheduler.admission.max_in_system = 4096;
+  options.scheduler.default_deadline_ms = 30000;
+  ServerHarness harness(&engine, options);
+
+  const int kRequests = 100;
+  Collector collector;
+  for (int i = 0; i < kRequests; ++i) {
+    harness.CallAsync(i % 2 == 0 ? PlantedExplainLine("[top_k=3]") : "ping",
+                      collector.Callback());
+  }
+  // Shutdown races the storm: in-flight requests drain to terminal
+  // responses; none are dropped, none crash.
+  harness.Shutdown();
+  const std::vector<Response> responses = collector.WaitFor(kRequests);
+  ASSERT_EQ(responses.size(), static_cast<size_t>(kRequests));
+  for (const Response& r : responses) {
+    EXPECT_TRUE(IsAnswer(r.outcome) || r.outcome == Outcome::kShed ||
+                r.outcome == Outcome::kOverloaded)
+        << OutcomeToString(r.outcome) << ": " << r.error;
+  }
+  EXPECT_EQ(harness.Call("ping").outcome, Outcome::kOverloaded);
+}
+
+}  // namespace
+}  // namespace cape::server

@@ -67,7 +67,7 @@ NONDETERMINISM_RE = re.compile(
 
 CHECK_RE = re.compile(r"\bCAPE_D?CHECK\s*\(")
 
-FAILPOINT_CALL_RE = re.compile(r'\bCAPE_FAILPOINT\s*\(\s*"([^"]*)"')
+FAILPOINT_CALL_RE = re.compile(r'\bCAPE_FAILPOINT(?:_FIRES)?\s*\(\s*"([^"]*)"')
 FAILPOINT_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
@@ -356,6 +356,11 @@ SELF_TEST_FIXTURES = {
         '  CAPE_FAILPOINT("BadName");\n'
         "  return cape::Status::OK();\n"
         "}\n", "failpoint-name"),
+    "src/foo/bad_failpoint_fires.cc": (
+        '#include "common/failpoint.h"\n'
+        "bool F() {\n"
+        '  return CAPE_FAILPOINT_FIRES("AlsoBad");\n'
+        "}\n", "failpoint-name"),
     "src/foo/bad_include.cc": (
         '#include "bar/widget_internal.h"\n', "internal-include"),
     "src/foo/bad_relative.cc": (
@@ -369,6 +374,7 @@ SELF_TEST_FIXTURES = {
         '#include "common/failpoint.h"\n'
         'const char* kDoc = "std::thread in a string";\n'
         "void G(int x) { CAPE_CHECK(x >= 0); }\n"
+        'bool H() { return CAPE_FAILPOINT_FIRES("foo.soft_site"); }\n'
         "cape::Status F() {\n"
         '  CAPE_FAILPOINT("foo.load_row");\n'
         "  return cape::Status::OK();\n"
