@@ -17,6 +17,7 @@
 
 #include "datagen/crime.h"
 #include "relational/csv.h"
+#include "relational/kernels.h"
 #include "relational/operators.h"
 #include "stats/distributions.h"
 #include "stats/regression.h"
@@ -40,6 +41,18 @@ class KernelModeGuard {
     SetDictionaryKernelsEnabled(enabled);
   }
   ~KernelModeGuard() { SetDictionaryKernelsEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+/// Flips the block/morsel vectorized-kernel switch for one benchmark run.
+class VectorizedModeGuard {
+ public:
+  explicit VectorizedModeGuard(bool enabled) : saved_(VectorizedKernelsEnabled()) {
+    SetVectorizedKernelsEnabled(enabled);
+  }
+  ~VectorizedModeGuard() { SetVectorizedKernelsEnabled(saved_); }
 
  private:
   bool saved_;
@@ -126,6 +139,77 @@ void BM_FilterEqualsAbsent(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FilterEqualsAbsent)->Arg(100000);
+
+// --- Block/morsel vectorized kernel A/Bs (DESIGN.md §14). The *RowAtATime
+// variants run the identical query with SetVectorizedKernelsEnabled(false),
+// so each pair isolates one kernel's win over the legacy scan.
+
+void RunFilterKernel(benchmark::State& state, bool vectorized) {
+  // Pure selection kernel: count matching rows without materializing — the
+  // existence/cardinality probe shape. Vectorized mode counts off the block
+  // masks; legacy mode scans with RowEqualityMatcher.
+  VectorizedModeGuard guard(vectorized);
+  auto table = BenchTable(state.range(0));
+  for (auto _ : state) {
+    auto result = CountFilterMatches(*table, {{0, Value::String("Battery")}});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_FilterKernel(benchmark::State& state) { RunFilterKernel(state, true); }
+BENCHMARK(BM_FilterKernel)->Arg(10000)->Arg(100000);
+
+void BM_FilterKernelRowAtATime(benchmark::State& state) {
+  RunFilterKernel(state, false);
+}
+BENCHMARK(BM_FilterKernelRowAtATime)->Arg(10000)->Arg(100000);
+
+void RunGroupBuildKernel(benchmark::State& state, bool vectorized) {
+  // Dense group-key build + aggregate update over the whole table: the
+  // vectorized path packs mixed-radix keys block-at-a-time.
+  VectorizedModeGuard guard(vectorized);
+  auto table = BenchTable(state.range(0));
+  for (auto _ : state) {
+    auto result = GroupByAggregate(*table, std::vector<int>{0, 1, 2},
+                                   {AggregateSpec::CountStar("cnt")});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_GroupBuildKernel(benchmark::State& state) { RunGroupBuildKernel(state, true); }
+BENCHMARK(BM_GroupBuildKernel)->Arg(10000)->Arg(100000);
+
+void BM_GroupBuildKernelRowAtATime(benchmark::State& state) {
+  RunGroupBuildKernel(state, false);
+}
+BENCHMARK(BM_GroupBuildKernelRowAtATime)->Arg(10000)->Arg(100000);
+
+void RunFusedFilterGroupAggregate(benchmark::State& state, bool vectorized) {
+  // The retrieval-query shape γ_{V,agg}(σ_{F=f}(R)) the miners and explainers
+  // issue per fragment. Vectorized mode fuses the pass; the legacy mode is
+  // the materializing FilterEquals → GroupByAggregate composition.
+  VectorizedModeGuard guard(vectorized);
+  auto table = BenchTable(state.range(0));
+  for (auto _ : state) {
+    auto result = FilterGroupAggregate(*table, {{0, Value::String("Battery")}},
+                                       std::vector<int>{1, 2},
+                                       {AggregateSpec::CountStar("cnt")});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_FusedFilterGroupAggregate(benchmark::State& state) {
+  RunFusedFilterGroupAggregate(state, true);
+}
+BENCHMARK(BM_FusedFilterGroupAggregate)->Arg(10000)->Arg(100000);
+
+void BM_FusedFilterGroupAggregateComposed(benchmark::State& state) {
+  RunFusedFilterGroupAggregate(state, false);
+}
+BENCHMARK(BM_FusedFilterGroupAggregateComposed)->Arg(10000)->Arg(100000);
 
 void BM_CsvIngest(benchmark::State& state) {
   // Round-trips the generated table through CSV text so the benchmark
@@ -224,6 +308,33 @@ int RunSmoke() {
   check(filtered[0] == filtered[1], "filter: dictionary == legacy");
   check(cubed[0] == cubed[1], "cube: dictionary == legacy");
   check(distinct[0] == distinct[1], "distinct: dictionary == legacy");
+
+  // Vectorized and row-at-a-time kernels must also produce byte-identical
+  // output, and the fused pass must equal its two-operator definition.
+  std::string vec_filtered[2], vec_grouped[2], vec_fused[2];
+  int64_t vec_count[2] = {0, 0};
+  for (int mode = 0; mode < 2; ++mode) {
+    VectorizedModeGuard guard(mode == 0);
+    const std::vector<std::pair<int, Value>> conditions = {{0, Value::String("Battery")}};
+    auto f = FilterEquals(*table, conditions);
+    auto g = GroupByAggregate(*table, std::vector<int>{0, 1, 2},
+                              {AggregateSpec::CountStar("cnt")});
+    auto fused = FilterGroupAggregate(*table, conditions, std::vector<int>{1, 2},
+                                      {AggregateSpec::CountStar("cnt")});
+    auto n = CountFilterMatches(*table, conditions);
+    if (!f.ok() || !g.ok() || !fused.ok() || !n.ok()) {
+      check(false, "vectorized kernels run without error");
+      return 1;
+    }
+    vec_filtered[mode] = WriteCsvString(**f);
+    vec_grouped[mode] = WriteCsvString(**g);
+    vec_fused[mode] = WriteCsvString(**fused);
+    vec_count[mode] = *n;
+  }
+  check(vec_filtered[0] == vec_filtered[1], "filter: vectorized == row-at-a-time");
+  check(vec_grouped[0] == vec_grouped[1], "group-by: vectorized == row-at-a-time");
+  check(vec_fused[0] == vec_fused[1], "fused filter+group: vectorized == composed");
+  check(vec_count[0] == vec_count[1], "count probe: vectorized == row-at-a-time");
 
   // Absent-value selections short-circuit to the same (empty) answer.
   auto absent = FilterEquals(*table, {{0, Value::String("__absent__")}});

@@ -94,6 +94,14 @@ class CancellationSource {
   std::shared_ptr<std::atomic<bool>> flag_;
 };
 
+/// Rows processed between cooperative stop checks in block/stride scan
+/// loops (operators, miners, FD counting). One shared constant so every
+/// scan has the same worst-case stop latency, and so the checks sit outside
+/// the inner loops — a per-row ShouldStop() in a tight loop both costs a
+/// branch per element and defeats auto-vectorization. Matches the kernel
+/// block size (kernels.h static_asserts they stay in sync).
+inline constexpr int64_t kStopCheckStride = 2048;
+
 /// Cooperative stop checker threaded through pipeline stages and operator
 /// hot loops. ShouldStop() is designed to be called per row/candidate: it
 /// reads the cancellation atomic every call but consults the clock only once
@@ -167,6 +175,19 @@ class StopToken {
   do {                                                                          \
     ::cape::StopToken* _stop = (stop_ptr);                                      \
     if (_stop != nullptr && CAPE_PREDICT_FALSE(_stop->ShouldStop())) {          \
+      return _stop->ToStatus();                                                 \
+    }                                                                           \
+  } while (false)
+
+/// Block-granularity variant for loops that check once per kStopCheckStride
+/// rows instead of per row. Uses ShouldStopNow(): at block granularity the
+/// clock read is amortized over thousands of rows, and ShouldStop()'s
+/// internal stride would otherwise consult the clock only once per
+/// stride*kStopCheckStride rows — far too stale for deadline enforcement.
+#define CAPE_RETURN_IF_STOPPED_BLOCK(stop_ptr)                                  \
+  do {                                                                          \
+    ::cape::StopToken* _stop = (stop_ptr);                                      \
+    if (_stop != nullptr && CAPE_PREDICT_FALSE(_stop->ShouldStopNow())) {       \
       return _stop->ToStatus();                                                 \
     }                                                                           \
   } while (false)

@@ -12,6 +12,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "explain/explainer_internal.h"
+#include "relational/kernels.h"
 
 namespace cape {
 
@@ -152,13 +153,14 @@ Result<double> ComputeNorm(const UserQuestion& q, const Pattern& p, StopToken* s
   for (size_t i = 0; i < gp_attrs.size(); ++i) {
     conditions.emplace_back(gp_attrs[i], gp_values[i]);
   }
-  CAPE_ASSIGN_OR_RETURN(TablePtr selected, FilterEquals(*q.relation, conditions, stop));
   AggregateSpec spec;
   spec.func = p.agg;
   spec.input_col = p.agg_attr;
   spec.output_name = "agg";
+  // Fused σ→γ over the whole relation: one block scan, no filtered table.
   CAPE_ASSIGN_OR_RETURN(TablePtr aggregated,
-                        GroupByAggregate(*selected, std::vector<int>{}, {spec}, stop));
+                        FilterGroupAggregate(*q.relation, conditions,
+                                             std::vector<int>{}, {spec}, stop));
   const Value v = aggregated->GetValue(0, 0);
   return v.is_null() ? 0.0 : v.AsDouble();
 }
@@ -259,25 +261,24 @@ Status EvaluatePair(const UserQuestion& q, const GlobalPattern& relevant,
   }
 
   std::string fragment_key;  // reused across rows; same bytes as EncodeRowKey
-  for (int64_t row = 0; row < data->num_rows(); ++row) {
-    CAPE_RETURN_IF_STOPPED(stop);
-    profile->num_tuples_checked += 1;
-    // Condition (4): t'[F] = t[F].
-    if (!f_matcher.Matches(row)) continue;
+  // Conditions (3) and (5) plus candidate emission for one row that already
+  // passed condition (4)'s F-match. Shared verbatim by the block-at-a-time
+  // scan and the legacy row scan, so both produce identical candidates.
+  auto score_row = [&](int64_t row) {
     // Condition (4): t' != t when over the same schema.
-    if (check_same_tuple && t_matcher.Matches(row)) continue;
-    if (data->column(agg_col).IsNull(row)) continue;
+    if (check_same_tuple && t_matcher.Matches(row)) return;
+    if (data->column(agg_col).IsNull(row)) return;
 
     // Condition (3): P' holds locally on t'[F'].
     fragment_key.clear();
     AppendTableRowKey(*data, row, f_prime_positions, &fragment_key);
     const LocalPattern* local = refinement.FindLocalByKey(fragment_key);
-    if (local == nullptr) continue;
+    if (local == nullptr) return;
 
     if (prune_locals) {
       const double local_bound = LocalDeviationUpperBound(*local, q.dir) /
                                  ((distance_lb + config.epsilon) * norm_denominator);
-      if (local_bound < floor->Get()) continue;
+      if (local_bound < floor->Get()) return;
     }
 
     // Condition (5): deviation in the opposite direction.
@@ -288,7 +289,7 @@ Status EvaluatePair(const UserQuestion& q, const GlobalPattern& relevant,
     }
     const double predicted = local->model->Predict(x);
     const double y = data->column(agg_col).GetNumeric(row);
-    if (q.dir == Direction::kLow ? y <= predicted : y >= predicted) continue;
+    if (q.dir == Direction::kLow ? y <= predicted : y >= predicted) return;
 
     Explanation e;
     e.relevant_pattern = p;
@@ -307,6 +308,33 @@ Status EvaluatePair(const UserQuestion& q, const GlobalPattern& relevant,
     e.score = (e.deviation * isLow) / ((e.distance + config.epsilon) * norm_denominator);
     profile->num_candidates += 1;
     pool->Add(std::move(e), CandidateRank{pair_rank, row});
+  };
+
+  if (VectorizedKernelsEnabled()) {
+    // Condition (4)'s F-match evaluates block-at-a-time into a byte mask;
+    // the scalar scoring above runs only on surviving rows. Candidate order
+    // follows ascending rows either way, so ranks are unchanged.
+    const BlockPredicate f_block(*data, f_conditions);
+    if (f_block.never_matches()) return Status::OK();
+    const int64_t n = data->num_rows();
+    uint8_t mask[kKernelBlockSize];
+    for (int64_t b = 0; b < n; b += kKernelBlockSize) {
+      CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+      const int bn = static_cast<int>(std::min<int64_t>(kKernelBlockSize, n - b));
+      profile->num_tuples_checked += bn;
+      f_block.EvalBlock(b, bn, mask);
+      for (int i = 0; i < bn; ++i) {
+        if (mask[i] != 0) score_row(b + i);
+      }
+    }
+    return Status::OK();
+  }
+  for (int64_t row = 0; row < data->num_rows(); ++row) {
+    CAPE_RETURN_IF_STOPPED(stop);
+    profile->num_tuples_checked += 1;
+    // Condition (4): t'[F] = t[F].
+    if (!f_matcher.Matches(row)) continue;
+    score_row(row);
   }
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "relational/kernels.h"
 
 namespace cape {
 
@@ -109,20 +110,24 @@ Result<UserQuestion> MakeUserQuestion(TablePtr relation,
     }
   }
 
-  // Verify t ∈ Q(R) and fill in t[agg(A)].
+  // Verify t ∈ Q(R) and fill in t[agg(A)] — one fused σ→γ pass computing
+  // the membership count and the aggregate together, instead of
+  // materializing the provenance just to read its row count.
   std::vector<std::pair<int, Value>> conditions;
   const std::vector<int> g = uq.group_attrs.ToIndices();
   for (size_t i = 0; i < g.size(); ++i) conditions.emplace_back(g[i], uq.group_values[i]);
-  CAPE_ASSIGN_OR_RETURN(TablePtr selected, FilterEquals(*relation, conditions));
-  if (selected->num_rows() == 0) {
-    return Status::NotFound("no rows match the question tuple; t is not in Q(R)");
-  }
+  AggregateSpec count_spec = AggregateSpec::CountStar("n");
   AggregateSpec spec;
   spec.func = agg;
   spec.input_col = uq.agg_attr;
   spec.output_name = "agg";
-  CAPE_ASSIGN_OR_RETURN(TablePtr aggregated, GroupByAggregate(*selected, std::vector<int>{}, {spec}));
-  const Value result = aggregated->GetValue(0, 0);
+  CAPE_ASSIGN_OR_RETURN(
+      TablePtr aggregated,
+      FilterGroupAggregate(*relation, conditions, std::vector<int>{}, {count_spec, spec}));
+  if (aggregated->GetValue(0, 0).int64_value() == 0) {
+    return Status::NotFound("no rows match the question tuple; t is not in Q(R)");
+  }
+  const Value result = aggregated->GetValue(0, 1);
   if (result.is_null()) {
     return Status::NotFound("aggregate value for the question tuple is NULL");
   }
@@ -140,12 +145,13 @@ Result<UserQuestion> MakeMissingValueQuestion(TablePtr relation,
   uq.dir = Direction::kLow;
   uq.result_value = 0.0;
 
-  // The combination must be absent...
+  // The combination must be absent... (existence probes count matches off
+  // the block masks; no filtered table is ever materialized)
   std::vector<std::pair<int, Value>> conditions;
   const std::vector<int> g = uq.group_attrs.ToIndices();
   for (size_t i = 0; i < g.size(); ++i) conditions.emplace_back(g[i], uq.group_values[i]);
-  CAPE_ASSIGN_OR_RETURN(TablePtr selected, FilterEquals(*relation, conditions));
-  if (selected->num_rows() > 0) {
+  CAPE_ASSIGN_OR_RETURN(int64_t combination_count, CountFilterMatches(*relation, conditions));
+  if (combination_count > 0) {
     return Status::InvalidArgument(
         "the group exists in Q(R); use MakeUserQuestion for present tuples");
   }
@@ -153,8 +159,8 @@ Result<UserQuestion> MakeMissingValueQuestion(TablePtr relation,
   // question is about a missing combination, not a value outside the domain.
   for (size_t i = 0; i < g.size(); ++i) {
     CAPE_ASSIGN_OR_RETURN(
-        TablePtr with_value, FilterEquals(*relation, {{g[i], uq.group_values[i]}}));
-    if (with_value->num_rows() == 0) {
+        int64_t value_count, CountFilterMatches(*relation, {{g[i], uq.group_values[i]}}));
+    if (value_count == 0) {
       return Status::NotFound("value '" + uq.group_values[i].ToString() +
                               "' never occurs in attribute '" +
                               relation->schema()->field(g[i]).name + "'");

@@ -47,7 +47,7 @@ Result<int64_t> FdDetector::CountGroups(const Table& table, AttrSet g, StopToken
     std::vector<uint8_t> seen(static_cast<size_t>(col.dict_size()), 0);
     bool seen_null = false;
     for (int64_t row = 0; row < table.num_rows(); ++row) {
-      CAPE_RETURN_IF_STOPPED(stop);
+      if ((row & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(stop);
       const int32_t code = col.GetCode(row);
       if (code < 0) {
         seen_null = true;
@@ -64,7 +64,7 @@ Result<int64_t> FdDetector::CountGroups(const Table& table, AttrSet g, StopToken
   keys.reserve(static_cast<size_t>(table.num_rows() / 4 + 1));
   std::string key;
   for (int64_t row = 0; row < table.num_rows(); ++row) {
-    CAPE_RETURN_IF_STOPPED(stop);
+    if ((row & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(stop);
     key.clear();
     encoder.EncodeRow(row, &key);
     keys.insert(key);

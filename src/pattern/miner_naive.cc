@@ -3,6 +3,7 @@
 #include "common/stopwatch.h"
 #include "pattern/mining.h"
 #include "pattern/mining_internal.h"
+#include "relational/kernels.h"
 
 namespace cape {
 
@@ -108,9 +109,10 @@ class NaiveMiner final : public PatternMiner {
       {
         ScopedTimer timer(&profile->query_ns);
         profile->num_queries += 1;
-        CAPE_ASSIGN_OR_RETURN(TablePtr selected, FilterEquals(table, conditions, stop));
+        // Fused σ→γ: with vectorized kernels on, the fragment's filtered
+        // table is never materialized.
         CAPE_ASSIGN_OR_RETURN(fragment_data,
-                              GroupByAggregate(*selected, v_attrs, {spec}, stop));
+                              FilterGroupAggregate(table, conditions, v_attrs, {spec}, stop));
       }
       const int64_t support = fragment_data->num_rows();
       const int agg_col = static_cast<int>(v_attrs.size());

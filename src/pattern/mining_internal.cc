@@ -142,6 +142,7 @@ Status EvaluateSplit(const Table& data, const std::vector<int>& f_cols,
                      AttrSet v_attrs, const std::vector<AggColumnRef>& agg_cols,
                      const MiningConfig& config, MiningProfile* profile,
                      CandidateMap* candidates, StopToken* stop) {
+  CAPE_RETURN_IF_STOPPED(stop);  // small splits never reach the stride below
   const int64_t n = data.num_rows();
 
   // Staging area: a stop mid-split must not leave half-evaluated candidate
@@ -208,7 +209,12 @@ Status EvaluateSplit(const Table& data, const std::vector<int>& f_cols,
     }
   }
 
+  // Stop checks run every kStopCheckStride scanned rows rather than at every
+  // fragment boundary: the staged CandidateMap is discarded wholesale on
+  // stop, so any check granularity is safe, and high-cardinality F sets have
+  // a boundary nearly every row.
   int64_t block_start = 0;
+  int64_t rows_since_check = 0;
   for (int64_t row = 1; row <= n; ++row) {
     bool boundary = (row == n);
     if (!boundary) {
@@ -220,7 +226,11 @@ Status EvaluateSplit(const Table& data, const std::vector<int>& f_cols,
       }
     }
     if (boundary) {
-      CAPE_RETURN_IF_STOPPED(stop);
+      rows_since_check += row - block_start;
+      if (rows_since_check >= kStopCheckStride) {
+        CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+        rows_since_check = 0;
+      }
       process_block(block_start, row);
       block_start = row;
     }

@@ -83,6 +83,7 @@ void Column::AppendNull() {
       break;
   }
   validity_.push_back(0);
+  ++null_count_;
 }
 
 void Column::AppendInt64(int64_t v) {
@@ -184,14 +185,18 @@ void Column::AppendManyFrom(const Column& src, const std::vector<int64_t>& rows)
   switch (type_) {
     case DataType::kInt64:
       for (int64_t row : rows) {
+        const uint8_t valid = src.validity_[static_cast<size_t>(row)];
         int64_data_.push_back(src.int64_data_[static_cast<size_t>(row)]);
-        validity_.push_back(src.validity_[static_cast<size_t>(row)]);
+        validity_.push_back(valid);
+        null_count_ += 1 - valid;
       }
       return;
     case DataType::kDouble:
       for (int64_t row : rows) {
+        const uint8_t valid = src.validity_[static_cast<size_t>(row)];
         double_data_.push_back(src.double_data_[static_cast<size_t>(row)]);
-        validity_.push_back(src.validity_[static_cast<size_t>(row)]);
+        validity_.push_back(valid);
+        null_count_ += 1 - valid;
       }
       return;
     case DataType::kString: {
@@ -203,6 +208,7 @@ void Column::AppendManyFrom(const Column& src, const std::vector<int64_t>& rows)
         if (src_code < 0) {
           codes_.push_back(kNullCode);
           validity_.push_back(0);
+          ++null_count_;
           continue;
         }
         int32_t& dst_code = code_map[static_cast<size_t>(src_code)];

@@ -68,6 +68,18 @@ class Column {
   /// what lets equality-heavy kernels run on integers.
   int32_t GetCode(int64_t row) const { return codes_[static_cast<size_t>(row)]; }
 
+  /// Number of NULL slots, maintained on every append. Kernels branch to a
+  /// no-null fast path (skip the validity tests entirely) when it is 0.
+  int64_t null_count() const { return null_count_; }
+
+  /// Raw array views for the block kernels (kernels.cc). Valid for
+  /// [0, size()); the int64/double/codes arrays are only meaningful for the
+  /// matching column type. NULL slots hold 0 / 0.0 / kNullCode respectively.
+  const uint8_t* validity_data() const { return validity_.data(); }
+  const int64_t* int64_data() const { return int64_data_.data(); }
+  const double* double_data() const { return double_data_.data(); }
+  const int32_t* codes_data() const { return codes_.data(); }
+
   /// Number of interned dictionary entries (string columns only).
   int64_t dict_size() const { return static_cast<int64_t>(dict_.size()); }
 
@@ -131,6 +143,7 @@ class Column {
   std::vector<int64_t> int64_data_;
   std::vector<double> double_data_;
   std::vector<uint8_t> validity_;  // 1 = valid; vector<uint8_t> beats vector<bool> here
+  int64_t null_count_ = 0;         // count of 0-entries in validity_
   // Dictionary encoding (string columns only): per-row codes plus the
   // interned dictionary in first-appearance order and its lookup index.
   std::vector<int32_t> codes_;

@@ -1,0 +1,780 @@
+// Block/morsel vectorized kernels (DESIGN.md §14). Scans run in
+// kKernelBlockSize-row blocks: conjunctive equality predicates evaluate into
+// 0/1 byte masks via tight branch-free loops the compiler auto-vectorizes,
+// masks compact into selection vectors, dense group keys pack a block at a
+// time, and the fused FilterGroupAggregate feeds aggregates straight from
+// the base table — no materialized intermediate, no per-row std::function.
+//
+// Loops tagged `// vec-hot` are asserted auto-vectorized by
+// tools/check_vectorization.sh (gcc -O3 -fopt-info-vec); keep the tag on the
+// `for` line. Loops deliberately left scalar: mask→selection compaction
+// (loop-carried index), floating-point accumulation (addition order is part
+// of the byte-identity contract with the legacy path), and per-group scatter
+// updates (data-dependent indices).
+
+#include "relational/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/macros.h"
+#include "relational/operators_internal.h"
+
+namespace cape {
+
+namespace {
+
+std::atomic<bool> g_vectorized_kernels{true};
+
+using relational_internal::AggState;
+using relational_internal::UpdateAggState;
+using relational_internal::ValidateAggSpec;
+using relational_internal::ValidateColumnIndex;
+
+// ---------------------------------------------------------------------------
+// Mask and selection primitives.
+
+int64_t CountMask(const uint8_t* mask, int n) {
+  int64_t c = 0;
+  for (int i = 0; i < n; ++i) c += mask[i];  // vec-hot
+  return c;
+}
+
+int64_t CountMaskAndValid(const uint8_t* mask, const uint8_t* valid, int n) {
+  int64_t c = 0;
+  for (int i = 0; i < n; ++i) c += mask[i] & valid[i];  // vec-hot
+  return c;
+}
+
+// The 8-byte compares write a same-width temporary: gcc cannot mix
+// int64/double loads with byte-mask stores in one vector loop ("no vectype"),
+// and baseline SSE2 has no 64-bit integer compare at all (pcmpeqq is SSE4.1).
+// Equality therefore runs as a vectorizable XOR — tmp[i] == 0 iff
+// data[i] == want — and the zero test folds into the scalar narrowing pass
+// back in EvalBlock. The helpers must stay noinline: inlined into the
+// switch, gcc forward-propagates the temporary into the narrowing AND and
+// recreates exactly the mixed-width loop the temporary exists to avoid.
+[[gnu::noinline]] void MaskInt64Eq(const int64_t* data, int64_t want, int n,
+                                   uint64_t* tmp) {
+  const uint64_t w = static_cast<uint64_t>(want);
+  for (int i = 0; i < n; ++i) tmp[i] = static_cast<uint64_t>(data[i]) ^ w;  // vec-hot
+}
+
+// Value::Compare's exact equality rule !(x<v) && !(x>v) treats NaN as equal
+// to everything and -0.0 as equal to 0.0; a plain == would diverge. Both
+// compares vectorize as SSE2 cmppd selects, leaving tmp[i] == 0.0 exactly
+// when the row matches; the zero test runs in the scalar narrowing pass.
+[[gnu::noinline]] void MaskDoubleEq(const double* data, double want, int n,
+                                    double* tmp) {
+  for (int i = 0; i < n; ++i) tmp[i] = ((data[i] < want) | (data[i] > want)) ? 1.0 : 0.0;  // vec-hot
+}
+
+/// Branch-free mask→selection compaction: every slot is written, the cursor
+/// advances only on set mask bytes. Sequential by construction (loop-carried
+/// k), so it stays scalar — the win is the absence of a mispredicted branch
+/// per row, not SIMD.
+int64_t CompactBlock(const uint8_t* mask, int n, int64_t begin, int64_t* out) {
+  int64_t k = 0;
+  for (int i = 0; i < n; ++i) {
+    out[k] = begin + i;
+    k += mask[i];
+  }
+  return k;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Toggle.
+
+void SetVectorizedKernelsEnabled(bool enabled) {
+  g_vectorized_kernels.store(enabled, std::memory_order_relaxed);
+}
+
+bool VectorizedKernelsEnabled() {
+  return g_vectorized_kernels.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// BlockPredicate.
+
+BlockPredicate::BlockPredicate(const Table& table,
+                               const std::vector<std::pair<int, Value>>& conditions) {
+  // Compilation rules mirror RowEqualityMatcher's dictionary branch exactly;
+  // the vectorized kernels always run on codes (codes are stored regardless
+  // of the dictionary-kernel toggle), and never_matches() proofs are
+  // toggle-independent facts about the data.
+  conds_.reserve(conditions.size());
+  for (const auto& [col_idx, value] : conditions) {
+    Cond cond;
+    cond.col = &table.column(col_idx);
+    if (value.is_null()) {
+      cond.kind = cond.col->type() == DataType::kString ? Kind::kNullCode
+                                                        : Kind::kNullValidity;
+    } else if (cond.col->type() == DataType::kString) {
+      if (value.type() != DataType::kString) {
+        never_matches_ = true;  // numerics order before strings, never equal
+        return;
+      }
+      cond.code = cond.col->FindCode(value.string_value());
+      if (cond.code == Column::kNullCode) {
+        never_matches_ = true;  // value absent from dictionary: no row matches
+        return;
+      }
+      cond.kind = Kind::kCode;
+    } else if (value.type() == DataType::kString) {
+      never_matches_ = true;  // string value vs numeric column: never equal
+      return;
+    } else if (cond.col->type() == DataType::kInt64 &&
+               value.type() == DataType::kInt64) {
+      cond.kind = Kind::kInt64;
+      cond.i64 = value.int64_value();
+    } else if (cond.col->type() == DataType::kDouble) {
+      cond.kind = Kind::kDoubleEq;
+      cond.f64 = value.AsDouble();
+    } else {
+      cond.kind = Kind::kInt64AsDouble;
+      cond.f64 = value.AsDouble();
+    }
+    conds_.push_back(cond);
+  }
+}
+
+void BlockPredicate::EvalBlock(int64_t begin, int n, uint8_t* mask) const {
+  std::memset(mask, 1, static_cast<size_t>(n));
+  // Scratch for the 8-byte compares; see MaskInt64Eq/MaskDoubleEq for why
+  // they run through a same-width temporary in a noinline helper. Each case
+  // uses exactly one member — never both — so no punning occurs.
+  union {
+    uint64_t u64[kKernelBlockSize];
+    double f64[kKernelBlockSize];
+  } tmp;
+  for (const Cond& cond : conds_) {
+    const Column& col = *cond.col;
+    switch (cond.kind) {
+      case Kind::kCode: {
+        const int32_t* codes = col.codes_data() + begin;
+        const int32_t want = cond.code;
+        // kNullCode (-1) never equals a real code, so no separate null check.
+        for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(codes[i] == want);  // vec-hot
+        break;
+      }
+      case Kind::kNullCode: {
+        const int32_t* codes = col.codes_data() + begin;
+        for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(codes[i] < 0);  // vec-hot
+        break;
+      }
+      case Kind::kNullValidity: {
+        const uint8_t* valid = col.validity_data() + begin;
+        for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(valid[i] ^ 1);  // vec-hot
+        break;
+      }
+      case Kind::kInt64: {
+        MaskInt64Eq(col.int64_data() + begin, cond.i64, n, tmp.u64);
+        // NULL slots store 0, so a want==0 condition needs the validity AND;
+        // the cached null count skips it for fully-valid columns.
+        if (col.null_count() == 0) {
+          for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(tmp.u64[i] == 0);
+        } else {
+          const uint8_t* valid = col.validity_data() + begin;
+          for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(tmp.u64[i] == 0) & valid[i];
+        }
+        break;
+      }
+      case Kind::kDoubleEq: {
+        MaskDoubleEq(col.double_data() + begin, cond.f64, n, tmp.f64);
+        if (col.null_count() == 0) {
+          for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(tmp.f64[i] == 0.0);
+        } else {
+          const uint8_t* valid = col.validity_data() + begin;
+          for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(tmp.f64[i] == 0.0) & valid[i];
+        }
+        break;
+      }
+      case Kind::kInt64AsDouble: {
+        // int64 column against a double condition value: the int64→double
+        // conversion has no baseline-SSE2 vector form, so this rare shape
+        // stays scalar.
+        const int64_t* data = col.int64_data() + begin;
+        const uint8_t* valid = col.validity_data() + begin;
+        const double want = cond.f64;
+        for (int i = 0; i < n; ++i) {
+          const double x = static_cast<double>(data[i]);
+          mask[i] &= static_cast<uint8_t>(valid[i] & !(x < want) & !(x > want));
+        }
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Selection-vector filter and count.
+
+Status FilterEqualsSel(const Table& table,
+                       const std::vector<std::pair<int, Value>>& conditions,
+                       StopToken* stop, std::vector<int64_t>* sel) {
+  sel->clear();
+  for (const auto& [col, value] : conditions) {
+    CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, col));
+    (void)value;
+  }
+  const BlockPredicate pred(table, conditions);
+  if (pred.never_matches()) {
+    if (stop != nullptr && stop->ShouldStopNow()) return stop->ToStatus();
+    return Status::OK();
+  }
+  const int64_t n = table.num_rows();
+  uint8_t mask[kKernelBlockSize];
+  for (int64_t b = 0; b < n; b += kKernelBlockSize) {
+    CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+    const int bn = static_cast<int>(std::min<int64_t>(kKernelBlockSize, n - b));
+    pred.EvalBlock(b, bn, mask);
+    const size_t base = sel->size();
+    sel->resize(base + static_cast<size_t>(bn));
+    const int64_t k = CompactBlock(mask, bn, b, sel->data() + base);
+    sel->resize(base + static_cast<size_t>(k));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> CountFilterMatches(const Table& table,
+                                   const std::vector<std::pair<int, Value>>& conditions,
+                                   StopToken* stop) {
+  for (const auto& [col, value] : conditions) {
+    CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, col));
+    (void)value;
+  }
+  if (!VectorizedKernelsEnabled()) {
+    const RowEqualityMatcher matcher(table, conditions);
+    if (matcher.never_matches()) {
+      if (stop != nullptr && stop->ShouldStopNow()) return stop->ToStatus();
+      return int64_t{0};
+    }
+    int64_t count = 0;
+    for (int64_t row = 0; row < table.num_rows(); ++row) {
+      if ((row & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+      count += matcher.Matches(row) ? 1 : 0;
+    }
+    return count;
+  }
+  const BlockPredicate pred(table, conditions);
+  if (pred.never_matches()) {
+    if (stop != nullptr && stop->ShouldStopNow()) return stop->ToStatus();
+    return int64_t{0};
+  }
+  const int64_t n = table.num_rows();
+  int64_t count = 0;
+  uint8_t mask[kKernelBlockSize];
+  for (int64_t b = 0; b < n; b += kKernelBlockSize) {
+    CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+    const int bn = static_cast<int>(std::min<int64_t>(kKernelBlockSize, n - b));
+    pred.EvalBlock(b, bn, mask);
+    count += CountMask(mask, bn);
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Fused filter→group→aggregate.
+
+namespace {
+
+/// Pre-resolved update shape of one aggregate, so the per-row scatter loop
+/// dispatches on a dense enum instead of re-deriving (func, column type)
+/// per row. Update arithmetic replicates UpdateAggState exactly — in
+/// particular the int64 sum's dual isum/dsum accumulation.
+enum class AggKind : uint8_t {
+  kCountStar,  // count(*): rows
+  kCountCol,   // count(col): non-null rows
+  kSumInt64,   // sum/avg over an int64 column
+  kSumDouble,  // sum/avg over a double column
+  kBoxed,      // min/max: boxed Value comparisons via UpdateAggState
+};
+
+struct AggPlan {
+  AggKind kind = AggKind::kBoxed;
+  const Column* col = nullptr;
+};
+
+std::vector<AggPlan> CompileAggPlans(const Table& table,
+                                     const std::vector<AggregateSpec>& aggs) {
+  std::vector<AggPlan> plans;
+  plans.reserve(aggs.size());
+  for (const AggregateSpec& spec : aggs) {
+    AggPlan p;
+    if (spec.input_col == AggregateSpec::kCountStar) {
+      p.kind = AggKind::kCountStar;
+    } else {
+      p.col = &table.column(spec.input_col);
+      switch (spec.func) {
+        case AggFunc::kCount:
+          p.kind = AggKind::kCountCol;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          p.kind = p.col->type() == DataType::kInt64 ? AggKind::kSumInt64
+                                                     : AggKind::kSumDouble;
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          p.kind = AggKind::kBoxed;
+          break;
+      }
+    }
+    plans.push_back(p);
+  }
+  return plans;
+}
+
+void UpdateRowWithPlans(const Table& table, const std::vector<AggregateSpec>& aggs,
+                        const std::vector<AggPlan>& plans, int64_t row,
+                        std::vector<AggState>* states) {
+  for (size_t a = 0; a < plans.size(); ++a) {
+    AggState& st = (*states)[a];
+    const AggPlan& p = plans[a];
+    switch (p.kind) {
+      case AggKind::kCountStar:
+        ++st.count;
+        break;
+      case AggKind::kCountCol:
+        if (!p.col->IsNull(row)) ++st.count;
+        break;
+      case AggKind::kSumInt64:
+        if (!p.col->IsNull(row)) {
+          ++st.count;
+          const int64_t v = p.col->GetInt64(row);
+          st.isum += v;
+          st.dsum += static_cast<double>(v);
+        }
+        break;
+      case AggKind::kSumDouble:
+        if (!p.col->IsNull(row)) {
+          ++st.count;
+          st.dsum += p.col->GetDouble(row);
+        }
+        break;
+      case AggKind::kBoxed:
+        UpdateAggState(table, aggs[a], row, &st);
+        break;
+    }
+  }
+}
+
+/// Discovered groups in first-seen order — the numbering contract every
+/// downstream consumer (and the byte-identity proof vs the legacy path)
+/// depends on.
+struct GroupTable {
+  std::vector<int64_t> representative;        // first base-table row per group
+  std::vector<std::vector<AggState>> states;  // [group][agg]
+  size_t num_aggs = 0;
+
+  size_t AddGroup(int64_t row) {
+    representative.push_back(row);
+    states.emplace_back(num_aggs);
+    return states.size() - 1;
+  }
+};
+
+/// Group lookup via a direct-address array — one vector access per row for
+/// small mixed-radix key spaces.
+struct DirectSink {
+  DirectSink(uint64_t domain, GroupTable* groups)
+      : slots(static_cast<size_t>(domain), -1), groups(groups) {}
+
+  size_t GidFor(uint64_t key, int64_t row) {
+    int32_t& slot = slots[static_cast<size_t>(key)];
+    if (slot < 0) slot = static_cast<int32_t>(groups->AddGroup(row));
+    return static_cast<size_t>(slot);
+  }
+
+  std::vector<int32_t> slots;
+  GroupTable* groups;
+};
+
+/// Group lookup via an exact uint64-keyed hash map for larger key spaces.
+struct MapSink {
+  MapSink(size_t expected, GroupTable* groups) : groups(groups) {
+    map.reserve(expected);
+  }
+
+  size_t GidFor(uint64_t key, int64_t row) {
+    auto [it, fresh] = map.try_emplace(key, groups->states.size());
+    if (fresh) groups->AddGroup(row);
+    return it->second;
+  }
+
+  std::unordered_map<uint64_t, size_t> map;
+  GroupTable* groups;
+};
+
+/// One column of the dense mixed-radix packed key (DESIGN.md §10): string
+/// columns map onto dictionary codes, narrow int64 columns onto value - base;
+/// NULL maps to digit 0.
+struct DenseCol {
+  const Column* col = nullptr;
+  uint64_t stride = 1;
+  int64_t base = 0;  // minimum value for int64 columns
+  bool is_string = false;
+};
+
+/// Dense-key eligibility and layout, mirroring the legacy GroupByAggregate
+/// rules: every group column must be a string or an int64 with a value range
+/// narrower than 2^22, and the mixed-radix domain product must fit uint64.
+/// `sel` (when non-null) restricts the int64 range scan to the selected rows
+/// — exactly the rows the legacy composed path would have materialized.
+bool PlanDenseKeys(const Table& table, const std::vector<int>& group_cols,
+                   const std::vector<int64_t>* sel, std::vector<DenseCol>* dense,
+                   uint64_t* domain_product) {
+  if (table.num_rows() >= (int64_t{1} << 31)) return false;
+  *domain_product = 1;
+  const int64_t total = sel != nullptr ? static_cast<int64_t>(sel->size())
+                                       : table.num_rows();
+  for (int c : group_cols) {
+    const Column& col = table.column(c);
+    DenseCol d{&col, *domain_product, 0, false};
+    uint64_t domain;  // cardinality + 1 slot for NULL
+    if (col.type() == DataType::kString) {
+      d.is_string = true;
+      domain = static_cast<uint64_t>(col.dict_size()) + 1;
+    } else if (col.type() == DataType::kInt64) {
+      int64_t lo = 0;
+      int64_t hi = 0;
+      bool any = false;
+      for (int64_t j = 0; j < total; ++j) {
+        const int64_t row = sel != nullptr ? (*sel)[static_cast<size_t>(j)] : j;
+        if (col.IsNull(row)) continue;
+        const int64_t v = col.GetInt64(row);
+        lo = any ? std::min(lo, v) : v;
+        hi = any ? std::max(hi, v) : v;
+        any = true;
+      }
+      const uint64_t width = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+      if (width >= (uint64_t{1} << 22)) return false;  // too sparse
+      domain = width + 2;
+      d.base = lo;
+    } else {
+      return false;  // double group keys keep the generic encoder
+    }
+    if (*domain_product > std::numeric_limits<uint64_t>::max() / domain) {
+      return false;  // mixed-radix product overflows uint64
+    }
+    *domain_product *= domain;
+    dense->push_back(d);
+  }
+  return true;
+}
+
+/// Packs the mixed-radix keys of rows [begin, begin + n) into keys[0..n).
+void PackBlockKeys(const std::vector<DenseCol>& dense, int64_t begin, int n,
+                   uint64_t* keys) {
+  // gcc idiom-recognizes a zero-fill loop into memset anyway; be explicit.
+  std::memset(keys, 0, static_cast<size_t>(n) * sizeof(uint64_t));
+  for (const DenseCol& d : dense) {
+    const uint64_t stride = d.stride;
+    if (d.is_string) {
+      const int32_t* codes = d.col->codes_data() + begin;
+      for (int i = 0; i < n; ++i) keys[i] += static_cast<uint64_t>(codes[i] + 1) * stride;  // vec-hot
+    } else if (d.col->null_count() == 0) {
+      const int64_t* data = d.col->int64_data() + begin;
+      const uint64_t base = static_cast<uint64_t>(d.base);
+      for (int i = 0; i < n; ++i) keys[i] += (static_cast<uint64_t>(data[i]) - base + 1) * stride;  // vec-hot
+    } else {
+      // Nullable int64: the select between digit 0 (NULL) and value - base
+      // mixes byte and quadword lanes, so it stays scalar; the fully-valid
+      // fast path above is the common shape.
+      const int64_t* data = d.col->int64_data() + begin;
+      const uint8_t* valid = d.col->validity_data() + begin;
+      const uint64_t base = static_cast<uint64_t>(d.base);
+      for (int i = 0; i < n; ++i) {
+        keys[i] += (valid[i] != 0 ? static_cast<uint64_t>(data[i]) - base + 1 : 0) * stride;
+      }
+    }
+  }
+}
+
+/// Scalar key pack for selection-vector scans (gathered rows defeat SIMD;
+/// the filter already shrank the row set).
+uint64_t PackKeyScalar(const std::vector<DenseCol>& dense, int64_t row) {
+  uint64_t key = 0;
+  for (const DenseCol& d : dense) {
+    const uint64_t digit =
+        d.is_string
+            ? static_cast<uint64_t>(d.col->GetCode(row) + 1)  // NULL -> 0
+            : (d.col->IsNull(row)
+                   ? 0
+                   : static_cast<uint64_t>(d.col->GetInt64(row) - d.base) + 1);
+    key += digit * d.stride;
+  }
+  return key;
+}
+
+template <typename Sink>
+Status DenseScanAllRows(const Table& table, const std::vector<AggregateSpec>& aggs,
+                        const std::vector<AggPlan>& plans,
+                        const std::vector<DenseCol>& dense, Sink& sink,
+                        GroupTable* groups, StopToken* stop) {
+  const int64_t n = table.num_rows();
+  uint64_t keys[kKernelBlockSize];
+  for (int64_t b = 0; b < n; b += kKernelBlockSize) {
+    CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+    const int bn = static_cast<int>(std::min<int64_t>(kKernelBlockSize, n - b));
+    PackBlockKeys(dense, b, bn, keys);
+    for (int i = 0; i < bn; ++i) {
+      const int64_t row = b + i;
+      const size_t g = sink.GidFor(keys[i], row);
+      UpdateRowWithPlans(table, aggs, plans, row, &groups->states[g]);
+    }
+  }
+  return Status::OK();
+}
+
+template <typename Sink>
+Status DenseScanSel(const Table& table, const std::vector<AggregateSpec>& aggs,
+                    const std::vector<AggPlan>& plans,
+                    const std::vector<DenseCol>& dense,
+                    const std::vector<int64_t>& sel, Sink& sink, GroupTable* groups,
+                    StopToken* stop) {
+  for (size_t j = 0; j < sel.size(); ++j) {
+    if ((j & (static_cast<size_t>(kStopCheckStride) - 1)) == 0) {
+      CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+    }
+    const int64_t row = sel[j];
+    const size_t g = sink.GidFor(PackKeyScalar(dense, row), row);
+    UpdateRowWithPlans(table, aggs, plans, row, &groups->states[g]);
+  }
+  return Status::OK();
+}
+
+/// Generic fallback (double group keys, wide int ranges, overflowing domain
+/// products): byte-encoded keys hashed once per row, collisions resolved by
+/// key bytes — the legacy generic path, restricted to `sel` when given and
+/// with block-granularity stop checks.
+Status EncoderScan(const Table& table, const std::vector<int>& group_cols,
+                   const std::vector<AggregateSpec>& aggs,
+                   const std::vector<AggPlan>& plans, const std::vector<int64_t>* sel,
+                   GroupTable* groups, StopToken* stop) {
+  GroupKeyEncoder encoder(table, group_cols);
+  const int64_t total = sel != nullptr ? static_cast<int64_t>(sel->size())
+                                       : table.num_rows();
+  const size_t expected = static_cast<size_t>(total / 4 + 1);
+  std::unordered_map<uint64_t, std::vector<size_t>> group_buckets;
+  std::vector<std::string> group_keys;
+  group_buckets.reserve(expected);
+  group_keys.reserve(expected);
+  std::string key;
+  for (int64_t j = 0; j < total; ++j) {
+    if ((j & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+    const int64_t row = sel != nullptr ? (*sel)[static_cast<size_t>(j)] : j;
+    key.clear();
+    encoder.EncodeRow(row, &key);
+    const uint64_t hash = HashBytes(key.data(), key.size());
+    std::vector<size_t>& bucket = group_buckets[hash];
+    size_t group = groups->states.size();
+    for (size_t candidate : bucket) {
+      if (group_keys[candidate] == key) {
+        group = candidate;
+        break;
+      }
+    }
+    if (group == groups->states.size()) {
+      bucket.push_back(group);
+      group_keys.push_back(key);
+      groups->AddGroup(row);
+    }
+    UpdateRowWithPlans(table, aggs, plans, row, &groups->states[group]);
+  }
+  return Status::OK();
+}
+
+Status GroupScan(const Table& table, const std::vector<int>& group_cols,
+                 const std::vector<AggregateSpec>& aggs,
+                 const std::vector<AggPlan>& plans, const std::vector<int64_t>* sel,
+                 GroupTable* groups, StopToken* stop) {
+  std::vector<DenseCol> dense;
+  uint64_t domain_product = 1;
+  if (!PlanDenseKeys(table, group_cols, sel, &dense, &domain_product)) {
+    return EncoderScan(table, group_cols, aggs, plans, sel, groups, stop);
+  }
+  const int64_t total = sel != nullptr ? static_cast<int64_t>(sel->size())
+                                       : table.num_rows();
+  // Small key spaces use a direct-address table; larger ones an exact
+  // uint64-keyed hash map (same crossover heuristic as the legacy path).
+  const uint64_t direct_cap = static_cast<uint64_t>(std::max<int64_t>(total, 1024)) * 4;
+  if (domain_product <= direct_cap) {
+    DirectSink sink(domain_product, groups);
+    return sel != nullptr
+               ? DenseScanSel(table, aggs, plans, dense, *sel, sink, groups, stop)
+               : DenseScanAllRows(table, aggs, plans, dense, sink, groups, stop);
+  }
+  MapSink sink(static_cast<size_t>(total / 4 + 1), groups);
+  return sel != nullptr
+             ? DenseScanSel(table, aggs, plans, dense, *sel, sink, groups, stop)
+             : DenseScanAllRows(table, aggs, plans, dense, sink, groups, stop);
+}
+
+/// Global aggregation (no group columns): one state vector, aggregates
+/// consume the block mask / selection vector directly — count(*) is a mask
+/// popcount, count(col) a mask∧validity popcount, sums walk the selection
+/// sequentially (floating-point addition order is part of the identity
+/// contract with the legacy path).
+Status SingleGroupScan(const Table& table, const BlockPredicate& pred,
+                       const std::vector<AggregateSpec>& aggs,
+                       const std::vector<AggPlan>& plans,
+                       std::vector<AggState>* states, StopToken* stop) {
+  bool need_sel = false;
+  for (const AggPlan& p : plans) {
+    if (p.kind != AggKind::kCountStar && p.kind != AggKind::kCountCol) need_sel = true;
+  }
+  const int64_t n = table.num_rows();
+  uint8_t mask[kKernelBlockSize];
+  int64_t selbuf[kKernelBlockSize];
+  for (int64_t b = 0; b < n; b += kKernelBlockSize) {
+    CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+    const int bn = static_cast<int>(std::min<int64_t>(kKernelBlockSize, n - b));
+    pred.EvalBlock(b, bn, mask);
+    int64_t k = 0;
+    if (need_sel) k = CompactBlock(mask, bn, b, selbuf);
+    for (size_t a = 0; a < plans.size(); ++a) {
+      AggState& st = (*states)[a];
+      const AggPlan& p = plans[a];
+      switch (p.kind) {
+        case AggKind::kCountStar:
+          st.count += CountMask(mask, bn);
+          break;
+        case AggKind::kCountCol:
+          st.count += p.col->null_count() == 0
+                          ? CountMask(mask, bn)
+                          : CountMaskAndValid(mask, p.col->validity_data() + b, bn);
+          break;
+        case AggKind::kSumInt64:
+          for (int64_t j = 0; j < k; ++j) {
+            const int64_t row = selbuf[j];
+            if (p.col->IsNull(row)) continue;
+            ++st.count;
+            const int64_t v = p.col->GetInt64(row);
+            st.isum += v;
+            st.dsum += static_cast<double>(v);
+          }
+          break;
+        case AggKind::kSumDouble:
+          for (int64_t j = 0; j < k; ++j) {
+            const int64_t row = selbuf[j];
+            if (p.col->IsNull(row)) continue;
+            ++st.count;
+            st.dsum += p.col->GetDouble(row);
+          }
+          break;
+        case AggKind::kBoxed:
+          for (int64_t j = 0; j < k; ++j) {
+            UpdateAggState(table, aggs[a], selbuf[j], &st);
+          }
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TablePtr> FilterGroupAggregate(const Table& table,
+                                      const std::vector<std::pair<int, Value>>& conditions,
+                                      const std::vector<int>& group_cols,
+                                      const std::vector<AggregateSpec>& aggs,
+                                      StopToken* stop) {
+  if (!VectorizedKernelsEnabled()) {
+    // Legacy two-operator composition: the A/B baseline the fused path is
+    // proven byte-identical against.
+    CAPE_ASSIGN_OR_RETURN(TablePtr selected, FilterEquals(table, conditions, stop));
+    return GroupByAggregate(*selected, group_cols, aggs, stop);
+  }
+  for (const auto& [col, value] : conditions) {
+    CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, col));
+    (void)value;
+  }
+  for (int c : group_cols) CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, c));
+  for (const AggregateSpec& spec : aggs) CAPE_RETURN_IF_ERROR(ValidateAggSpec(table, spec));
+
+  // Output schema: group columns then aggregates (same as GroupByAggregate).
+  std::vector<Field> out_fields;
+  out_fields.reserve(group_cols.size() + aggs.size());
+  for (int c : group_cols) out_fields.push_back(table.schema()->field(c));
+  for (const AggregateSpec& spec : aggs) {
+    out_fields.push_back(
+        Field{spec.output_name, relational_internal::AggOutputType(table, spec), true});
+  }
+
+  GroupTable groups;
+  groups.num_aggs = aggs.size();
+  const std::vector<AggPlan> plans = CompileAggPlans(table, aggs);
+  const BlockPredicate pred(table, conditions);
+  if (pred.never_matches()) {
+    // The selection is provably empty without a scan.
+    if (stop != nullptr && stop->ShouldStopNow()) return stop->ToStatus();
+  } else if (group_cols.empty()) {
+    groups.AddGroup(-1);
+    CAPE_RETURN_IF_ERROR(
+        SingleGroupScan(table, pred, aggs, plans, &groups.states[0], stop));
+  } else if (pred.always_matches()) {
+    CAPE_RETURN_IF_ERROR(
+        GroupScan(table, group_cols, aggs, plans, /*sel=*/nullptr, &groups, stop));
+  } else {
+    std::vector<int64_t> sel;
+    CAPE_RETURN_IF_ERROR(FilterEqualsSel(table, conditions, stop, &sel));
+    CAPE_RETURN_IF_ERROR(GroupScan(table, group_cols, aggs, plans, &sel, &groups, stop));
+  }
+
+  // Aggregation without grouping yields exactly one row even on empty input.
+  if (group_cols.empty() && groups.states.empty()) groups.AddGroup(-1);
+
+  auto out = std::make_shared<Table>(Schema::Make(std::move(out_fields)));
+  out->Reserve(static_cast<int64_t>(groups.states.size()));
+  Row out_row;
+  for (size_t g = 0; g < groups.states.size(); ++g) {
+    out_row.clear();
+    for (int c : group_cols) out_row.push_back(table.GetValue(groups.representative[g], c));
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      out_row.push_back(
+          relational_internal::FinalizeAggState(table, aggs[a], groups.states[g][a]));
+    }
+    CAPE_RETURN_IF_ERROR(out->AppendRow(out_row));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sufficient statistics.
+
+SufficientStats MomentsSel(const Column& col, const int64_t* sel, int64_t k) {
+  CAPE_DCHECK(IsNumericType(col.type())) << "MomentsSel requires a numeric column";
+  SufficientStats stats;
+  if (col.type() == DataType::kInt64) {
+    for (int64_t j = 0; j < k; ++j) {
+      const int64_t row = sel[j];
+      if (col.IsNull(row)) continue;
+      const double v = static_cast<double>(col.GetInt64(row));
+      ++stats.count;
+      stats.sum += v;
+      stats.sum_sq += v * v;
+    }
+  } else {
+    for (int64_t j = 0; j < k; ++j) {
+      const int64_t row = sel[j];
+      if (col.IsNull(row)) continue;
+      const double v = col.GetDouble(row);
+      ++stats.count;
+      stats.sum += v;
+      stats.sum_sq += v * v;
+    }
+  }
+  return stats;
+}
+
+}  // namespace cape

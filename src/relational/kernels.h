@@ -1,0 +1,132 @@
+#ifndef CAPE_RELATIONAL_KERNELS_H_
+#define CAPE_RELATIONAL_KERNELS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "relational/operators.h"
+#include "relational/table.h"
+
+namespace cape {
+
+/// Block/morsel width of the vectorized kernels (DESIGN.md §14): scans
+/// proceed in fixed-size runs of this many rows, with byte masks and
+/// selection vectors sized to one block. 2048 rows keeps a block's mask
+/// (2 KB), selection vector (16 KB), and packed keys (16 KB) inside L1/L2
+/// while amortizing the per-block stop check to noise.
+inline constexpr int64_t kKernelBlockSize = 2048;
+static_assert(kKernelBlockSize == kStopCheckStride,
+              "block kernels check the stop token once per block; the shared "
+              "stride constant must match the block size so every scan in the "
+              "engine has the same stop latency");
+
+/// Process-wide switch for the block/morsel vectorized kernels, mirroring
+/// SetDictionaryKernelsEnabled (DESIGN.md §10). When enabled (the default),
+/// FilterEquals builds a selection vector via branch-free byte-mask loops,
+/// GroupByAggregate packs dense group keys block-at-a-time, and
+/// FilterGroupAggregate fuses filter→group→aggregate without materializing
+/// the filtered table. When disabled every call falls back to the row-at-a-
+/// time legacy path. Outputs are byte-identical either way (pinned by
+/// determinism_test and random_equivalence_test); the switch exists for A/B
+/// benchmarking and those equivalence fixtures. Not intended to be flipped
+/// mid-query. Independent of the dictionary toggle: codes are always stored,
+/// so the vectorized kernels run on codes regardless of that switch.
+void SetVectorizedKernelsEnabled(bool enabled);
+bool VectorizedKernelsEnabled();
+
+/// Conjunctive equality predicate compiled once and evaluated a block at a
+/// time into a 0/1 byte mask — the vectorized counterpart of
+/// RowEqualityMatcher, with the same semantics (NULL matches NULL,
+/// cross-type numeric equality via Value::Compare's !(x<v) && !(x>v) rule,
+/// string values resolved to dictionary codes, absent/mismatched values
+/// short-circuiting via never_matches()).
+///
+/// Holds pointers into `table`'s columns; must not outlive it. Column
+/// indices must be validated by the caller.
+class BlockPredicate {
+ public:
+  BlockPredicate(const Table& table,
+                 const std::vector<std::pair<int, Value>>& conditions);
+
+  /// True when no row can possibly satisfy the conditions.
+  bool never_matches() const { return never_matches_; }
+
+  /// True when there are no conditions (every row matches).
+  bool always_matches() const { return conds_.empty() && !never_matches_; }
+
+  /// Sets mask[i] to 1 where row `begin + i` satisfies every condition and 0
+  /// elsewhere, for i in [0, n). n must be <= kKernelBlockSize and
+  /// [begin, begin + n) must be valid rows.
+  void EvalBlock(int64_t begin, int n, uint8_t* mask) const;
+
+ private:
+  enum class Kind : uint8_t {
+    kCode,           // string column: dictionary code equality
+    kNullCode,       // IS NULL on a string column (code < 0)
+    kNullValidity,   // IS NULL on a numeric column (validity == 0)
+    kInt64,          // exact int64 equality
+    kDoubleEq,       // double column: Value::Compare numeric equality
+    kInt64AsDouble,  // int64 column vs double value (rare; scalar loop)
+  };
+  struct Cond {
+    const Column* col = nullptr;
+    Kind kind = Kind::kCode;
+    int32_t code = 0;
+    int64_t i64 = 0;
+    double f64 = 0.0;
+  };
+
+  std::vector<Cond> conds_;
+  bool never_matches_ = false;
+};
+
+/// σ_{c1=v1 ∧ ...} as a selection vector: appends the ascending row indices
+/// of `table` satisfying `conditions` to *sel (cleared first) without
+/// materializing any table. Stop checks run at block granularity.
+Status FilterEqualsSel(const Table& table,
+                       const std::vector<std::pair<int, Value>>& conditions,
+                       StopToken* stop, std::vector<int64_t>* sel);
+
+/// Number of rows satisfying `conditions` — the existence/cardinality probe
+/// shape (user_question.cc) that previously materialized a full filtered
+/// table just to read num_rows(). Vectorized mode counts straight off the
+/// block masks; legacy mode scans with RowEqualityMatcher.
+Result<int64_t> CountFilterMatches(const Table& table,
+                                   const std::vector<std::pair<int, Value>>& conditions,
+                                   StopToken* stop = nullptr);
+
+/// Fused σ → γ: exactly GroupByAggregate(*FilterEquals(table, conditions),
+/// group_cols, aggs) — byte-identical output, same Status surface — but in
+/// vectorized mode the filtered table is never materialized: block masks
+/// feed a selection vector, group keys are packed from the base table's
+/// columns, and aggregates consume the selection directly. This is the
+/// retrieval-query shape Q_{P,f} = γ_{V,agg(A)}(σ_{F=f}(R)) that the miners
+/// and explainers issue thousands of times per request. With vectorized
+/// kernels disabled it runs the legacy two-operator composition (A/B).
+Result<TablePtr> FilterGroupAggregate(const Table& table,
+                                      const std::vector<std::pair<int, Value>>& conditions,
+                                      const std::vector<int>& group_cols,
+                                      const std::vector<AggregateSpec>& aggs,
+                                      StopToken* stop = nullptr);
+
+/// Sufficient statistics for mean and variance over the non-null rows of
+/// `col` named by a selection vector. Sums accumulate in selection order
+/// (floating-point addition is order-sensitive), so two equal selections
+/// always produce bit-equal sums. mean = sum / count; the biased variance is
+/// sum_sq / count - mean^2.
+struct SufficientStats {
+  int64_t count = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+};
+
+/// Computes SufficientStats for `col` over the `k` rows of `sel`. `col` must
+/// be numeric (int64 values are widened to double exactly as GetNumeric).
+SufficientStats MomentsSel(const Column& col, const int64_t* sel, int64_t k);
+
+}  // namespace cape
+
+#endif  // CAPE_RELATIONAL_KERNELS_H_

@@ -10,6 +10,8 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/macros.h"
+#include "relational/kernels.h"
+#include "relational/operators_internal.h"
 
 namespace cape {
 
@@ -27,7 +29,7 @@ bool DictionaryKernelsEnabled() {
   return g_dictionary_kernels.load(std::memory_order_relaxed);
 }
 
-namespace {
+namespace relational_internal {
 
 Status ValidateColumnIndex(const Table& table, int col) {
   if (col < 0 || col >= table.num_columns()) {
@@ -59,7 +61,6 @@ Status ValidateAggSpec(const Table& table, const AggregateSpec& spec) {
   return Status::OK();
 }
 
-/// Output field type of one aggregate over `table`.
 DataType AggOutputType(const Table& table, const AggregateSpec& spec) {
   switch (spec.func) {
     case AggFunc::kCount:
@@ -75,15 +76,6 @@ DataType AggOutputType(const Table& table, const AggregateSpec& spec) {
   }
   return DataType::kDouble;
 }
-
-/// Running state of one aggregate within one group.
-struct AggState {
-  int64_t count = 0;      // non-null inputs (rows for count(*))
-  int64_t isum = 0;       // integer sum
-  double dsum = 0.0;      // double sum
-  Value min_value;        // NULL until first non-null input
-  Value max_value;
-};
 
 void UpdateAggState(const Table& table, const AggregateSpec& spec, int64_t row,
                     AggState* state) {
@@ -138,6 +130,17 @@ Value FinalizeAggState(const Table& table, const AggregateSpec& spec, const AggS
   }
   return Value::Null();
 }
+
+}  // namespace relational_internal
+
+namespace {
+
+using relational_internal::AggOutputType;
+using relational_internal::AggState;
+using relational_internal::FinalizeAggState;
+using relational_internal::UpdateAggState;
+using relational_internal::ValidateAggSpec;
+using relational_internal::ValidateColumnIndex;
 
 }  // namespace
 
@@ -304,6 +307,11 @@ bool RowEqualityMatcher::Matches(int64_t row) const {
 Result<TablePtr> GroupByAggregate(const Table& table, const std::vector<int>& group_cols,
                                   const std::vector<AggregateSpec>& aggs,
                                   StopToken* stop) {
+  if (VectorizedKernelsEnabled()) {
+    // The fused kernel with an empty condition list is exactly this operator
+    // (its vectorized branch never calls back into GroupByAggregate).
+    return FilterGroupAggregate(table, {}, group_cols, aggs, stop);
+  }
   for (int c : group_cols) CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, c));
   for (const AggregateSpec& spec : aggs) CAPE_RETURN_IF_ERROR(ValidateAggSpec(table, spec));
 
@@ -507,7 +515,7 @@ Result<TablePtr> Filter(const Table& table, const std::function<bool(int64_t)>& 
                         StopToken* stop) {
   std::vector<int64_t> matches;
   for (int64_t row = 0; row < table.num_rows(); ++row) {
-    CAPE_RETURN_IF_STOPPED(stop);
+    if ((row & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(stop);
     if (pred(row)) matches.push_back(row);
   }
   auto out = std::make_shared<Table>(table.schema());
@@ -522,6 +530,14 @@ Result<TablePtr> FilterEquals(const Table& table,
   for (const auto& [col, value] : conditions) {
     CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, col));
     (void)value;
+  }
+  if (VectorizedKernelsEnabled()) {
+    std::vector<int64_t> sel;
+    CAPE_RETURN_IF_ERROR(FilterEqualsSel(table, conditions, stop, &sel));
+    auto out = std::make_shared<Table>(table.schema());
+    out->Reserve(static_cast<int64_t>(sel.size()));
+    CAPE_RETURN_IF_ERROR(out->AppendRowsFrom(table, sel));
+    return out;
   }
   RowEqualityMatcher matcher(table, conditions);
   if (matcher.never_matches()) {
@@ -544,7 +560,7 @@ Result<TablePtr> Project(const Table& table, const std::vector<int>& cols,
   auto out = std::make_shared<Table>(Schema::Make(std::move(out_fields)));
   out->Reserve(table.num_rows());
   for (int64_t row = 0; row < table.num_rows(); ++row) {
-    CAPE_RETURN_IF_STOPPED(stop);
+    if ((row & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(stop);
     CAPE_RETURN_IF_ERROR(out->AppendRow(table.GetRowProjection(row, cols)));
   }
   return out;
@@ -563,7 +579,7 @@ Result<TablePtr> ProjectDistinct(const Table& table, const std::vector<int>& col
   auto out = std::make_shared<Table>(Schema::Make(std::move(out_fields)));
   std::string key;
   for (int64_t row = 0; row < table.num_rows(); ++row) {
-    CAPE_RETURN_IF_STOPPED(stop);
+    if ((row & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(stop);
     key.clear();
     encoder.EncodeRow(row, &key);
     if (seen.emplace(key, true).second) {
@@ -720,7 +736,7 @@ Result<TablePtr> Cube(const Table& table, const std::vector<int>& cube_cols,
         static_cast<int64_t>(~mask & ((1u << n) - 1));  // set bit = aggregated away
     Row out_row;
     for (int64_t row = 0; row < grouped->num_rows(); ++row) {
-      CAPE_RETURN_IF_STOPPED(stop);
+      if ((row & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(stop);
       out_row.assign(static_cast<size_t>(n), Value::Null());
       for (size_t s = 0; s < subset_cols.size(); ++s) {
         out_row[static_cast<size_t>(subset_cols[s])] =

@@ -1,0 +1,41 @@
+#ifndef CAPE_RELATIONAL_OPERATORS_INTERNAL_H_
+#define CAPE_RELATIONAL_OPERATORS_INTERNAL_H_
+
+// Aggregate-state machinery shared between the row-at-a-time operators
+// (operators.cc) and the block/morsel kernels (kernels.cc). Both paths must
+// produce byte-identical output, so they must share the exact update and
+// finalize arithmetic — in particular the int64 sum's dual isum/dsum
+// accumulation and the boxed min/max comparison rules.
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/operators.h"
+#include "relational/table.h"
+
+namespace cape::relational_internal {
+
+Status ValidateColumnIndex(const Table& table, int col);
+Status ValidateAggSpec(const Table& table, const AggregateSpec& spec);
+
+/// Output field type of one aggregate over `table`.
+DataType AggOutputType(const Table& table, const AggregateSpec& spec);
+
+/// Running state of one aggregate within one group.
+struct AggState {
+  int64_t count = 0;  // non-null inputs (rows for count(*))
+  int64_t isum = 0;   // integer sum
+  double dsum = 0.0;  // double sum
+  Value min_value;    // NULL until first non-null input
+  Value max_value;
+};
+
+void UpdateAggState(const Table& table, const AggregateSpec& spec, int64_t row,
+                    AggState* state);
+
+Value FinalizeAggState(const Table& table, const AggregateSpec& spec,
+                       const AggState& state);
+
+}  // namespace cape::relational_internal
+
+#endif  // CAPE_RELATIONAL_OPERATORS_INTERNAL_H_

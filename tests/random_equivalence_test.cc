@@ -20,6 +20,7 @@
 #include "pattern/mining.h"
 #include "pattern/pattern_io.h"
 #include "relational/csv.h"
+#include "relational/kernels.h"
 #include "relational/operators.h"
 #include "relational/table.h"
 
@@ -32,6 +33,17 @@ class KernelModeGuard {
     SetDictionaryKernelsEnabled(enabled);
   }
   ~KernelModeGuard() { SetDictionaryKernelsEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+class VectorizedModeGuard {
+ public:
+  explicit VectorizedModeGuard(bool enabled) : saved_(VectorizedKernelsEnabled()) {
+    SetVectorizedKernelsEnabled(enabled);
+  }
+  ~VectorizedModeGuard() { SetVectorizedKernelsEnabled(saved_); }
 
  private:
   bool saved_;
@@ -114,6 +126,102 @@ TEST_P(RandomEquivalenceTest, KernelsMatchLegacyOnRandomTables) {
   for (size_t i = 0; i < rendered[0].size(); ++i) {
     EXPECT_EQ(rendered[0][i], rendered[1][i]) << "operator output " << i << " differs "
                                               << "(seed " << GetParam() << ")";
+  }
+}
+
+TEST_P(RandomEquivalenceTest, VectorizedKernelsMatchLegacyOnRandomTables) {
+  TablePtr table = MakeRandomTable(GetParam());
+  // Aggregates cover every update shape: mask popcounts (count(*) and
+  // count(col) over a nullable column), the dual int64 sum, the double
+  // sum/avg, and the boxed min/max comparisons (numeric and string).
+  const std::vector<AggregateSpec> aggs = {
+      AggregateSpec::CountStar("n"),
+      AggregateSpec{AggFunc::kCount, 3, "val_n"},
+      AggregateSpec::Sum(2, "num_sum"),
+      AggregateSpec::Avg(3, "val_avg"),
+      AggregateSpec::Min(3, "val_min"),
+      AggregateSpec::Max(0, "cat_max"),
+  };
+  // Conditions cover code equality, the dictionary-miss proof, NULL on a
+  // string and on a numeric column, multi-column conjunctions, int64
+  // equality, and the scalar int64-vs-double shape.
+  const std::vector<std::vector<std::pair<int, Value>>> filters = {
+      {},
+      {{0, Value::String("alpha")}},
+      {{0, Value::String("absent")}},
+      {{0, Value::Null()}},
+      {{2, Value::Null()}},
+      {{0, Value::String("g%mma")}, {1, Value::String("ICDE")}},
+      {{2, Value::Int64(7)}},
+      {{2, Value::Double(7.0)}},
+      {{1, Value::String("rio")}, {2, Value::Int64(3)}},
+  };
+  const std::vector<std::vector<int>> group_sets = {{0}, {0, 1}, {1, 2}, {2}, {3}, {}};
+
+  std::vector<std::string> rendered[2];
+  std::vector<int64_t> counts[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    VectorizedModeGuard guard(mode == 0);
+    for (const auto& conditions : filters) {
+      auto filtered = FilterEquals(*table, conditions);
+      ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+      rendered[mode].push_back(WriteCsvString(**filtered));
+      auto count = CountFilterMatches(*table, conditions);
+      ASSERT_TRUE(count.ok()) << count.status().ToString();
+      counts[mode].push_back(*count);
+      EXPECT_EQ(*count, (*filtered)->num_rows());
+      for (const std::vector<int>& group_cols : group_sets) {
+        // The fused kernel must match its own definition: the composed
+        // two-operator result computed in the same mode.
+        auto fused = FilterGroupAggregate(*table, conditions, group_cols, aggs);
+        ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+        auto composed = GroupByAggregate(**filtered, group_cols, aggs);
+        ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+        EXPECT_EQ(WriteCsvString(**fused), WriteCsvString(**composed))
+            << "fused vs composed differ (seed " << GetParam() << ")";
+        rendered[mode].push_back(WriteCsvString(**fused));
+      }
+    }
+    for (const std::vector<int>& group_cols : group_sets) {
+      auto grouped = GroupByAggregate(*table, group_cols, aggs);
+      ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+      rendered[mode].push_back(WriteCsvString(**grouped));
+    }
+  }
+  ASSERT_EQ(rendered[0].size(), rendered[1].size());
+  for (size_t i = 0; i < rendered[0].size(); ++i) {
+    EXPECT_EQ(rendered[0][i], rendered[1][i])
+        << "vectorized vs legacy output " << i << " differs (seed " << GetParam() << ")";
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+TEST_P(RandomEquivalenceTest, VectorizedKernelsMatchWithDictionaryKernelsDisabled) {
+  // The two toggles are independent: vectorized kernels always run on codes,
+  // so flipping the dictionary switch must not change any vectorized output.
+  TablePtr table = MakeRandomTable(GetParam());
+  const std::vector<AggregateSpec> aggs = {AggregateSpec::CountStar("n"),
+                                           AggregateSpec::Sum(3, "val_sum")};
+  const std::vector<std::pair<int, Value>> conditions = {{0, Value::String("alpha")}};
+  std::vector<std::string> rendered[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    KernelModeGuard dict_guard(mode == 0);
+    VectorizedModeGuard vec_guard(true);
+    auto filtered = FilterEquals(*table, conditions);
+    ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+    rendered[mode].push_back(WriteCsvString(**filtered));
+    for (const std::vector<int>& group_cols :
+         std::vector<std::vector<int>>{{0, 1}, {2}, {}}) {
+      auto fused = FilterGroupAggregate(*table, conditions, group_cols, aggs);
+      ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+      rendered[mode].push_back(WriteCsvString(**fused));
+    }
+  }
+  ASSERT_EQ(rendered[0].size(), rendered[1].size());
+  for (size_t i = 0; i < rendered[0].size(); ++i) {
+    EXPECT_EQ(rendered[0][i], rendered[1][i])
+        << "dictionary toggle changed vectorized output " << i << " (seed " << GetParam()
+        << ")";
   }
 }
 

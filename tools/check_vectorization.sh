@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Asserts that every hot loop in the block/morsel kernel layer actually
+# auto-vectorizes (DESIGN.md §14). Hot loops are tagged with a `// vec-hot`
+# comment on the `for` line in src/relational/kernels.cc; this script
+# compiles the file exactly as the release build does (-O3) and checks gcc's
+# -fopt-info-vec report for a "loop vectorized" line at each tagged line
+# number. A tag with no report fails the build — a silent regression to a
+# scalar loop is a multi-x slowdown on every mining/explanation scan.
+#
+# Usage: tools/check_vectorization.sh [compiler]
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+CXX="${1:-${CXX:-g++}}"
+SRC="src/relational/kernels.cc"
+FLAGS=(-O3 -std=c++20 -Isrc -c -o /dev/null)
+
+if ! "${CXX}" --version >/dev/null 2>&1; then
+  echo "error: compiler '${CXX}' not found" >&2
+  exit 2
+fi
+
+# Tagged line numbers, from the source of truth: the annotations themselves.
+# Require a `for` on the same line so prose mentions of the tag don't count.
+mapfile -t hot_lines < <(grep -nE 'for \(.*// vec-hot' "${SRC}" | cut -d: -f1)
+if [[ ${#hot_lines[@]} -eq 0 ]]; then
+  echo "error: no '// vec-hot' annotations found in ${SRC}" >&2
+  exit 2
+fi
+
+report="$(mktemp)"
+trap 'rm -f "${report}"' EXIT
+if ! "${CXX}" "${FLAGS[@]}" -fopt-info-vec-optimized "${SRC}" 2> "${report}"; then
+  echo "error: ${SRC} failed to compile" >&2
+  cat "${report}" >&2
+  exit 2
+fi
+
+failures=0
+for line in "${hot_lines[@]}"; do
+  if grep -Eq "kernels\.cc:${line}:[0-9]+: optimized: loop vectorized" "${report}"; then
+    echo "ok:   ${SRC}:${line} vectorized"
+  else
+    echo "FAIL: ${SRC}:${line} tagged vec-hot but not vectorized"
+    failures=$((failures + 1))
+  fi
+done
+
+if [[ ${failures} -gt 0 ]]; then
+  echo ""
+  echo "--- compiler missed-vectorization report (why each loop was skipped) ---"
+  "${CXX}" "${FLAGS[@]}" -fopt-info-vec-missed "${SRC}" 2>&1 | grep -E 'kernels\.cc' | head -60
+  echo ""
+  echo "${failures} vec-hot loop(s) failed to vectorize" >&2
+  exit 1
+fi
+echo "all ${#hot_lines[@]} vec-hot loops vectorized"
