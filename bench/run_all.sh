@@ -2,7 +2,12 @@
 # Runs every JSON-capable benchmark harness and aggregates the per-bench
 # documents into one BENCH_results.json, giving future PRs a perf trajectory.
 #
-# Usage: bench/run_all.sh [build_dir] [output.json]
+# Usage: bench/run_all.sh [--only <pattern>] [build_dir] [output.json]
+#
+# --only <pattern> runs just the benches whose name contains <pattern>
+# (substring match) — e.g. `bench/run_all.sh --only outofcore` — and the
+# aggregate then contains only those entries (skipped benches are not
+# failures).
 #
 # Harnesses emit {"name", "config", "results"} via --json (bench_util.h);
 # bench_micro_engine uses google-benchmark's native JSON writer. Harnesses
@@ -12,9 +17,31 @@
 
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_results.json}"
+ONLY=""
+POSITIONAL=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --only)
+      if [[ $# -lt 2 ]]; then
+        echo "error: --only requires a pattern" >&2
+        exit 2
+      fi
+      ONLY="$2"
+      shift 2
+      ;;
+    *)
+      POSITIONAL+=("$1")
+      shift
+      ;;
+  esac
+done
+BUILD_DIR="${POSITIONAL[0]:-build}"
+OUT="${POSITIONAL[1]:-BENCH_results.json}"
 BENCH_DIR="${BUILD_DIR}/bench"
+
+selected() {
+  [[ -z "${ONLY}" || "$1" == *"${ONLY}"* ]]
+}
 
 if [[ ! -d "${BENCH_DIR}" ]]; then
   echo "error: ${BENCH_DIR} not found (build with: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
@@ -31,6 +58,7 @@ JSON_BENCHES=(
   bench_parallel_explain
   bench_pattern_cache
   bench_server_load
+  bench_outofcore_mining
 )
 
 # A failing bench must fail the aggregate: its entry becomes an explicit
@@ -48,6 +76,7 @@ mark_failure() {
 
 docs=()
 for bench in "${JSON_BENCHES[@]}"; do
+  selected "${bench}" || continue
   exe="${BENCH_DIR}/${bench}"
   if [[ ! -x "${exe}" ]]; then
     mark_failure "${bench}" 127 "executable missing"
@@ -66,7 +95,9 @@ for bench in "${JSON_BENCHES[@]}"; do
 done
 
 micro="${BENCH_DIR}/bench_micro_engine"
-if [[ -x "${micro}" ]]; then
+if ! selected bench_micro_engine; then
+  :
+elif [[ -x "${micro}" ]]; then
   echo "=== bench_micro_engine ==="
   code=0
   "${micro}" --benchmark_out="${TMP_DIR}/bench_micro_engine.json" \
@@ -78,6 +109,11 @@ if [[ -x "${micro}" ]]; then
 else
   mark_failure bench_micro_engine 127 "executable missing"
   docs+=("${TMP_DIR}/bench_micro_engine.json")
+fi
+
+if [[ ${#docs[@]} -eq 0 ]]; then
+  echo "error: --only '${ONLY}' matched no benches" >&2
+  exit 2
 fi
 
 {

@@ -68,6 +68,15 @@ struct RunStats {
   int64_t serve_rejected = 0;
   int64_t serve_shed = 0;
   int64_t serve_deadline_truncated = 0;
+
+  // Paged-storage counters (snapshot of the table's PageSource cache at
+  // run_stats() time; all zero for fully in-memory tables — DESIGN.md §15).
+  // page_misses is the page-fault count: pins that had to read from disk.
+  int64_t page_hits = 0;
+  int64_t page_misses = 0;
+  int64_t page_evictions = 0;
+  int64_t page_bytes_read = 0;
+  int64_t page_bytes_pinned = 0;
 };
 
 /// The CAPE system facade: load a relation, mine aggregate regression
@@ -169,8 +178,23 @@ class Engine {
   /// Returned by value under the stats mutex, so a snapshot taken while
   /// other threads run Explain() is internally consistent (never torn).
   RunStats run_stats() const CAPE_EXCLUDES(stats_cell_->mu) {
-    MutexLock lock(stats_cell_->mu);
-    return stats_cell_->stats;
+    RunStats snapshot;
+    {
+      MutexLock lock(stats_cell_->mu);
+      snapshot = stats_cell_->stats;
+    }
+    // Overlay the live page-cache counters (the PageSource keeps its own
+    // thread-safe counters; snapshotting here keeps them fresh without the
+    // engine having to hook every pin).
+    if (table_ != nullptr && table_->page_source() != nullptr) {
+      const PageSourceStats ps = table_->page_source()->stats();
+      snapshot.page_hits = ps.hits;
+      snapshot.page_misses = ps.misses;
+      snapshot.page_evictions = ps.evictions;
+      snapshot.page_bytes_read = ps.bytes_read;
+      snapshot.page_bytes_pinned = ps.bytes_pinned;
+    }
+    return snapshot;
   }
 
   /// Adds to the cumulative serving counters (called by the request

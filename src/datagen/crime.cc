@@ -34,7 +34,8 @@ constexpr int kNumLocations = static_cast<int>(sizeof(kLocations) / sizeof(kLoca
 
 }  // namespace
 
-Result<TablePtr> GenerateCrime(const CrimeOptions& options) {
+Status GenerateCrimeRows(const CrimeOptions& options, std::vector<Field>* fields,
+                         const std::function<Status(const Row&)>& sink) {
   if (options.num_rows <= 0) return Status::InvalidArgument("num_rows must be positive");
   if (options.num_attrs < 4 || options.num_attrs > 11) {
     return Status::InvalidArgument("num_attrs must be in [4, 11]");
@@ -63,10 +64,7 @@ Result<TablePtr> GenerateCrime(const CrimeOptions& options) {
       Field{"week", DataType::kInt64, false},
       Field{"block", DataType::kString, false},
   };
-  std::vector<Field> fields(all_fields.begin(),
-                            all_fields.begin() + options.num_attrs);
-  auto table = std::make_shared<Table>(Schema::Make(std::move(fields)));
-  table->Reserve(options.num_rows);
+  fields->assign(all_fields.begin(), all_fields.begin() + options.num_attrs);
 
   std::mt19937_64 rng(options.seed);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
@@ -120,6 +118,7 @@ Result<TablePtr> GenerateCrime(const CrimeOptions& options) {
     plant_series("Assault", 26, 8, {{2011, 14}});
   }
 
+  int64_t emitted = 0;
   auto emit_row = [&](int type_index, int community, int year, int month) {
     Row row;
     row.reserve(static_cast<size_t>(options.num_attrs));
@@ -143,7 +142,9 @@ Result<TablePtr> GenerateCrime(const CrimeOptions& options) {
       row.push_back(Value::String("BLK-" + std::to_string(community) + "-" +
                                   std::to_string(rng() % 2000)));
     }
-    return table->AppendRow(row);
+    CAPE_RETURN_IF_ERROR(sink(row));
+    ++emitted;
+    return Status::OK();
   };
 
   std::uniform_int_distribution<int> month_dist(1, 12);
@@ -155,12 +156,12 @@ Result<TablePtr> GenerateCrime(const CrimeOptions& options) {
         break;
       }
     }
-    for (int i = 0; i < p.count && table->num_rows() < options.num_rows; ++i) {
+    for (int i = 0; i < p.count && emitted < options.num_rows; ++i) {
       CAPE_RETURN_IF_ERROR(emit_row(type_index, p.community, p.year, month_dist(rng)));
     }
   }
 
-  while (table->num_rows() < options.num_rows) {
+  while (emitted < options.num_rows) {
     const int type_index = type_dist(rng);
     const int community = community_dist(rng) + 1;
     // Year from the community's linear trend.
@@ -177,8 +178,43 @@ Result<TablePtr> GenerateCrime(const CrimeOptions& options) {
         emit_row(type_index, community, year, std::min(12, std::max(1, month))));
   }
 
+  return Status::OK();
+}
+
+Result<TablePtr> GenerateCrime(const CrimeOptions& options) {
+  std::vector<Field> fields;
+  TablePtr table;
+  CAPE_RETURN_IF_ERROR(GenerateCrimeRows(
+      options, &fields,
+      [&](const Row& row) -> Status {
+        if (table == nullptr) {
+          // Deferred so the schema from GenerateCrimeRows is the one source
+          // of truth (it validates options before emitting anything).
+          table = std::make_shared<Table>(Schema::Make(fields));
+          table->Reserve(options.num_rows);
+        }
+        return table->AppendRow(row);
+      }));
+  if (table == nullptr) return Status::Internal("crime generator emitted no rows");
   CAPE_RETURN_IF_ERROR(table->Validate());
   return table;
+}
+
+Status GenerateCrimeToHeapFile(const CrimeOptions& options, const std::string& path,
+                               int64_t rows_per_page) {
+  std::vector<Field> fields;
+  std::unique_ptr<HeapFileWriter> writer;
+  CAPE_RETURN_IF_ERROR(GenerateCrimeRows(
+      options, &fields,
+      [&](const Row& row) -> Status {
+        if (writer == nullptr) {
+          CAPE_ASSIGN_OR_RETURN(
+              writer, HeapFileWriter::Create(path, Schema::Make(fields), rows_per_page));
+        }
+        return writer->Append(row);
+      }));
+  if (writer == nullptr) return Status::Internal("crime generator emitted no rows");
+  return writer->Finish();
 }
 
 }  // namespace cape

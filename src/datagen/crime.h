@@ -2,9 +2,13 @@
 #define CAPE_DATAGEN_CRIME_H_
 
 #include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "relational/table.h"
+#include "storage/heap_file.h"
 
 namespace cape {
 
@@ -48,6 +52,22 @@ struct CrimeOptions {
 
 /// Generates the crime table with `options.num_attrs` columns.
 Result<TablePtr> GenerateCrime(const CrimeOptions& options);
+
+/// Streaming core shared by GenerateCrime and GenerateCrimeToHeapFile:
+/// emits the schema into *fields and every generated row into `sink`, in a
+/// deterministic order/RNG sequence that depends only on `options` — the
+/// two callers therefore produce identical row streams, which is what
+/// makes a heap file written here byte-compatible (same dictionaries, same
+/// fingerprintable content) with the in-memory table.
+Status GenerateCrimeRows(const CrimeOptions& options, std::vector<Field>* fields,
+                         const std::function<Status(const Row&)>& sink);
+
+/// Streams the crime table straight into a heap file at `path` without ever
+/// materializing it: memory stays O(one page) regardless of num_rows, so
+/// this is how the out-of-core bench builds tables larger than its budget
+/// (and potentially larger than RAM).
+Status GenerateCrimeToHeapFile(const CrimeOptions& options, const std::string& path,
+                               int64_t rows_per_page = kDefaultRowsPerPage);
 
 }  // namespace cape
 

@@ -245,7 +245,44 @@ int64_t Column::CountDistinct() const {
   return 0;
 }
 
+Status Column::LoadDictionary(std::vector<std::string> entries) {
+  if (type_ != DataType::kString) {
+    return Status::TypeError("LoadDictionary on a non-string column");
+  }
+  if (!dict_.empty() || !codes_.empty()) {
+    return Status::InvalidArgument("LoadDictionary on a non-empty column");
+  }
+  dict_ = std::move(entries);
+  dict_index_.reserve(dict_.size());
+  for (size_t i = 0; i < dict_.size(); ++i) {
+    const auto [it, inserted] = dict_index_.emplace(dict_[i], static_cast<int32_t>(i));
+    (void)it;
+    if (!inserted) {
+      dict_.clear();
+      dict_index_.clear();
+      return Status::InvalidArgument("duplicate dictionary entry in heap file");
+    }
+  }
+  return Status::OK();
+}
+
+void Column::SetPagedStats(int64_t null_count, Value min, Value max) {
+  has_paged_stats_ = true;
+  null_count_ = null_count;
+  paged_min_ = std::move(min);
+  paged_max_ = std::move(max);
+}
+
+void Column::ClearRowsKeepDict() {
+  int64_data_.clear();
+  double_data_.clear();
+  codes_.clear();
+  validity_.clear();
+  null_count_ = 0;
+}
+
 Value Column::Min() const {
+  if (has_paged_stats_) return paged_min_;
   if (type_ == DataType::kString) {
     const std::string* best = nullptr;
     for (const std::string& s : dict_) {
@@ -263,6 +300,7 @@ Value Column::Min() const {
 }
 
 Value Column::Max() const {
+  if (has_paged_stats_) return paged_max_;
   if (type_ == DataType::kString) {
     const std::string* best = nullptr;
     for (const std::string& s : dict_) {

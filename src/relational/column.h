@@ -133,6 +133,25 @@ class Column {
   /// Feeds Table::Fingerprint for pattern-cache invalidation.
   void HashContent(Fnv64* h) const;
 
+  /// Installs a heap-file dictionary into an empty string column (paged
+  /// tables keep dictionaries resident while rows live on disk). Entries
+  /// must be distinct and in file code order, so GetCode/FindCode/DictString
+  /// agree with the codes stored in the pages. TypeError on numeric columns;
+  /// InvalidArgument on non-empty columns or duplicate entries.
+  Status LoadDictionary(std::vector<std::string> entries);
+
+  /// Installs file-global statistics for a column whose rows are not
+  /// resident: null_count()/Min()/Max() answer from these instead of
+  /// scanning (there are no rows to scan). The stats come from the heap-file
+  /// trailer, which the writer computed over the exact row stream.
+  void SetPagedStats(int64_t null_count, Value min, Value max);
+
+  /// Drops all row storage (data, validity, null count) but keeps the
+  /// dictionary and its index. The heap-file writer reuses one Column as a
+  /// per-page accumulator: codes stay stable across pages because the
+  /// dictionary persists while rows are flushed.
+  void ClearRowsKeepDict();
+
  private:
   static const std::string& EmptyString();
 
@@ -149,6 +168,10 @@ class Column {
   std::vector<int32_t> codes_;
   std::vector<std::string> dict_;
   std::unordered_map<std::string, int32_t> dict_index_;
+  // File-global stats for paged (non-resident) columns; see SetPagedStats.
+  bool has_paged_stats_ = false;
+  Value paged_min_ = Value::Null();
+  Value paged_max_ = Value::Null();
 };
 
 }  // namespace cape

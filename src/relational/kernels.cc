@@ -88,6 +88,34 @@ int64_t CompactBlock(const uint8_t* mask, int n, int64_t begin, int64_t* out) {
   return k;
 }
 
+/// A Column's full arrays viewed as one ColumnChunk, so the in-memory and
+/// paged scans share the same per-condition mask kernels (EvalCond).
+ColumnChunk ColumnArrays(const Column& col) {
+  ColumnChunk ch;
+  ch.validity = col.validity_data();
+  ch.i64 = col.int64_data();
+  ch.f64 = col.double_data();
+  ch.codes = col.codes_data();
+  ch.null_count = col.null_count();
+  return ch;
+}
+
+/// Boxes page-local row `i` of `ch` exactly as Column::GetValue would: the
+/// chunk arrays mirror the Column layout and `col` supplies the type and
+/// (for strings) the resident dictionary.
+Value ChunkGetValue(const ColumnChunk& ch, const Column& col, int i) {
+  if (ch.validity[i] == 0) return Value::Null();
+  switch (col.type()) {
+    case DataType::kInt64:
+      return Value::Int64(ch.i64[i]);
+    case DataType::kDouble:
+      return Value::Double(ch.f64[i]);
+    case DataType::kString:
+      return Value::String(col.DictString(ch.codes[i]));
+  }
+  return Value::Null();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -114,6 +142,7 @@ BlockPredicate::BlockPredicate(const Table& table,
   for (const auto& [col_idx, value] : conditions) {
     Cond cond;
     cond.col = &table.column(col_idx);
+    cond.col_idx = col_idx;
     if (value.is_null()) {
       cond.kind = cond.col->type() == DataType::kString ? Kind::kNullCode
                                                         : Kind::kNullValidity;
@@ -146,8 +175,8 @@ BlockPredicate::BlockPredicate(const Table& table,
   }
 }
 
-void BlockPredicate::EvalBlock(int64_t begin, int n, uint8_t* mask) const {
-  std::memset(mask, 1, static_cast<size_t>(n));
+void BlockPredicate::EvalCond(const Cond& cond, const ColumnChunk& arrays, int64_t begin,
+                              int n, uint8_t* mask) {
   // Scratch for the 8-byte compares; see MaskInt64Eq/MaskDoubleEq for why
   // they run through a same-width temporary in a noinline helper. Each case
   // uses exactly one member — never both — so no punning occurs.
@@ -155,62 +184,74 @@ void BlockPredicate::EvalBlock(int64_t begin, int n, uint8_t* mask) const {
     uint64_t u64[kKernelBlockSize];
     double f64[kKernelBlockSize];
   } tmp;
-  for (const Cond& cond : conds_) {
-    const Column& col = *cond.col;
-    switch (cond.kind) {
-      case Kind::kCode: {
-        const int32_t* codes = col.codes_data() + begin;
-        const int32_t want = cond.code;
-        // kNullCode (-1) never equals a real code, so no separate null check.
-        for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(codes[i] == want);  // vec-hot
-        break;
-      }
-      case Kind::kNullCode: {
-        const int32_t* codes = col.codes_data() + begin;
-        for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(codes[i] < 0);  // vec-hot
-        break;
-      }
-      case Kind::kNullValidity: {
-        const uint8_t* valid = col.validity_data() + begin;
-        for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(valid[i] ^ 1);  // vec-hot
-        break;
-      }
-      case Kind::kInt64: {
-        MaskInt64Eq(col.int64_data() + begin, cond.i64, n, tmp.u64);
-        // NULL slots store 0, so a want==0 condition needs the validity AND;
-        // the cached null count skips it for fully-valid columns.
-        if (col.null_count() == 0) {
-          for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(tmp.u64[i] == 0);
-        } else {
-          const uint8_t* valid = col.validity_data() + begin;
-          for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(tmp.u64[i] == 0) & valid[i];
-        }
-        break;
-      }
-      case Kind::kDoubleEq: {
-        MaskDoubleEq(col.double_data() + begin, cond.f64, n, tmp.f64);
-        if (col.null_count() == 0) {
-          for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(tmp.f64[i] == 0.0);
-        } else {
-          const uint8_t* valid = col.validity_data() + begin;
-          for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(tmp.f64[i] == 0.0) & valid[i];
-        }
-        break;
-      }
-      case Kind::kInt64AsDouble: {
-        // int64 column against a double condition value: the int64→double
-        // conversion has no baseline-SSE2 vector form, so this rare shape
-        // stays scalar.
-        const int64_t* data = col.int64_data() + begin;
-        const uint8_t* valid = col.validity_data() + begin;
-        const double want = cond.f64;
-        for (int i = 0; i < n; ++i) {
-          const double x = static_cast<double>(data[i]);
-          mask[i] &= static_cast<uint8_t>(valid[i] & !(x < want) & !(x > want));
-        }
-        break;
-      }
+  switch (cond.kind) {
+    case Kind::kCode: {
+      const int32_t* codes = arrays.codes + begin;
+      const int32_t want = cond.code;
+      // kNullCode (-1) never equals a real code, so no separate null check.
+      for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(codes[i] == want);  // vec-hot
+      break;
     }
+    case Kind::kNullCode: {
+      const int32_t* codes = arrays.codes + begin;
+      for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(codes[i] < 0);  // vec-hot
+      break;
+    }
+    case Kind::kNullValidity: {
+      const uint8_t* valid = arrays.validity + begin;
+      for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(valid[i] ^ 1);  // vec-hot
+      break;
+    }
+    case Kind::kInt64: {
+      MaskInt64Eq(arrays.i64 + begin, cond.i64, n, tmp.u64);
+      // NULL slots store 0, so a want==0 condition needs the validity AND;
+      // the cached null count skips it for fully-valid columns.
+      if (arrays.null_count == 0) {
+        for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(tmp.u64[i] == 0);
+      } else {
+        const uint8_t* valid = arrays.validity + begin;
+        for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(tmp.u64[i] == 0) & valid[i];
+      }
+      break;
+    }
+    case Kind::kDoubleEq: {
+      MaskDoubleEq(arrays.f64 + begin, cond.f64, n, tmp.f64);
+      if (arrays.null_count == 0) {
+        for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(tmp.f64[i] == 0.0);
+      } else {
+        const uint8_t* valid = arrays.validity + begin;
+        for (int i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(tmp.f64[i] == 0.0) & valid[i];
+      }
+      break;
+    }
+    case Kind::kInt64AsDouble: {
+      // int64 column against a double condition value: the int64→double
+      // conversion has no baseline-SSE2 vector form, so this rare shape
+      // stays scalar.
+      const int64_t* data = arrays.i64 + begin;
+      const uint8_t* valid = arrays.validity + begin;
+      const double want = cond.f64;
+      for (int i = 0; i < n; ++i) {
+        const double x = static_cast<double>(data[i]);
+        mask[i] &= static_cast<uint8_t>(valid[i] & !(x < want) & !(x > want));
+      }
+      break;
+    }
+  }
+}
+
+void BlockPredicate::EvalBlock(int64_t begin, int n, uint8_t* mask) const {
+  std::memset(mask, 1, static_cast<size_t>(n));
+  for (const Cond& cond : conds_) {
+    EvalCond(cond, ColumnArrays(*cond.col), begin, n, mask);
+  }
+}
+
+void BlockPredicate::EvalChunk(const ColumnChunk* chunks, int begin, int n,
+                               uint8_t* mask) const {
+  std::memset(mask, 1, static_cast<size_t>(n));
+  for (const Cond& cond : conds_) {
+    EvalCond(cond, chunks[cond.col_idx], begin, n, mask);
   }
 }
 
@@ -244,12 +285,27 @@ Status FilterEqualsSel(const Table& table,
   return Status::OK();
 }
 
+namespace {
+
+// Defined with the rest of the paged machinery in the fused section below
+// (unnamed namespaces in one TU are a single namespace).
+Result<int64_t> PagedCountFilterMatches(const Table& table,
+                                        const std::vector<std::pair<int, Value>>& conditions,
+                                        StopToken* stop);
+
+}  // namespace
+
 Result<int64_t> CountFilterMatches(const Table& table,
                                    const std::vector<std::pair<int, Value>>& conditions,
                                    StopToken* stop) {
   for (const auto& [col, value] : conditions) {
     CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, col));
     (void)value;
+  }
+  if (table.UsesPagedScan()) {
+    // Page-backed rows: counting must pin pages regardless of the
+    // vectorized toggle (there is no row-at-a-time path into a heap file).
+    return PagedCountFilterMatches(table, conditions, stop);
   }
   if (!VectorizedKernelsEnabled()) {
     const RowEqualityMatcher matcher(table, conditions);
@@ -301,6 +357,7 @@ enum class AggKind : uint8_t {
 struct AggPlan {
   AggKind kind = AggKind::kBoxed;
   const Column* col = nullptr;
+  int col_idx = -1;  // chunk index for paged scans (kCountStar: unused)
 };
 
 std::vector<AggPlan> CompileAggPlans(const Table& table,
@@ -313,6 +370,7 @@ std::vector<AggPlan> CompileAggPlans(const Table& table,
       p.kind = AggKind::kCountStar;
     } else {
       p.col = &table.column(spec.input_col);
+      p.col_idx = spec.input_col;
       switch (spec.func) {
         case AggFunc::kCount:
           p.kind = AggKind::kCountCol;
@@ -383,9 +441,12 @@ struct GroupTable {
 };
 
 /// Group lookup via a direct-address array — one vector access per row for
-/// small mixed-radix key spaces.
+/// small mixed-radix key spaces. Templated over the group table so the
+/// paged scan (PagedGroupTable boxes representatives at discovery time)
+/// shares the sink logic with the in-memory one.
+template <typename Groups>
 struct DirectSink {
-  DirectSink(uint64_t domain, GroupTable* groups)
+  DirectSink(uint64_t domain, Groups* groups)
       : slots(static_cast<size_t>(domain), -1), groups(groups) {}
 
   size_t GidFor(uint64_t key, int64_t row) {
@@ -395,12 +456,13 @@ struct DirectSink {
   }
 
   std::vector<int32_t> slots;
-  GroupTable* groups;
+  Groups* groups;
 };
 
 /// Group lookup via an exact uint64-keyed hash map for larger key spaces.
+template <typename Groups>
 struct MapSink {
-  MapSink(size_t expected, GroupTable* groups) : groups(groups) {
+  MapSink(size_t expected, Groups* groups) : groups(groups) {
     map.reserve(expected);
   }
 
@@ -411,7 +473,7 @@ struct MapSink {
   }
 
   std::unordered_map<uint64_t, size_t> map;
-  GroupTable* groups;
+  Groups* groups;
 };
 
 /// One column of the dense mixed-radix packed key (DESIGN.md §10): string
@@ -419,6 +481,7 @@ struct MapSink {
 /// NULL maps to digit 0.
 struct DenseCol {
   const Column* col = nullptr;
+  int col_idx = 0;  // chunk index for paged scans
   uint64_t stride = 1;
   int64_t base = 0;  // minimum value for int64 columns
   bool is_string = false;
@@ -438,7 +501,7 @@ bool PlanDenseKeys(const Table& table, const std::vector<int>& group_cols,
                                        : table.num_rows();
   for (int c : group_cols) {
     const Column& col = table.column(c);
-    DenseCol d{&col, *domain_product, 0, false};
+    DenseCol d{&col, c, *domain_product, 0, false};
     uint64_t domain;  // cardinality + 1 slot for NULL
     if (col.type() == DataType::kString) {
       d.is_string = true;
@@ -682,6 +745,483 @@ Status SingleGroupScan(const Table& table, const BlockPredicate& pred,
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Paged scans (DESIGN.md §15). A page-backed table (Table::UsesPagedScan())
+// is scanned pin-page → block loops over its chunks → unpin; the kernels
+// below mirror their in-memory twins row for row. Byte-identity argument:
+// both paths visit rows in ascending global order, number groups in
+// first-seen order (any injective keying yields the same numbering),
+// accumulate floating-point sums in that same order, and box values with
+// identical semantics — so the output tables are byte-identical.
+
+/// Drives a sequential page scan: pins each page (prefetching the next),
+/// hands its view to `fn`, and unpins via PageRef. Stop checks run per page
+/// in addition to fn's per-block checks.
+template <typename Fn>
+Status ScanPages(const Table& table, StopToken* stop, Fn&& fn) {
+  PageSource& src = *table.page_source();
+  const int64_t pages = src.num_pages();
+  for (int64_t p = 0; p < pages; ++p) {
+    CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+    CAPE_ASSIGN_OR_RETURN(PageRef ref, src.Pin(p));
+    // Prefetch the successor while p is pinned: with >= 2 frames the next
+    // Pin hits; with a single frame the hint is skipped (the only frame is
+    // pinned), so a minimal budget never double-reads.
+    if (p + 1 < pages) src.Prefetch(p + 1);
+    CAPE_RETURN_IF_ERROR(fn(ref.view()));
+  }
+  return Status::OK();
+}
+
+/// Paged twin of GroupTable: group-column values are boxed at discovery
+/// time (while the page is pinned — it may be evicted before finalize), in
+/// place of the representative row index the in-memory path re-reads later.
+struct PagedGroupTable {
+  std::vector<Row> reps;                      // boxed group values, first-seen order
+  std::vector<std::vector<AggState>> states;  // [group][agg]
+  size_t num_aggs = 0;
+  const Table* table = nullptr;
+  const std::vector<int>* group_cols = nullptr;
+  const ColumnChunk* chunks = nullptr;  // current page; set by the scan loop
+
+  size_t AddGroup(int64_t local_row) {
+    Row rep;
+    rep.reserve(group_cols->size());
+    for (int c : *group_cols) {
+      rep.push_back(ChunkGetValue(chunks[c], table->column(c), static_cast<int>(local_row)));
+    }
+    reps.push_back(std::move(rep));
+    states.emplace_back(num_aggs);
+    return states.size() - 1;
+  }
+};
+
+/// Min/max update from a pinned page, replicating UpdateAggState's boxed
+/// branch (count increment included, first-seen value kept on ties).
+void UpdateChunkBoxed(const Table& table, const AggregateSpec& spec,
+                      const ColumnChunk* chunks, int i, AggState* st) {
+  Value v = ChunkGetValue(chunks[spec.input_col], table.column(spec.input_col), i);
+  if (v.is_null()) return;
+  ++st->count;
+  if (spec.func == AggFunc::kMin) {
+    if (st->min_value.is_null() || v < st->min_value) st->min_value = std::move(v);
+  } else if (spec.func == AggFunc::kMax) {
+    if (st->max_value.is_null() || st->max_value < v) st->max_value = std::move(v);
+  }
+}
+
+/// UpdateRowWithPlans twin reading page chunks at page-local row `i`.
+void UpdateChunkWithPlans(const Table& table, const std::vector<AggregateSpec>& aggs,
+                          const std::vector<AggPlan>& plans, const ColumnChunk* chunks,
+                          int i, std::vector<AggState>* states) {
+  for (size_t a = 0; a < plans.size(); ++a) {
+    AggState& st = (*states)[a];
+    const AggPlan& p = plans[a];
+    switch (p.kind) {
+      case AggKind::kCountStar:
+        ++st.count;
+        break;
+      case AggKind::kCountCol:
+        if (chunks[p.col_idx].validity[i] != 0) ++st.count;
+        break;
+      case AggKind::kSumInt64: {
+        const ColumnChunk& ch = chunks[p.col_idx];
+        if (ch.validity[i] != 0) {
+          ++st.count;
+          const int64_t v = ch.i64[i];
+          st.isum += v;
+          st.dsum += static_cast<double>(v);
+        }
+        break;
+      }
+      case AggKind::kSumDouble: {
+        const ColumnChunk& ch = chunks[p.col_idx];
+        if (ch.validity[i] != 0) {
+          ++st.count;
+          st.dsum += ch.f64[i];
+        }
+        break;
+      }
+      case AggKind::kBoxed:
+        UpdateChunkBoxed(table, aggs[a], chunks, i, &st);
+        break;
+    }
+  }
+}
+
+/// Dense-key layout for a paged scan. Unlike PlanDenseKeys it cannot scan
+/// rows for int64 ranges, so it uses the file-global column min/max (paged
+/// stats for non-resident tables). The resulting radix layout can differ
+/// from the in-memory plan's — harmless, since group numbering depends only
+/// on first-seen order under an injective key, not on the key values.
+bool PlanPagedDenseKeys(const Table& table, const std::vector<int>& group_cols,
+                        std::vector<DenseCol>* dense, uint64_t* domain_product) {
+  if (table.num_rows() >= (int64_t{1} << 31)) return false;
+  *domain_product = 1;
+  for (int c : group_cols) {
+    const Column& col = table.column(c);
+    DenseCol d{&col, c, *domain_product, 0, false};
+    uint64_t domain;  // cardinality + 1 slot for NULL
+    if (col.type() == DataType::kString) {
+      d.is_string = true;
+      domain = static_cast<uint64_t>(col.dict_size()) + 1;
+    } else if (col.type() == DataType::kInt64) {
+      const Value mn = col.Min();
+      int64_t lo = 0;
+      int64_t hi = 0;
+      if (!mn.is_null()) {
+        lo = mn.int64_value();
+        hi = col.Max().int64_value();
+      }
+      const uint64_t width = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+      if (width >= (uint64_t{1} << 22)) return false;  // too sparse
+      domain = width + 2;
+      d.base = lo;
+    } else {
+      return false;  // double group keys keep the generic encoder
+    }
+    if (*domain_product > std::numeric_limits<uint64_t>::max() / domain) {
+      return false;  // mixed-radix product overflows uint64
+    }
+    *domain_product *= domain;
+    dense->push_back(d);
+  }
+  return true;
+}
+
+/// PackBlockKeys twin over page chunks (page-local rows [begin, begin+n)).
+void PackChunkKeys(const std::vector<DenseCol>& dense, const ColumnChunk* chunks,
+                   int begin, int n, uint64_t* keys) {
+  std::memset(keys, 0, static_cast<size_t>(n) * sizeof(uint64_t));
+  for (const DenseCol& d : dense) {
+    const ColumnChunk& ch = chunks[d.col_idx];
+    const uint64_t stride = d.stride;
+    if (d.is_string) {
+      const int32_t* codes = ch.codes + begin;
+      for (int i = 0; i < n; ++i) keys[i] += static_cast<uint64_t>(codes[i] + 1) * stride;  // vec-hot
+    } else if (ch.null_count == 0) {
+      const int64_t* data = ch.i64 + begin;
+      const uint64_t base = static_cast<uint64_t>(d.base);
+      for (int i = 0; i < n; ++i) keys[i] += (static_cast<uint64_t>(data[i]) - base + 1) * stride;  // vec-hot
+    } else {
+      const int64_t* data = ch.i64 + begin;
+      const uint8_t* valid = ch.validity + begin;
+      const uint64_t base = static_cast<uint64_t>(d.base);
+      for (int i = 0; i < n; ++i) {
+        keys[i] += (valid[i] != 0 ? static_cast<uint64_t>(data[i]) - base + 1 : 0) * stride;
+      }
+    }
+  }
+}
+
+/// Scalar chunk key pack for filtered paged scans (mirrors PackKeyScalar).
+uint64_t PackKeyScalarChunk(const std::vector<DenseCol>& dense, const ColumnChunk* chunks,
+                            int i) {
+  uint64_t key = 0;
+  for (const DenseCol& d : dense) {
+    const ColumnChunk& ch = chunks[d.col_idx];
+    const uint64_t digit =
+        d.is_string ? static_cast<uint64_t>(ch.codes[i] + 1)  // NULL -> 0
+                    : (ch.validity[i] == 0
+                           ? 0
+                           : static_cast<uint64_t>(ch.i64[i] - d.base) + 1);
+    key += digit * d.stride;
+  }
+  return key;
+}
+
+template <typename Sink>
+Status PagedDenseScan(const Table& table, const std::vector<AggregateSpec>& aggs,
+                      const std::vector<AggPlan>& plans, const std::vector<DenseCol>& dense,
+                      const BlockPredicate& pred, Sink& sink, PagedGroupTable* groups,
+                      StopToken* stop) {
+  return ScanPages(table, stop, [&](const PageView& view) -> Status {
+    groups->chunks = view.cols;
+    uint64_t keys[kKernelBlockSize];
+    uint8_t mask[kKernelBlockSize];
+    int64_t selbuf[kKernelBlockSize];
+    const int n = view.row_count;
+    for (int b = 0; b < n; b += static_cast<int>(kKernelBlockSize)) {
+      CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+      const int bn = std::min<int>(static_cast<int>(kKernelBlockSize), n - b);
+      if (pred.always_matches()) {
+        PackChunkKeys(dense, view.cols, b, bn, keys);
+        for (int i = 0; i < bn; ++i) {
+          const size_t g = sink.GidFor(keys[i], b + i);
+          UpdateChunkWithPlans(table, aggs, plans, view.cols, b + i, &groups->states[g]);
+        }
+      } else {
+        pred.EvalChunk(view.cols, b, bn, mask);
+        const int64_t k = CompactBlock(mask, bn, b, selbuf);
+        for (int64_t j = 0; j < k; ++j) {
+          const int i = static_cast<int>(selbuf[j]);  // page-local row
+          const size_t g = sink.GidFor(PackKeyScalarChunk(dense, view.cols, i), i);
+          UpdateChunkWithPlans(table, aggs, plans, view.cols, i, &groups->states[g]);
+        }
+      }
+    }
+    return Status::OK();
+  });
+}
+
+/// Injective per-row group key from page chunks: '\0' for NULL, else '\1'
+/// plus a fixed-width payload (GroupKeyEncoder's compact format). Grouping
+/// equality classes match the in-memory encoder's exactly — codes are
+/// bijective with strings via the file dictionary, and -0.0 canonicalizes
+/// to 0.0 — and only injectivity affects the output bytes.
+void EncodeChunkKey(const Table& table, const std::vector<int>& group_cols,
+                    const ColumnChunk* chunks, int i, std::string* buf) {
+  for (int c : group_cols) {
+    const ColumnChunk& ch = chunks[c];
+    if (ch.validity[i] == 0) {
+      buf->push_back('\0');
+      continue;
+    }
+    buf->push_back('\1');
+    switch (table.column(c).type()) {
+      case DataType::kInt64: {
+        const int64_t v = ch.i64[i];
+        buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kDouble: {
+        double v = ch.f64[i];
+        if (v == 0.0) v = 0.0;  // canonicalize -0.0
+        buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kString: {
+        const int32_t code = ch.codes[i];
+        buf->append(reinterpret_cast<const char*>(&code), sizeof(code));
+        break;
+      }
+    }
+  }
+}
+
+/// EncoderScan twin for paged tables (double group keys, wide int ranges,
+/// overflowing domain products).
+Status PagedEncoderScan(const Table& table, const std::vector<int>& group_cols,
+                        const std::vector<AggregateSpec>& aggs,
+                        const std::vector<AggPlan>& plans, const BlockPredicate& pred,
+                        PagedGroupTable* groups, StopToken* stop) {
+  const size_t expected = static_cast<size_t>(table.num_rows() / 4 + 1);
+  std::unordered_map<uint64_t, std::vector<size_t>> group_buckets;
+  std::vector<std::string> group_keys;
+  group_buckets.reserve(expected);
+  group_keys.reserve(expected);
+  std::string key;
+  return ScanPages(table, stop, [&](const PageView& view) -> Status {
+    groups->chunks = view.cols;
+    uint8_t mask[kKernelBlockSize];
+    int64_t selbuf[kKernelBlockSize];
+    const int n = view.row_count;
+    for (int b = 0; b < n; b += static_cast<int>(kKernelBlockSize)) {
+      CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+      const int bn = std::min<int>(static_cast<int>(kKernelBlockSize), n - b);
+      pred.EvalChunk(view.cols, b, bn, mask);
+      const int64_t k = CompactBlock(mask, bn, b, selbuf);
+      for (int64_t j = 0; j < k; ++j) {
+        const int i = static_cast<int>(selbuf[j]);  // page-local row
+        key.clear();
+        EncodeChunkKey(table, group_cols, view.cols, i, &key);
+        const uint64_t hash = HashBytes(key.data(), key.size());
+        std::vector<size_t>& bucket = group_buckets[hash];
+        size_t group = groups->states.size();
+        for (size_t candidate : bucket) {
+          if (group_keys[candidate] == key) {
+            group = candidate;
+            break;
+          }
+        }
+        if (group == groups->states.size()) {
+          bucket.push_back(group);
+          group_keys.push_back(key);
+          groups->AddGroup(i);
+        }
+        UpdateChunkWithPlans(table, aggs, plans, view.cols, i, &groups->states[group]);
+      }
+    }
+    return Status::OK();
+  });
+}
+
+Status PagedGroupScan(const Table& table, const std::vector<int>& group_cols,
+                      const std::vector<AggregateSpec>& aggs,
+                      const std::vector<AggPlan>& plans, const BlockPredicate& pred,
+                      PagedGroupTable* groups, StopToken* stop) {
+  std::vector<DenseCol> dense;
+  uint64_t domain_product = 1;
+  if (!PlanPagedDenseKeys(table, group_cols, &dense, &domain_product)) {
+    return PagedEncoderScan(table, group_cols, aggs, plans, pred, groups, stop);
+  }
+  // Same direct-vs-map crossover as GroupScan, with the full row count as
+  // the budget (a filtered paged scan has no pre-computed selection size).
+  const uint64_t direct_cap =
+      static_cast<uint64_t>(std::max<int64_t>(table.num_rows(), 1024)) * 4;
+  if (domain_product <= direct_cap) {
+    DirectSink sink(domain_product, groups);
+    return PagedDenseScan(table, aggs, plans, dense, pred, sink, groups, stop);
+  }
+  MapSink sink(static_cast<size_t>(table.num_rows() / 4 + 1), groups);
+  return PagedDenseScan(table, aggs, plans, dense, pred, sink, groups, stop);
+}
+
+/// SingleGroupScan twin over pages: aggregates consume chunk masks and
+/// page-local selections directly; sums accumulate in ascending global row
+/// order, so the floating-point sequence matches the in-memory path.
+Status PagedSingleGroupScan(const Table& table, const BlockPredicate& pred,
+                            const std::vector<AggregateSpec>& aggs,
+                            const std::vector<AggPlan>& plans,
+                            std::vector<AggState>* states, StopToken* stop) {
+  bool need_sel = false;
+  for (const AggPlan& p : plans) {
+    if (p.kind != AggKind::kCountStar && p.kind != AggKind::kCountCol) need_sel = true;
+  }
+  return ScanPages(table, stop, [&](const PageView& view) -> Status {
+    uint8_t mask[kKernelBlockSize];
+    int64_t selbuf[kKernelBlockSize];
+    const int n = view.row_count;
+    for (int b = 0; b < n; b += static_cast<int>(kKernelBlockSize)) {
+      CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+      const int bn = std::min<int>(static_cast<int>(kKernelBlockSize), n - b);
+      pred.EvalChunk(view.cols, b, bn, mask);
+      int64_t k = 0;
+      if (need_sel) k = CompactBlock(mask, bn, b, selbuf);  // page-local rows
+      for (size_t a = 0; a < plans.size(); ++a) {
+        AggState& st = (*states)[a];
+        const AggPlan& p = plans[a];
+        switch (p.kind) {
+          case AggKind::kCountStar:
+            st.count += CountMask(mask, bn);
+            break;
+          case AggKind::kCountCol: {
+            const ColumnChunk& ch = view.cols[p.col_idx];
+            st.count += ch.null_count == 0
+                            ? CountMask(mask, bn)
+                            : CountMaskAndValid(mask, ch.validity + b, bn);
+            break;
+          }
+          case AggKind::kSumInt64: {
+            const ColumnChunk& ch = view.cols[p.col_idx];
+            for (int64_t j = 0; j < k; ++j) {
+              const int i = static_cast<int>(selbuf[j]);
+              if (ch.validity[i] == 0) continue;
+              ++st.count;
+              const int64_t v = ch.i64[i];
+              st.isum += v;
+              st.dsum += static_cast<double>(v);
+            }
+            break;
+          }
+          case AggKind::kSumDouble: {
+            const ColumnChunk& ch = view.cols[p.col_idx];
+            for (int64_t j = 0; j < k; ++j) {
+              const int i = static_cast<int>(selbuf[j]);
+              if (ch.validity[i] == 0) continue;
+              ++st.count;
+              st.dsum += ch.f64[i];
+            }
+            break;
+          }
+          case AggKind::kBoxed:
+            for (int64_t j = 0; j < k; ++j) {
+              UpdateChunkBoxed(table, aggs[a], view.cols, static_cast<int>(selbuf[j]), &st);
+            }
+            break;
+        }
+      }
+    }
+    return Status::OK();
+  });
+}
+
+/// Fused filter→group→aggregate over a paged table; same output contract as
+/// the in-memory FilterGroupAggregate below.
+Result<TablePtr> PagedFilterGroupAggregate(const Table& table,
+                                           const std::vector<std::pair<int, Value>>& conditions,
+                                           const std::vector<int>& group_cols,
+                                           const std::vector<AggregateSpec>& aggs,
+                                           StopToken* stop) {
+  for (const auto& [col, value] : conditions) {
+    CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, col));
+    (void)value;
+  }
+  for (int c : group_cols) CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, c));
+  for (const AggregateSpec& spec : aggs) CAPE_RETURN_IF_ERROR(ValidateAggSpec(table, spec));
+
+  std::vector<Field> out_fields;
+  out_fields.reserve(group_cols.size() + aggs.size());
+  for (int c : group_cols) out_fields.push_back(table.schema()->field(c));
+  for (const AggregateSpec& spec : aggs) {
+    out_fields.push_back(
+        Field{spec.output_name, relational_internal::AggOutputType(table, spec), true});
+  }
+
+  PagedGroupTable groups;
+  groups.num_aggs = aggs.size();
+  groups.table = &table;
+  groups.group_cols = &group_cols;
+  const std::vector<AggPlan> plans = CompileAggPlans(table, aggs);
+  const BlockPredicate pred(table, conditions);
+  if (pred.never_matches()) {
+    // The selection is provably empty without touching a single page.
+    if (stop != nullptr && stop->ShouldStopNow()) return stop->ToStatus();
+  } else if (group_cols.empty()) {
+    groups.reps.emplace_back();
+    groups.states.emplace_back(aggs.size());
+    CAPE_RETURN_IF_ERROR(
+        PagedSingleGroupScan(table, pred, aggs, plans, &groups.states[0], stop));
+  } else {
+    CAPE_RETURN_IF_ERROR(
+        PagedGroupScan(table, group_cols, aggs, plans, pred, &groups, stop));
+  }
+
+  // Aggregation without grouping yields exactly one row even on empty input.
+  if (group_cols.empty() && groups.states.empty()) {
+    groups.reps.emplace_back();
+    groups.states.emplace_back(aggs.size());
+  }
+
+  auto out = std::make_shared<Table>(Schema::Make(std::move(out_fields)));
+  out->Reserve(static_cast<int64_t>(groups.states.size()));
+  Row out_row;
+  for (size_t g = 0; g < groups.states.size(); ++g) {
+    out_row.clear();
+    for (const Value& v : groups.reps[g]) out_row.push_back(v);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      out_row.push_back(
+          relational_internal::FinalizeAggState(table, aggs[a], groups.states[g][a]));
+    }
+    CAPE_RETURN_IF_ERROR(out->AppendRow(out_row));
+  }
+  return out;
+}
+
+/// Paged count: block masks over chunks, no materialization.
+Result<int64_t> PagedCountFilterMatches(const Table& table,
+                                        const std::vector<std::pair<int, Value>>& conditions,
+                                        StopToken* stop) {
+  const BlockPredicate pred(table, conditions);
+  if (pred.never_matches()) {
+    if (stop != nullptr && stop->ShouldStopNow()) return stop->ToStatus();
+    return int64_t{0};
+  }
+  int64_t count = 0;
+  CAPE_RETURN_IF_ERROR(ScanPages(table, stop, [&](const PageView& view) -> Status {
+    uint8_t mask[kKernelBlockSize];
+    const int n = view.row_count;
+    for (int b = 0; b < n; b += static_cast<int>(kKernelBlockSize)) {
+      CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+      const int bn = std::min<int>(static_cast<int>(kKernelBlockSize), n - b);
+      pred.EvalChunk(view.cols, b, bn, mask);
+      count += CountMask(mask, bn);
+    }
+    return Status::OK();
+  }));
+  return count;
+}
+
 }  // namespace
 
 Result<TablePtr> FilterGroupAggregate(const Table& table,
@@ -689,6 +1229,13 @@ Result<TablePtr> FilterGroupAggregate(const Table& table,
                                       const std::vector<int>& group_cols,
                                       const std::vector<AggregateSpec>& aggs,
                                       StopToken* stop) {
+  if (table.UsesPagedScan()) {
+    // Page-backed rows take the paged scan regardless of the vectorized
+    // toggle: the in-memory paths (legacy included) read Column arrays that
+    // a non-resident table does not have. Equivalence fixtures compare this
+    // path against both in-memory modes on resident A/B tables.
+    return PagedFilterGroupAggregate(table, conditions, group_cols, aggs, stop);
+  }
   if (!VectorizedKernelsEnabled()) {
     // Legacy two-operator composition: the A/B baseline the fused path is
     // proven byte-identical against.
@@ -748,6 +1295,50 @@ Result<TablePtr> FilterGroupAggregate(const Table& table,
   }
   return out;
 }
+
+namespace relational_internal {
+
+Result<TablePtr> PagedFilterEquals(const Table& table,
+                                   const std::vector<std::pair<int, Value>>& conditions,
+                                   StopToken* stop) {
+  for (const auto& [col, value] : conditions) {
+    CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, col));
+    (void)value;
+  }
+  auto out = std::make_shared<Table>(table.schema());
+  const BlockPredicate pred(table, conditions);
+  if (pred.never_matches()) {
+    if (stop != nullptr && stop->ShouldStopNow()) return stop->ToStatus();
+    return out;
+  }
+  // Boxed AppendRow in ascending match order reproduces AppendRowsFrom
+  // byte-for-byte: output dictionaries intern strings in first-appearance
+  // order and null slots always store 0/0.0/kNullCode.
+  const int num_cols = table.num_columns();
+  Row row(static_cast<size_t>(num_cols));
+  CAPE_RETURN_IF_ERROR(ScanPages(table, stop, [&](const PageView& view) -> Status {
+    uint8_t mask[kKernelBlockSize];
+    int64_t selbuf[kKernelBlockSize];
+    const int n = view.row_count;
+    for (int b = 0; b < n; b += static_cast<int>(kKernelBlockSize)) {
+      CAPE_RETURN_IF_STOPPED_BLOCK(stop);
+      const int bn = std::min<int>(static_cast<int>(kKernelBlockSize), n - b);
+      pred.EvalChunk(view.cols, b, bn, mask);
+      const int64_t k = CompactBlock(mask, bn, b, selbuf);
+      for (int64_t j = 0; j < k; ++j) {
+        const int i = static_cast<int>(selbuf[j]);  // page-local row
+        for (int c = 0; c < num_cols; ++c) {
+          row[static_cast<size_t>(c)] = ChunkGetValue(view.cols[c], table.column(c), i);
+        }
+        CAPE_RETURN_IF_ERROR(out->AppendRow(row));
+      }
+    }
+    return Status::OK();
+  }));
+  return out;
+}
+
+}  // namespace relational_internal
 
 // ---------------------------------------------------------------------------
 // Sufficient statistics.

@@ -8,6 +8,7 @@
 #include "common/cancellation.h"
 #include "common/result.h"
 #include "relational/operators.h"
+#include "relational/page_source.h"
 #include "relational/table.h"
 
 namespace cape {
@@ -62,6 +63,13 @@ class BlockPredicate {
   /// [begin, begin + n) must be valid rows.
   void EvalBlock(int64_t begin, int n, uint8_t* mask) const;
 
+  /// EvalBlock twin for a pinned page: `chunks` holds one ColumnChunk per
+  /// table column (same layout as the Column arrays) and `begin` is a
+  /// page-local row offset. The compiled conditions are page-independent —
+  /// dictionary codes and never_matches() proofs hold for the whole file —
+  /// so one BlockPredicate serves every page of a scan.
+  void EvalChunk(const ColumnChunk* chunks, int begin, int n, uint8_t* mask) const;
+
  private:
   enum class Kind : uint8_t {
     kCode,           // string column: dictionary code equality
@@ -73,11 +81,18 @@ class BlockPredicate {
   };
   struct Cond {
     const Column* col = nullptr;
+    int col_idx = 0;  // chunk index for paged evaluation
     Kind kind = Kind::kCode;
     int32_t code = 0;
     int64_t i64 = 0;
     double f64 = 0.0;
   };
+
+  /// Shared per-condition kernel: EvalBlock feeds it the Column arrays,
+  /// EvalChunk the page chunk — identical loops either way, so the paged
+  /// path reuses the proven (and CI-vectorization-checked) mask code.
+  static void EvalCond(const Cond& cond, const ColumnChunk& arrays, int64_t begin,
+                       int n, uint8_t* mask);
 
   std::vector<Cond> conds_;
   bool never_matches_ = false;
@@ -126,6 +141,20 @@ struct SufficientStats {
 /// Computes SufficientStats for `col` over the `k` rows of `sel`. `col` must
 /// be numeric (int64 values are widened to double exactly as GetNumeric).
 SufficientStats MomentsSel(const Column& col, const int64_t* sel, int64_t k);
+
+namespace relational_internal {
+
+/// Paged σ_{c1=v1 ∧ ...}: materializes the matching rows of a paged-scan
+/// table (Table::UsesPagedScan()) into a fresh in-memory table, pinning one
+/// page at a time. Byte-identical to the in-memory FilterEquals — matched
+/// rows append in ascending order, so dictionary interning order (and hence
+/// codes, fingerprints, CSV bytes) agrees with AppendRowsFrom. Called by
+/// FilterEquals (operators.cc); not intended as public API.
+Result<TablePtr> PagedFilterEquals(const Table& table,
+                                   const std::vector<std::pair<int, Value>>& conditions,
+                                   StopToken* stop);
+
+}  // namespace relational_internal
 
 }  // namespace cape
 

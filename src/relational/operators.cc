@@ -307,9 +307,12 @@ bool RowEqualityMatcher::Matches(int64_t row) const {
 Result<TablePtr> GroupByAggregate(const Table& table, const std::vector<int>& group_cols,
                                   const std::vector<AggregateSpec>& aggs,
                                   StopToken* stop) {
-  if (VectorizedKernelsEnabled()) {
+  if (table.UsesPagedScan() || VectorizedKernelsEnabled()) {
     // The fused kernel with an empty condition list is exactly this operator
-    // (its vectorized branch never calls back into GroupByAggregate).
+    // (its vectorized branch never calls back into GroupByAggregate). A
+    // page-backed table must route there unconditionally: it self-dispatches
+    // to the paged scan, and the legacy row loop below cannot read rows that
+    // live only in the heap file.
     return FilterGroupAggregate(table, {}, group_cols, aggs, stop);
   }
   for (int c : group_cols) CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, c));
@@ -513,6 +516,12 @@ Result<TablePtr> GroupByAggregate(const Table& table,
 
 Result<TablePtr> Filter(const Table& table, const std::function<bool(int64_t)>& pred,
                         StopToken* stop) {
+  if (!table.rows_resident()) {
+    // The arbitrary-predicate filter is row-at-a-time by construction; the
+    // paged operators cover every engine query shape (σ= via FilterEquals,
+    // counting, fused group-aggregate), so out-of-core tables don't need it.
+    return Status::NotImplemented("Filter requires resident rows; use FilterEquals");
+  }
   std::vector<int64_t> matches;
   for (int64_t row = 0; row < table.num_rows(); ++row) {
     if ((row & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(stop);
@@ -530,6 +539,9 @@ Result<TablePtr> FilterEquals(const Table& table,
   for (const auto& [col, value] : conditions) {
     CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, col));
     (void)value;
+  }
+  if (table.UsesPagedScan()) {
+    return relational_internal::PagedFilterEquals(table, conditions, stop);
   }
   if (VectorizedKernelsEnabled()) {
     std::vector<int64_t> sel;
@@ -557,6 +569,12 @@ Result<TablePtr> Project(const Table& table, const std::vector<int>& cols,
     CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, c));
     out_fields.push_back(table.schema()->field(c));
   }
+  if (!table.rows_resident()) {
+    // Full projection would materialize every heap-file row in memory —
+    // exactly what out-of-core tables exist to avoid. The engine projects
+    // distinct values (paged) or filtered subsets instead.
+    return Status::NotImplemented("Project requires resident rows");
+  }
   auto out = std::make_shared<Table>(Schema::Make(std::move(out_fields)));
   out->Reserve(table.num_rows());
   for (int64_t row = 0; row < table.num_rows(); ++row) {
@@ -573,6 +591,20 @@ Result<TablePtr> ProjectDistinct(const Table& table, const std::vector<int>& col
   for (int c : cols) {
     CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, c));
     out_fields.push_back(table.schema()->field(c));
+  }
+  if (table.UsesPagedScan()) {
+    if (cols.empty()) {
+      // Distinct over zero columns: one empty row iff the table is
+      // non-empty. (The fused kernel's no-group shape always emits a row,
+      // so this edge is handled here.)
+      auto out = std::make_shared<Table>(Schema::Make(std::move(out_fields)));
+      if (stop != nullptr && stop->ShouldStopNow()) return stop->ToStatus();
+      if (table.num_rows() > 0) CAPE_RETURN_IF_ERROR(out->AppendRow(Row{}));
+      return out;
+    }
+    // Grouping with no aggregates emits exactly the distinct combinations,
+    // in the same first-seen order as the row loop below.
+    return FilterGroupAggregate(table, {}, cols, {}, stop);
   }
   GroupKeyEncoder encoder(table, cols);
   std::unordered_map<std::string, bool> seen;
@@ -620,6 +652,10 @@ int CompareCells(const Column& col, int64_t a, int64_t b) {
 Result<TablePtr> SortTable(const Table& table, const std::vector<SortKey>& keys,
                            StopToken* stop) {
   for (const SortKey& k : keys) CAPE_RETURN_IF_ERROR(ValidateColumnIndex(table, k.col));
+  if (!table.rows_resident()) {
+    // The engine sorts (small) aggregated results, never base relations.
+    return Status::NotImplemented("SortTable requires resident rows");
+  }
   if (stop != nullptr && stop->ShouldStopNow()) return stop->ToStatus();
   // With dictionary kernels on, each string sort key gets a sorted-code rank
   // remap (ranks order exactly as the strings do), turning the O(n log n)

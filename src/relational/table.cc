@@ -31,6 +31,9 @@ Result<const Column*> Table::ColumnByName(const std::string& name) const {
 }
 
 Status Table::AppendRow(const Row& row) {
+  if (!rows_resident_) {
+    return Status::InvalidArgument("cannot append to a non-resident paged table");
+  }
   if (static_cast<int>(row.size()) != num_columns()) {
     return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
                                    " does not match schema arity " +
@@ -66,6 +69,13 @@ void Table::Reserve(int64_t capacity) {
 }
 
 Status Table::AppendRowsFrom(const Table& src, const std::vector<int64_t>& rows) {
+  if (!rows_resident_) {
+    return Status::InvalidArgument("cannot append to a non-resident paged table");
+  }
+  if (!src.rows_resident()) {
+    return Status::InvalidArgument(
+        "AppendRowsFrom from a non-resident paged table (use the paged operators)");
+  }
   if (src.schema() != schema_ && !(*src.schema() == *schema_)) {
     return Status::InvalidArgument("AppendRowsFrom requires matching schemas: " +
                                    src.schema()->ToString() + " vs " + schema_->ToString());
@@ -145,10 +155,13 @@ Status Table::Validate() const {
     }
   }
   for (int i = 0; i < num_columns(); ++i) {
-    if (columns_[static_cast<size_t>(i)].size() != num_rows_) {
+    // Non-resident paged tables keep columns row-free: num_rows_ counts
+    // heap-file rows, the columns hold only dictionaries and paged stats.
+    const int64_t want = rows_resident_ ? num_rows_ : 0;
+    if (columns_[static_cast<size_t>(i)].size() != want) {
       return Status::Internal("column " + std::to_string(i) + " has " +
                               std::to_string(columns_[static_cast<size_t>(i)].size()) +
-                              " rows, table has " + std::to_string(num_rows_));
+                              " rows, expected " + std::to_string(want));
     }
     if (columns_[static_cast<size_t>(i)].type() != schema_->field(i).type) {
       return Status::Internal("column " + std::to_string(i) + " type mismatch with schema");
@@ -157,10 +170,41 @@ Status Table::Validate() const {
   return Status::OK();
 }
 
+Status Table::AttachPageSource(std::shared_ptr<PageSource> source, bool rows_resident) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("AttachPageSource requires a source");
+  }
+  if (page_source_ != nullptr) {
+    return Status::InvalidArgument("table already has a page source");
+  }
+  if (rows_resident) {
+    if (source->num_rows() != num_rows_) {
+      return Status::InvalidArgument(
+          "resident page source covers " + std::to_string(source->num_rows()) +
+          " rows, table has " + std::to_string(num_rows_));
+    }
+  } else {
+    if (num_rows_ != 0) {
+      return Status::InvalidArgument(
+          "non-resident page source requires an empty table");
+    }
+    num_rows_ = source->num_rows();
+  }
+  page_source_ = std::move(source);
+  rows_resident_ = rows_resident;
+  return Status::OK();
+}
+
 uint64_t Table::Fingerprint() const {
   Fnv64 h;
   h.UpdateU64(schema_->Digest());
   h.UpdateI64(num_rows_);
+  if (!rows_resident_) {
+    // Rows live in the heap file; the writer's digest covers them (plus
+    // validity and dictionaries), so it is the content under this schema.
+    h.UpdateU64(page_source_->content_digest());
+    return h.digest();
+  }
   for (const Column& col : columns_) col.HashContent(&h);
   return h.digest();
 }

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "relational/column.h"
+#include "relational/page_source.h"
 #include "relational/schema.h"
 
 namespace cape {
@@ -70,13 +71,41 @@ class Table {
   /// or schema difference changes it. This is the cache key half that
   /// invalidates persisted pattern sets when the underlying relation
   /// changes (PatternCache); O(bytes of the table), so callers cache the
-  /// result rather than recomputing per lookup.
+  /// result rather than recomputing per lookup. Non-resident paged tables
+  /// hash the page source's content digest instead of the (absent) columns.
   uint64_t Fingerprint() const;
+
+  /// Attaches a paged row source (storage/paged_table.h).
+  ///
+  /// With rows_resident=false the table must be empty: its row count comes
+  /// from the source, its columns stay row-free (dictionaries and paged
+  /// stats only), and every scan goes page-at-a-time. With
+  /// rows_resident=true the source must cover exactly this table's rows —
+  /// the A/B shape where SetPagedStorageEnabled chooses in-memory vs paged
+  /// scans over the same logical data.
+  Status AttachPageSource(std::shared_ptr<PageSource> source, bool rows_resident);
+
+  /// The attached page source, or null. Shared so engine stats can snapshot
+  /// cache counters while scans hold pins.
+  const std::shared_ptr<PageSource>& page_source() const { return page_source_; }
+
+  /// True when this table's rows are materialized in its columns (always
+  /// true without a page source).
+  bool rows_resident() const { return rows_resident_; }
+
+  /// True when scans of this table must take the paged path: rows exist
+  /// only in the heap file, or a resident A/B table with the process-wide
+  /// paged toggle on.
+  bool UsesPagedScan() const {
+    return page_source_ != nullptr && (!rows_resident_ || PagedStorageEnabled());
+  }
 
  private:
   std::shared_ptr<Schema> schema_;
   std::vector<Column> columns_;
   int64_t num_rows_ = 0;
+  std::shared_ptr<PageSource> page_source_;
+  bool rows_resident_ = true;
 };
 
 using TablePtr = std::shared_ptr<Table>;

@@ -41,6 +41,10 @@ std::string EngineStatsJson(const RunStats& s) {
   out += ",\"patterns_mined\":" + std::to_string(s.patterns_mined);
   out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
   out += ",\"cache_misses\":" + std::to_string(s.cache_misses);
+  out += ",\"page_hits\":" + std::to_string(s.page_hits);
+  out += ",\"page_misses\":" + std::to_string(s.page_misses);
+  out += ",\"page_evictions\":" + std::to_string(s.page_evictions);
+  out += ",\"page_bytes_pinned\":" + std::to_string(s.page_bytes_pinned);
   return out + "}";
 }
 

@@ -1,0 +1,136 @@
+#include "storage/buffer_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace cape {
+
+BufferManager::BufferManager(std::shared_ptr<HeapFile> file, int64_t budget_bytes)
+    : file_(std::move(file)),
+      budget_bytes_(budget_bytes),
+      max_frames_(std::max<int64_t>(1, budget_bytes / std::max<int64_t>(1, file_->page_bytes()))) {}
+
+Result<uint64_t> BufferManager::Pin(int64_t page, PageView* view) {
+  MutexLock lock(mu_);
+  size_t idx;
+  auto it = page_map_.find(page);
+  if (it != page_map_.end()) {
+    idx = it->second;
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    CAPE_ASSIGN_OR_RETURN(idx, AcquireFrameLocked(/*allow_growth=*/true));
+    CAPE_RETURN_IF_ERROR(LoadFrameLocked(idx, page));
+  }
+  Frame& f = *frames_[idx];
+  f.ref = true;
+  if (f.pins++ == 0) {
+    stats_.bytes_pinned += file_->page_bytes();
+    stats_.peak_bytes_pinned = std::max(stats_.peak_bytes_pinned, stats_.bytes_pinned);
+  }
+  view->row_begin = f.row_begin;
+  view->row_count = f.row_count;
+  view->cols = f.chunks.data();
+  return static_cast<uint64_t>(idx);
+}
+
+void BufferManager::Unpin(uint64_t cookie) {
+  MutexLock lock(mu_);
+  const size_t idx = static_cast<size_t>(cookie);
+  CAPE_DCHECK(idx < frames_.size() && frames_[idx]->pins > 0)
+      << "Unpin of a frame that is not pinned";
+  Frame& f = *frames_[idx];
+  if (--f.pins == 0) {
+    stats_.bytes_pinned -= file_->page_bytes();
+    // A frame acquired past the budget (every in-budget frame was pinned)
+    // is released the moment its last pin drops, so the cache's unpinned
+    // footprint never exceeds the budget.
+    if (live_frames_ > max_frames_) ReleaseFrameLocked(idx);
+  }
+}
+
+void BufferManager::Prefetch(int64_t page) {
+  MutexLock lock(mu_);
+  if (page < 0 || page >= file_->num_pages()) return;
+  if (page_map_.count(page) != 0) return;
+  auto idx = AcquireFrameLocked(/*allow_growth=*/false);
+  if (!idx.ok()) return;  // no frame without pressure: skip the hint
+  Status st = LoadFrameLocked(idx.ValueOrDie(), page);
+  if (!st.ok()) {
+    // Best-effort: a failed prefetch read surfaces (with a real Status) on
+    // the Pin that follows.
+    CAPE_LOG(Warning) << "prefetch of page " << page << " failed: " << st.ToString();
+  }
+}
+
+PageSourceStats BufferManager::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+Result<size_t> BufferManager::AcquireFrameLocked(bool allow_growth) {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i]->page < 0 && frames_[i]->pins == 0) return i;
+  }
+  if (static_cast<int64_t>(frames_.size()) < max_frames_) {
+    frames_.push_back(std::make_unique<Frame>());
+    return frames_.size() - 1;
+  }
+  // CLOCK sweep: first pass may clear reference bits, so two revolutions
+  // guarantee we see every unpinned frame with its bit down.
+  for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+    Frame& f = *frames_[clock_hand_];
+    const size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (f.pins > 0) continue;
+    if (f.ref) {
+      f.ref = false;
+      continue;
+    }
+    if (f.page >= 0) {
+      page_map_.erase(f.page);
+      f.page = -1;
+      ++stats_.evictions;
+    }
+    return idx;
+  }
+  if (!allow_growth) {
+    return Status::OutOfRange("all frames pinned");  // Prefetch drops the hint
+  }
+  // Every frame is pinned: a Pin must still succeed, so grow past the
+  // budget; Unpin releases the overflow frame as soon as it drops to zero.
+  frames_.push_back(std::make_unique<Frame>());
+  return frames_.size() - 1;
+}
+
+Status BufferManager::LoadFrameLocked(size_t idx, int64_t page) {
+  Frame& f = *frames_[idx];
+  if (f.buf.empty()) ++live_frames_;
+  f.buf.resize(static_cast<size_t>(file_->page_bytes()));
+  Status st = file_->ReadPage(page, f.buf.data());
+  if (!st.ok()) {
+    ReleaseFrameLocked(idx);
+    return st;
+  }
+  CAPE_RETURN_IF_ERROR(file_->ParsePage(f.buf.data(), &f.row_begin, &f.row_count, &f.chunks));
+  f.page = page;
+  f.ref = false;
+  page_map_[page] = idx;
+  stats_.bytes_read += file_->page_bytes();
+  return Status::OK();
+}
+
+void BufferManager::ReleaseFrameLocked(size_t idx) {
+  Frame& f = *frames_[idx];
+  if (f.page >= 0) page_map_.erase(f.page);
+  if (!f.buf.empty()) --live_frames_;
+  f.page = -1;
+  f.ref = false;
+  f.buf.clear();
+  f.buf.shrink_to_fit();
+  f.chunks.clear();
+}
+
+}  // namespace cape

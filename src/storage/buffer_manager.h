@@ -1,0 +1,97 @@
+#ifndef CAPE_STORAGE_BUFFER_MANAGER_H_
+#define CAPE_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "relational/page_source.h"
+#include "storage/heap_file.h"
+
+namespace cape {
+
+/// Byte-budgeted page cache over one HeapFile (DESIGN.md §15).
+///
+/// Frames hold whole pages; Pin returns a frame whose buffer (and parsed
+/// ColumnChunks) stay put until every pin drops. Replacement is CLOCK over
+/// unpinned frames: each frame carries a reference bit set on pin, the hand
+/// sweeps clearing bits and evicts the first unpinned frame whose bit is
+/// already clear — sequential scans under a tight budget degrade to plain
+/// FIFO recycling, which is exactly right for them.
+///
+/// The byte budget caps the steady-state frame count at
+/// max(1, budget / page_bytes): at least one frame must exist for any scan
+/// to make progress, so a budget smaller than one page degrades to a
+/// single-frame cache rather than failing. Pins can temporarily exceed the
+/// budget (a pin must never fail for capacity; overflow frames are freed as
+/// soon as they unpin), making the budget a bound on *cached* (unpinned)
+/// bytes rather than on instantaneous pinned working set.
+///
+/// Thread safety: every operation takes `mu_`, including page IO. Serial
+/// IO under the lock is deliberate — concurrent miner threads share one
+/// spindle/fd anyway, and it keeps eviction, map updates and reads
+/// trivially atomic. Counters are plain ints under the same lock.
+class BufferManager {
+ public:
+  BufferManager(std::shared_ptr<HeapFile> file, int64_t budget_bytes);
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Pins `page`, reading it on a miss. The returned cookie identifies the
+  /// pin for Unpin; `view` points at frame-owned storage valid until then.
+  Result<uint64_t> Pin(int64_t page, PageView* view) CAPE_EXCLUDES(mu_);
+
+  /// Drops one pin on the frame behind `cookie`.
+  void Unpin(uint64_t cookie) CAPE_EXCLUDES(mu_);
+
+  /// Loads `page` into a frame (recycling an unpinned one if needed) unless
+  /// doing so would grow past the budget; then it does nothing. Never fails.
+  void Prefetch(int64_t page) CAPE_EXCLUDES(mu_);
+
+  PageSourceStats stats() const CAPE_EXCLUDES(mu_);
+
+  int64_t budget_bytes() const { return budget_bytes_; }
+  int64_t max_frames() const { return max_frames_; }
+
+ private:
+  struct Frame {
+    int64_t page = -1;  ///< -1 = empty frame (buffer released).
+    int pins = 0;
+    bool ref = false;  ///< CLOCK reference bit.
+    std::vector<uint8_t> buf;
+    std::vector<ColumnChunk> chunks;
+    int64_t row_begin = 0;
+    int row_count = 0;
+  };
+
+  /// Returns an empty frame index: reuses a free frame, grows up to
+  /// max_frames_, then CLOCK-evicts; grows past the budget only if
+  /// `allow_growth` and every frame is pinned.
+  Result<size_t> AcquireFrameLocked(bool allow_growth) CAPE_REQUIRES(mu_);
+
+  /// Reads `page` into frame `idx` and indexes it. On failure the frame is
+  /// left empty and reusable.
+  Status LoadFrameLocked(size_t idx, int64_t page) CAPE_REQUIRES(mu_);
+
+  /// Releases an unpinned frame's buffer (over-budget shrink).
+  void ReleaseFrameLocked(size_t idx) CAPE_REQUIRES(mu_);
+
+  const std::shared_ptr<HeapFile> file_;
+  const int64_t budget_bytes_;
+  const int64_t max_frames_;
+
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Frame>> frames_ CAPE_GUARDED_BY(mu_);
+  std::unordered_map<int64_t, size_t> page_map_ CAPE_GUARDED_BY(mu_);
+  size_t clock_hand_ CAPE_GUARDED_BY(mu_) = 0;
+  int64_t live_frames_ CAPE_GUARDED_BY(mu_) = 0;  ///< Frames holding a buffer.
+  PageSourceStats stats_ CAPE_GUARDED_BY(mu_);
+};
+
+}  // namespace cape
+
+#endif  // CAPE_STORAGE_BUFFER_MANAGER_H_

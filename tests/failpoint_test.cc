@@ -15,7 +15,10 @@
 #include "pattern/mining.h"
 #include "relational/catalog.h"
 #include "relational/csv.h"
+#include "relational/kernels.h"
 #include "sql/executor.h"
+#include "storage/heap_file.h"
+#include "storage/paged_table.h"
 
 namespace cape {
 namespace {
@@ -261,6 +264,14 @@ Status DriveSite(const std::string& site, PipelineFixture& fx) {
                  fx.engine.shared_patterns(), fx.table->schema());
     (void)cache.Lookup(fx.table->Fingerprint(), /*mining_config_digest=*/1);
     return Status::OK();
+  }
+  if (site == "storage.page_read") {
+    const std::string path = ::testing::TempDir() + "cape_failpoint_heap.cape";
+    CAPE_RETURN_IF_ERROR(WriteTableToHeapFile(*fx.table, path));
+    // Open touches only the preamble/trailer; the page-read site fires on
+    // the first scan, which must surface it as a clean Status.
+    CAPE_ASSIGN_OR_RETURN(TablePtr paged, OpenPagedTable(path, /*budget_bytes=*/1 << 20));
+    return CountFilterMatches(*paged, {}).status();
   }
   return Status::Internal("no driver for failpoint site '" + site + "'");
 }

@@ -6,6 +6,11 @@
 //     GroupByAggregate / FilterEquals / SortTable output on every table.
 //  2. A pattern set round-tripped through the binary store (and the text
 //     form) is byte-identical to the freshly mined one.
+//  3. The out-of-core paged scan path (heap file + buffer manager) produces
+//     byte-identical operator outputs and mined pattern sets to the
+//     in-memory arrays, on every table, under every kernel-toggle
+//     combination and thread count (the PagedRandomEquivalenceTest suite;
+//     sanitizer CI selects it with `ctest -R Paged`).
 //
 // Every test is parameterized over a fixed seed list, so each seed is its
 // own ctest entry and a failure names the reproducing seed directly. The
@@ -13,16 +18,22 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/engine.h"
 #include "pattern/mining.h"
 #include "pattern/pattern_io.h"
 #include "relational/csv.h"
 #include "relational/kernels.h"
 #include "relational/operators.h"
+#include "relational/page_source.h"
 #include "relational/table.h"
+#include "storage/heap_file.h"
+#include "storage/paged_table.h"
 
 namespace cape {
 namespace {
@@ -262,6 +273,215 @@ TEST_P(RandomEquivalenceTest, RoundTrippedPatternSetIsByteIdenticalToFreshMining
 }
 
 INSTANTIATE_TEST_SUITE_P(FixedSeeds, RandomEquivalenceTest,
+                         ::testing::Values(7u, 21u, 42u, 99u, 1337u, 2026u),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Paged-vs-in-memory byte identity (DESIGN.md §15).
+// ---------------------------------------------------------------------------
+
+class PagedModeGuard {
+ public:
+  explicit PagedModeGuard(bool enabled) : saved_(PagedStorageEnabled()) {
+    SetPagedStorageEnabled(enabled);
+  }
+  ~PagedModeGuard() { SetPagedStorageEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+/// Multi-page variant of MakeRandomTable: same column shapes, enough rows to
+/// span several 2048-row heap-file pages (so the paged fixtures cross page
+/// boundaries, hit the short last page, and recycle frames under a small
+/// budget). Content is a pure function of the seed.
+TablePtr MakeLargeRandomTable(uint64_t seed) {
+  std::mt19937_64 rng(seed * 2654435761u + 1);
+  auto table = MakeEmptyTable({Field{"cat", DataType::kString, true},
+                               Field{"city", DataType::kString, true},
+                               Field{"num", DataType::kInt64, true},
+                               Field{"val", DataType::kDouble, true}});
+  const std::vector<std::string> cat_pool = {"alpha", "beta x", "g%mma", "d\te", "eps"};
+  const std::vector<std::string> city_pool = {"oslo", "rio", "SIG KDD", "ICDE", "np", "q"};
+  const int64_t num_rows = 4500 + static_cast<int64_t>(rng() % 1024);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  table->Reserve(num_rows);
+  for (int64_t r = 0; r < num_rows; ++r) {
+    const double u = unit(rng);
+    const size_t cat_idx = static_cast<size_t>(u * u * u * cat_pool.size());
+    Row row;
+    row.push_back(unit(rng) < 0.1 ? Value::Null() : Value::String(cat_pool[cat_idx]));
+    row.push_back(unit(rng) < 0.1 ? Value::Null()
+                                  : Value::String(city_pool[rng() % city_pool.size()]));
+    row.push_back(unit(rng) < 0.15 ? Value::Null()
+                                   : Value::Int64(static_cast<int64_t>(rng() % 50)));
+    row.push_back(unit(rng) < 0.15 ? Value::Null() : Value::Double(unit(rng) * 100.0));
+    EXPECT_TRUE(table->AppendRow(row).ok());
+  }
+  return table;
+}
+
+/// A random table plus its heap-file twin opened as a non-resident paged
+/// table under a deliberately tight budget (~2 pages), with the temp file
+/// removed at scope exit.
+struct PagedFixture {
+  TablePtr resident;
+  TablePtr paged;
+  std::string path;
+
+  ~PagedFixture() {
+    paged.reset();
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+PagedFixture MakePagedFixture(uint64_t seed) {
+  PagedFixture fx;
+  fx.resident = MakeLargeRandomTable(seed);
+  fx.path = ::testing::TempDir() + "cape_paged_equiv_" + std::to_string(seed) + ".cape";
+  EXPECT_TRUE(WriteTableToHeapFile(*fx.resident, fx.path, /*rows_per_page=*/2048).ok());
+  auto opened = OpenPagedTable(fx.path, /*budget_bytes=*/1 << 17);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  fx.paged = *opened;
+  return fx;
+}
+
+class PagedRandomEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PagedRandomEquivalenceTest, PagedOperatorsMatchInMemoryUnderEveryToggle) {
+  PagedFixture fx = MakePagedFixture(GetParam());
+  const std::vector<AggregateSpec> aggs = {
+      AggregateSpec::CountStar("n"),
+      AggregateSpec{AggFunc::kCount, 3, "val_n"},
+      AggregateSpec::Sum(2, "num_sum"),
+      AggregateSpec::Avg(3, "val_avg"),
+      AggregateSpec::Min(3, "val_min"),
+      AggregateSpec::Max(0, "cat_max"),
+  };
+  const std::vector<std::vector<std::pair<int, Value>>> filters = {
+      {},
+      {{0, Value::String("alpha")}},
+      {{0, Value::String("absent")}},
+      {{0, Value::Null()}},
+      {{0, Value::String("g%mma")}, {1, Value::String("ICDE")}},
+      {{2, Value::Int64(7)}},
+  };
+  const std::vector<std::vector<int>> group_sets = {{0}, {0, 1}, {1, 2}, {3}, {}};
+
+  // The paged scan must agree with the in-memory arrays no matter how the
+  // dictionary / vectorized toggles are set for the in-memory side (the
+  // byte-identity contract is toggle-independent).
+  for (int dict = 0; dict < 2; ++dict) {
+    for (int vec = 0; vec < 2; ++vec) {
+      KernelModeGuard dict_guard(dict == 1);
+      VectorizedModeGuard vec_guard(vec == 1);
+      for (const auto& conditions : filters) {
+        auto mem_count = CountFilterMatches(*fx.resident, conditions);
+        auto paged_count = CountFilterMatches(*fx.paged, conditions);
+        ASSERT_TRUE(mem_count.ok() && paged_count.ok());
+        EXPECT_EQ(*mem_count, *paged_count) << "seed " << GetParam();
+
+        auto mem_filtered = FilterEquals(*fx.resident, conditions);
+        auto paged_filtered = FilterEquals(*fx.paged, conditions);
+        ASSERT_TRUE(mem_filtered.ok()) << mem_filtered.status().ToString();
+        ASSERT_TRUE(paged_filtered.ok()) << paged_filtered.status().ToString();
+        EXPECT_EQ(WriteCsvString(**mem_filtered), WriteCsvString(**paged_filtered))
+            << "seed " << GetParam() << " dict=" << dict << " vec=" << vec;
+
+        for (const std::vector<int>& group_cols : group_sets) {
+          auto mem = FilterGroupAggregate(*fx.resident, conditions, group_cols, aggs);
+          auto pg = FilterGroupAggregate(*fx.paged, conditions, group_cols, aggs);
+          ASSERT_TRUE(mem.ok()) << mem.status().ToString();
+          ASSERT_TRUE(pg.ok()) << pg.status().ToString();
+          EXPECT_EQ(WriteCsvString(**mem), WriteCsvString(**pg))
+              << "seed " << GetParam() << " dict=" << dict << " vec=" << vec;
+        }
+      }
+      for (const std::vector<int>& group_cols : group_sets) {
+        auto mem = GroupByAggregate(*fx.resident, group_cols, aggs);
+        auto pg = GroupByAggregate(*fx.paged, group_cols, aggs);
+        ASSERT_TRUE(mem.ok()) << mem.status().ToString();
+        ASSERT_TRUE(pg.ok()) << pg.status().ToString();
+        EXPECT_EQ(WriteCsvString(**mem), WriteCsvString(**pg)) << "seed " << GetParam();
+        auto mem_d = ProjectDistinct(*fx.resident, group_cols);
+        auto pg_d = ProjectDistinct(*fx.paged, group_cols);
+        ASSERT_TRUE(mem_d.ok() && pg_d.ok());
+        EXPECT_EQ(WriteCsvString(**mem_d), WriteCsvString(**pg_d)) << "seed " << GetParam();
+      }
+    }
+  }
+}
+
+TEST_P(PagedRandomEquivalenceTest, PagedMiningMatchesInMemoryAcrossThreadCounts) {
+  PagedFixture fx = MakePagedFixture(GetParam());
+  MiningConfig config;
+  config.max_pattern_size = 2;
+  config.local_gof_threshold = 0.05;
+  config.local_support_threshold = 2;
+  config.global_confidence_threshold = 0.1;
+  config.global_support_threshold = 2;
+  config.agg_functions = {AggFunc::kCount, AggFunc::kSum};
+
+  auto mine = [&](TablePtr t, int threads) -> std::string {
+    auto engine = Engine::FromTable(std::move(t));
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    engine->mining_config() = config;
+    engine->set_num_threads(threads);
+    const Status st = engine->MinePatterns("NAIVE");
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return SerializePatternSet(engine->patterns(), engine->schema());
+  };
+
+  // Out-of-core mining is deterministic and thread-count-invariant: every
+  // (storage, threads) combination serializes the same pattern set.
+  // (In-memory thread invariance is the determinism suite's job; here the
+  // subject is the paged scan, so only it sweeps thread counts.)
+  const std::string want = mine(fx.resident, 1);
+  EXPECT_FALSE(want.empty());
+  for (int threads : {1, 2, 4, 8}) {
+    EXPECT_EQ(mine(fx.paged, threads), want)
+        << "paged mining diverged (seed " << GetParam() << ", threads " << threads << ")";
+  }
+}
+
+TEST_P(PagedRandomEquivalenceTest, ResidentAttachTogglesBetweenIdenticalScans) {
+  // A/B shape: one resident table with its own heap file attached; the
+  // process toggle flips scans between in-memory arrays and the paged path
+  // over identical data, and every output byte matches.
+  TablePtr table = MakeLargeRandomTable(GetParam());
+  const std::string path =
+      ::testing::TempDir() + "cape_paged_attach_" + std::to_string(GetParam()) + ".cape";
+  ASSERT_TRUE(WriteTableToHeapFile(*table, path, /*rows_per_page=*/2048).ok());
+  ASSERT_TRUE(AttachHeapFile(*table, path, /*budget_bytes=*/1 << 17).ok());
+
+  const std::vector<AggregateSpec> aggs = {AggregateSpec::CountStar("n"),
+                                           AggregateSpec::Sum(3, "val_sum")};
+  const std::vector<std::pair<int, Value>> conditions = {{0, Value::String("alpha")}};
+  std::vector<std::string> rendered[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    PagedModeGuard guard(mode == 1);
+    ASSERT_EQ(table->UsesPagedScan(), mode == 1);
+    for (const std::vector<int>& group_cols :
+         std::vector<std::vector<int>>{{0}, {1, 2}, {}}) {
+      auto fused = FilterGroupAggregate(*table, conditions, group_cols, aggs);
+      ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+      rendered[mode].push_back(WriteCsvString(**fused));
+    }
+    auto filtered = FilterEquals(*table, conditions);
+    ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+    rendered[mode].push_back(WriteCsvString(**filtered));
+  }
+  ASSERT_EQ(rendered[0].size(), rendered[1].size());
+  for (size_t i = 0; i < rendered[0].size(); ++i) {
+    EXPECT_EQ(rendered[0][i], rendered[1][i])
+        << "paged toggle changed output " << i << " (seed " << GetParam() << ")";
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(FixedSeeds, PagedRandomEquivalenceTest,
                          ::testing::Values(7u, 21u, 42u, 99u, 1337u, 2026u),
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);

@@ -30,6 +30,12 @@ types (DESIGN.md §12). Rules:
   internal-include    "<dir>/x_internal.h" headers are private to src/<dir>/:
                       only .cc/_internal.h files in that directory may
                       include them, and no include path may contain "../".
+  raw-file-io         No raw file IO (fopen/fread/fwrite/pread/pwrite/mmap/
+                      lseek/::open, ...) outside src/storage/. All disk bytes
+                      go through HeapFile/BufferManager so checksums, the
+                      storage.page_read failpoint, and the page-cache budget
+                      cannot be bypassed (DESIGN.md §15). Socket IO
+                      (::read/::write/::close) and iostreams stay legal.
 
 Suppression: append `// lint:allow(<rule>) <why>` to the offending line.
 Suppressions are meant to be rare and must carry a justification.
@@ -69,6 +75,11 @@ CHECK_RE = re.compile(r"\bCAPE_D?CHECK\s*\(")
 
 FAILPOINT_CALL_RE = re.compile(r'\bCAPE_FAILPOINT(?:_FIRES)?\s*\(\s*"([^"]*)"')
 FAILPOINT_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+RAW_FILE_IO_RE = re.compile(
+    r"\b(?:fopen|fdopen|freopen|fread|fwrite|fseeko?|ftello?|fclose|fflush|"
+    r"mmap|munmap|pread|pwrite|lseek)\s*\(|::open\s*\(")
+RAW_FILE_IO_ALLOWED_PREFIX = "src/storage/"
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
@@ -259,6 +270,13 @@ def lint_file(path, root):
                    f"direct {m.group(0)} — all parallelism goes through "
                    "ThreadPool::ParallelFor (common/thread_pool.h)")
 
+    if in_src and not rel.startswith(RAW_FILE_IO_ALLOWED_PREFIX):
+        for m in RAW_FILE_IO_RE.finditer(stripped):
+            report(line_of_offset(stripped, m.start()), "raw-file-io",
+                   f"raw file IO '{m.group(0).strip()}' outside src/storage/ — "
+                   "go through HeapFile/BufferManager (storage/) so checksums, "
+                   "failpoints, and the page-cache budget apply")
+
     if in_src:
         for m in NONDETERMINISM_RE.finditer(stripped):
             report(line_of_offset(stripped, m.start()), "nondeterminism",
@@ -361,6 +379,14 @@ SELF_TEST_FIXTURES = {
         "bool F() {\n"
         '  return CAPE_FAILPOINT_FIRES("AlsoBad");\n'
         "}\n", "failpoint-name"),
+    "src/foo/bad_fileio.cc": (
+        "#include <cstdio>\n"
+        "#include <fcntl.h>\n"
+        "void F() {\n"
+        '  std::FILE* f = std::fopen("x", "rb");\n'
+        "  std::fclose(f);\n"
+        '  (void)::open("x", O_RDONLY);\n'
+        "}\n", "raw-file-io"),
     "src/foo/bad_include.cc": (
         '#include "bar/widget_internal.h"\n', "internal-include"),
     "src/foo/bad_relative.cc": (
@@ -387,6 +413,15 @@ SELF_TEST_FIXTURES = {
     "src/common/mutex.h": ("#include <mutex>\nstd::mutex raw;\n", None),
     "src/common/thread_pool.cc": (
         "#include <thread>\nstd::thread worker;\n", None),
+    # Storage owns the disk: raw file IO is legal only under src/storage/.
+    # Socket-style ::read/::write/::close stay legal everywhere (server.cc).
+    "src/storage/io_ok.cc": (
+        "#include <unistd.h>\n"
+        "long F(int fd, void* buf) { return pread(fd, buf, 8, 0); }\n", None),
+    "src/foo/sockets_ok.cc": (
+        "#include <unistd.h>\n"
+        "long G(int fd, void* buf) { return ::read(fd, buf, 8); }\n"
+        "void H(int fd) { ::close(fd); }\n", None),
 }
 
 
