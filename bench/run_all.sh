@@ -59,6 +59,7 @@ JSON_BENCHES=(
   bench_pattern_cache
   bench_server_load
   bench_outofcore_mining
+  bench_incremental_mining
 )
 
 # A failing bench must fail the aggregate: its entry becomes an explicit

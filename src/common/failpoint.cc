@@ -34,6 +34,7 @@ constexpr const char* kSites[] = {
     "pattern_cache.load_entry",   // PatternCache::LoadFromDirectory per-entry read (degrade)
     "pattern_cache.lookup_race",  // PatternCache::Lookup: simulated concurrent eviction (degrade)
     "storage.page_read",          // HeapFile::ReadPage: page IO / checksum verify
+    "incremental.merge",          // PatternMaintainer::Absorb: commit barrier (degrade)
 };
 
 struct Spec {

@@ -36,9 +36,14 @@ Result<Engine> Engine::FromCsvFile(const std::string& path, const CsvReadOptions
 }
 
 Status Engine::MinePatterns(const std::string& miner_name) {
+  // Approximate (sampled) results carry error bounds, not guarantees; they
+  // never enter the serving cache even though their digest would segregate
+  // them — a sampled set must be an explicit per-run choice, not an
+  // accidental cache hit.
+  const bool approximate = mining_config_.approx_sample_rows > 0;
   uint64_t fingerprint = 0;
   uint64_t config_digest = 0;
-  if (pattern_cache_ != nullptr) {
+  if (pattern_cache_ != nullptr && !approximate) {
     fingerprint = table_->Fingerprint();
     config_digest = MiningConfigDigest(mining_config_);
     if (auto cached = pattern_cache_->Lookup(fingerprint, config_digest)) {
@@ -63,6 +68,7 @@ Status Engine::MinePatterns(const std::string& miner_name) {
     stats_cell_->stats.cache_misses += 1;
   }
   CAPE_ASSIGN_OR_RETURN(auto miner, MakeMinerByName(miner_name));
+  if (approximate) miner = MakeSampledMiner(std::move(miner));
   CAPE_ASSIGN_OR_RETURN(MiningResult result, miner->Mine(*table_, mining_config_));
   patterns_ = std::make_shared<const PatternSet>(std::move(result.patterns));
   mining_profile_ = result.profile;
@@ -83,13 +89,93 @@ Status Engine::MinePatterns(const std::string& miner_name) {
   // admission itself is best-effort: a fault here (simulated concurrent
   // eviction / admission race) keeps the freshly mined result and simply
   // leaves the cache cold — the request still succeeds.
-  if (pattern_cache_ != nullptr && !result.truncated &&
+  if (pattern_cache_ != nullptr && !approximate && !result.truncated &&
       !CAPE_FAILPOINT_FIRES("engine.cache_admit")) {
     const int64_t evictions =
         pattern_cache_->Insert(fingerprint, config_digest, patterns_, table_->schema());
     MutexLock lock(stats_cell_->mu);
     stats_cell_->stats.cache_evictions += evictions;
   }
+  return Status::OK();
+}
+
+Status Engine::AppendAndRemine(const std::vector<Row>& rows,
+                               const std::string& miner_name) {
+  // All-or-nothing: every row must validate before any is appended.
+  for (const Row& row : rows) CAPE_RETURN_IF_ERROR(table_->ValidateRow(row));
+  const uint64_t config_digest = MiningConfigDigest(mining_config_);
+  const bool use_cache =
+      pattern_cache_ != nullptr && mining_config_.approx_sample_rows == 0;
+  uint64_t old_fingerprint = 0;
+  // O(delta) thanks to the table's incremental fingerprint chain — this is
+  // the pre-append key the cache entry currently lives under.
+  if (use_cache) old_fingerprint = table_->Fingerprint();
+  for (const Row& row : rows) CAPE_RETURN_IF_ERROR(table_->AppendRow(row));
+  {
+    MutexLock lock(stats_cell_->mu);
+    stats_cell_->stats.maint_appends += 1;
+    stats_cell_->stats.maint_rows_appended += static_cast<int64_t>(rows.size());
+  }
+
+  Status incremental = patterns_ == nullptr
+                           ? Status::InvalidArgument("no prior pattern set to maintain")
+                           : MaintainIncrementally(config_digest);
+  if (incremental.ok()) {
+    if (use_cache) {
+      const int64_t evictions =
+          pattern_cache_->Upgrade(old_fingerprint, table_->Fingerprint(), config_digest,
+                                  patterns_, table_->schema());
+      MutexLock lock(stats_cell_->mu);
+      stats_cell_->stats.cache_evictions += evictions;
+    }
+    return Status::OK();
+  }
+  // Deadline/cancellation: the rows are appended and the maintainer is still
+  // valid at its previous fold point — the pattern set is stale but intact,
+  // and the next AppendAndRemine catches up. Surface the stop.
+  if (incremental.IsStop()) return incremental;
+
+  // Degrade: drop maintenance state and re-mine the grown table from
+  // scratch. Never silently wrong — the fallback produces exactly what a
+  // cold mine of the current table produces.
+  maintainer_.reset();
+  if (use_cache) pattern_cache_->Erase(old_fingerprint, config_digest);
+  {
+    MutexLock lock(stats_cell_->mu);
+    stats_cell_->stats.maint_full_remines += 1;
+  }
+  return MinePatterns(miner_name);
+}
+
+Status Engine::MaintainIncrementally(uint64_t config_digest) {
+  StopToken stop = mining_config_.MakeStopToken();
+  int64_t revalidated_before = 0;
+  int64_t added_before = 0;
+  int64_t replaced_before = 0;
+  if (maintainer_ != nullptr && maintainer_->config_digest() == config_digest) {
+    const MaintenanceStats& before = maintainer_->stats();
+    revalidated_before = before.candidates_revalidated;
+    added_before = before.locals_added;
+    replaced_before = before.locals_replaced;
+    CAPE_RETURN_IF_ERROR(maintainer_->Absorb(&stop));
+  } else {
+    maintainer_.reset();
+    CAPE_ASSIGN_OR_RETURN(maintainer_,
+                          PatternMaintainer::Build(table_, mining_config_, &stop));
+  }
+  patterns_ = std::make_shared<const PatternSet>(maintainer_->Finalize());
+
+  const MaintenanceStats& after = maintainer_->stats();
+  const int64_t revalidated = after.candidates_revalidated - revalidated_before;
+  const int64_t touched_locals = (after.locals_added - added_before) +
+                                 (after.locals_replaced - replaced_before);
+  int64_t retained = patterns_->NumLocalPatterns() - touched_locals;
+  if (retained < 0) retained = 0;
+  MutexLock lock(stats_cell_->mu);
+  RunStats& stats = stats_cell_->stats;
+  stats.maint_patterns_revalidated += revalidated;
+  stats.maint_patterns_retained += retained;
+  stats.patterns_mined = static_cast<int64_t>(patterns_->size());
   return Status::OK();
 }
 

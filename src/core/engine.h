@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "core/pattern_cache.h"
 #include "explain/baseline.h"
+#include "pattern/incremental.h"
 #include "explain/explain_session.h"
 #include "explain/explainer.h"
 #include "pattern/mining.h"
@@ -56,6 +57,20 @@ struct RunStats {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
+
+  // Incremental maintenance counters (cumulative over this engine's
+  // AppendAndRemine calls; all zero otherwise — DESIGN.md §16).
+  // `maint_patterns_revalidated` counts (fragment, candidate) combinations
+  // re-fitted because an append touched their group keys;
+  // `maint_patterns_retained` counts local patterns carried into the new set
+  // verbatim, without any re-fit — the incremental win.
+  // `maint_full_remines` counts calls that fell back to a from-scratch mine
+  // (unsupported config, NaN data, or an injected/real maintenance fault).
+  int64_t maint_appends = 0;
+  int64_t maint_rows_appended = 0;
+  int64_t maint_patterns_revalidated = 0;
+  int64_t maint_patterns_retained = 0;
+  int64_t maint_full_remines = 0;
 
   // Serving counters (cumulative, bumped by the request scheduler when this
   // engine backs a server — DESIGN.md §13; zero otherwise). `serve_requests`
@@ -148,7 +163,26 @@ class Engine {
 
   /// Runs offline ARP mining with the named algorithm ("ARP-MINE" default;
   /// also NAIVE, CUBE, SHARE-GRP). Replaces any previously mined patterns.
+  /// When mining_config().approx_sample_rows > 0 the miner is wrapped in the
+  /// sampled first-pass layer; approximate results bypass the serving cache.
   Status MinePatterns(const std::string& miner_name = "ARP-MINE");
+
+  /// Appends `rows` to the relation and brings the mined pattern set up to
+  /// date incrementally (DESIGN.md §16): a PatternMaintainer folds only the
+  /// delta, re-validating exactly the fragments whose group keys the new
+  /// rows touch, and the result is byte-identical to re-mining the grown
+  /// table from scratch. Falls back to a full re-mine — counted in
+  /// run_stats().maint_full_remines — when the config is not maintainable
+  /// (FD optimizations, sampling), the data defeats byte-stable fragment
+  /// identity (NaN), no patterns were mined yet, or maintenance itself
+  /// fails. On a deadline/cancellation stop the rows stay appended, the
+  /// stop Status is returned, and the maintainer remains valid at its
+  /// previous fold point: the pattern set is stale but intact, and the next
+  /// call catches up. All rows are validated against the schema before any
+  /// is appended. Non-const like MinePatterns: callers must serialize this
+  /// against the const serving surface (the server's APPEND verb does).
+  Status AppendAndRemine(const std::vector<Row>& rows,
+                         const std::string& miner_name = "ARP-MINE");
 
   /// Injects an externally mined or filtered pattern set (used by benches
   /// to vary N_P).
@@ -236,6 +270,10 @@ class Engine {
  private:
   explicit Engine(TablePtr table);
 
+  /// The incremental path of AppendAndRemine: ensure a maintainer exists for
+  /// the current config, absorb the delta, and publish the finalized set.
+  Status MaintainIncrementally(uint64_t config_digest);
+
   /// Stats live behind a heap cell so the mutex survives Engine moves and
   /// const methods (Explain) can record observability without `mutable` on
   /// the whole struct.
@@ -251,6 +289,9 @@ class Engine {
   std::shared_ptr<const PatternSet> patterns_;
   PatternCache* pattern_cache_ = nullptr;
   MiningProfile mining_profile_;
+  /// Lazily built by AppendAndRemine; reset when the mining config digest
+  /// diverges or maintenance degrades to a full re-mine.
+  std::unique_ptr<PatternMaintainer> maintainer_;
   std::unique_ptr<StatsCell> stats_cell_;
 };
 

@@ -101,16 +101,42 @@ int64_t PatternCache::Insert(uint64_t table_fingerprint, uint64_t mining_config_
   const Key key{table_fingerprint, mining_config_digest};
   const uint64_t bytes = EstimatePatternSetBytes(*patterns);
   MutexLock lock(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    bytes_used_ -= it->second.bytes;
-    lru_.erase(it->second.lru_it);
-    entries_.erase(it);
-  }
+  EraseLocked(key);
   lru_.push_front(key);
   entries_[key] = Entry{std::move(patterns), std::move(schema), bytes, lru_.begin()};
   bytes_used_ += bytes;
   return EvictToBudgetLocked();
+}
+
+int64_t PatternCache::Upgrade(uint64_t old_fingerprint, uint64_t new_fingerprint,
+                              uint64_t mining_config_digest,
+                              std::shared_ptr<const PatternSet> patterns,
+                              std::shared_ptr<const Schema> schema) {
+  if (patterns == nullptr) return 0;
+  const Key old_key{old_fingerprint, mining_config_digest};
+  const Key new_key{new_fingerprint, mining_config_digest};
+  const uint64_t bytes = EstimatePatternSetBytes(*patterns);
+  MutexLock lock(mu_);
+  EraseLocked(old_key);
+  EraseLocked(new_key);
+  lru_.push_front(new_key);
+  entries_[new_key] = Entry{std::move(patterns), std::move(schema), bytes, lru_.begin()};
+  bytes_used_ += bytes;
+  return EvictToBudgetLocked();
+}
+
+void PatternCache::Erase(uint64_t table_fingerprint, uint64_t mining_config_digest) {
+  MutexLock lock(mu_);
+  EraseLocked(Key{table_fingerprint, mining_config_digest});
+}
+
+bool PatternCache::EraseLocked(const Key& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  bytes_used_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  return true;
 }
 
 int64_t PatternCache::EvictToBudgetLocked() {

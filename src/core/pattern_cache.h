@@ -61,6 +61,21 @@ class PatternCache {
                  std::shared_ptr<const PatternSet> patterns,
                  std::shared_ptr<const Schema> schema) CAPE_EXCLUDES(mu_);
 
+  /// Atomic cache move for append workloads: drops the entry keyed by
+  /// (old_fingerprint, digest) — the pre-append snapshot, now unreachable
+  /// since the table content changed — and inserts `patterns` under
+  /// (new_fingerprint, digest), all under one lock so no reader can observe
+  /// the stale and fresh entries coexisting. Returns evictions caused.
+  int64_t Upgrade(uint64_t old_fingerprint, uint64_t new_fingerprint,
+                  uint64_t mining_config_digest,
+                  std::shared_ptr<const PatternSet> patterns,
+                  std::shared_ptr<const Schema> schema) CAPE_EXCLUDES(mu_);
+
+  /// Drops one entry if present (e.g. a snapshot invalidated without a
+  /// replacement).
+  void Erase(uint64_t table_fingerprint, uint64_t mining_config_digest)
+      CAPE_EXCLUDES(mu_);
+
   /// Writes every entry as a self-describing binary store
   /// (`arp-<fingerprint>-<digest>.arpb`) inside `dir`, creating it if
   /// needed.
@@ -97,6 +112,9 @@ class PatternCache {
   /// Evicts LRU entries (never the most recent one) until within budget.
   /// Returns the number of evictions.
   int64_t EvictToBudgetLocked() CAPE_REQUIRES(mu_);
+
+  /// Removes `key` if present; true when an entry was dropped.
+  bool EraseLocked(const Key& key) CAPE_REQUIRES(mu_);
 
   mutable Mutex mu_;
   const uint64_t byte_budget_;  // immutable after construction — not guarded

@@ -1,0 +1,139 @@
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/macros.h"
+#include "pattern/mining.h"
+#include "pattern/mining_internal.h"
+#include "stats/descriptive.h"
+#include "stats/regression.h"
+
+namespace cape {
+
+namespace {
+
+/// SplitMix64: tiny, deterministic, and seedable — the reservoir must pick
+/// the same rows for the same (table size, seed) on every platform, since
+/// the approximate result is cached under a digest that includes the seed.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Approximate first-pass mining (DESIGN.md §16): mine a uniform reservoir
+/// sample instead of the full table. The local support threshold scales by
+/// the sampling rate so a fragment's expected sampled support crosses the
+/// scaled bar iff its true support rate is near the exact bar; the reported
+/// Hoeffding epsilon bounds how far "near" can be. Everything downstream
+/// (splits, fits, global thresholds) runs unchanged on the sample.
+class SampledMiner final : public PatternMiner {
+ public:
+  explicit SampledMiner(std::unique_ptr<PatternMiner> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name() + "+SAMPLE"; }
+
+  Result<MiningResult> Mine(const Table& table, const MiningConfig& config) override {
+    const int64_t n = table.num_rows();
+    const int64_t k = config.approx_sample_rows;
+    if (k <= 0 || n <= k || !table.rows_resident()) {
+      return inner_->Mine(table, config);  // exact in, exact out
+    }
+
+    // Vitter's Algorithm R over row indices, then re-sorted: preserving row
+    // order keeps group discovery order (and therefore the mined pattern
+    // set) a deterministic function of (content, seed) alone.
+    std::vector<int64_t> picked(static_cast<size_t>(k));
+    for (int64_t i = 0; i < k; ++i) picked[static_cast<size_t>(i)] = i;
+    uint64_t rng = config.approx_seed;
+    for (int64_t i = k; i < n; ++i) {
+      const int64_t j =
+          static_cast<int64_t>(SplitMix64(&rng) % static_cast<uint64_t>(i + 1));
+      if (j < k) picked[static_cast<size_t>(j)] = i;
+    }
+    std::sort(picked.begin(), picked.end());
+
+    auto sample = std::make_shared<Table>(table.schema());
+    sample->Reserve(k);
+    CAPE_RETURN_IF_ERROR(sample->AppendRowsFrom(table, picked));
+
+    MiningConfig scaled = config;
+    scaled.approx_sample_rows = 0;  // the inner run is exact on the sample
+    const double rate = static_cast<double>(k) / static_cast<double>(n);
+    scaled.local_support_threshold = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(
+               static_cast<double>(config.local_support_threshold) * rate)));
+
+    CAPE_ASSIGN_OR_RETURN(MiningResult result, inner_->Mine(*sample, scaled));
+    result.profile.approximate = true;
+    result.profile.approx_rows_sampled = k;
+    result.profile.approx_rows_total = n;
+    const double delta = std::clamp(config.approx_failure_prob, 1e-12, 0.5);
+    // Hoeffding: a fragment's membership indicator is Bernoulli, so with
+    // probability >= 1-delta the sampled support rate is within epsilon of
+    // the true rate after k draws.
+    result.profile.approx_support_epsilon =
+        std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(k)));
+    result.profile.approx_quality_epsilon = QualityEpsilon(table, picked, config, delta);
+    return result;
+  }
+
+ private:
+  /// Empirical-Bernstein bound on the sample mean of each allowed numeric
+  /// attribute (the values the fitted models regress on), normalized by the
+  /// observed range and maximized over attributes. Accumulated per block
+  /// and folded with RunningStats::Merge / RegressionMoments::Merge — the
+  /// same mergeable machinery PatternMaintainer uses, exercised here over a
+  /// second consumer.
+  static double QualityEpsilon(const Table& table, const std::vector<int64_t>& rows,
+                               const MiningConfig& config, double delta) {
+    const AttrSet allowed = mining_internal::AllowedAttrs(*table.schema(), config);
+    const double log_term = std::log(3.0 / delta);
+    double worst = 0.0;
+    for (int attr : allowed.ToIndices()) {
+      const Column& col = table.column(attr);
+      if (!IsNumericType(col.type())) continue;
+      constexpr size_t kBlock = 4096;
+      RunningStats stats;
+      RegressionMoments moments;
+      for (size_t begin = 0; begin < rows.size(); begin += kBlock) {
+        const size_t end = std::min(rows.size(), begin + kBlock);
+        RunningStats block;
+        RegressionMoments block_moments;
+        for (size_t i = begin; i < end; ++i) {
+          if (col.IsNull(rows[i])) continue;
+          const double v = col.GetNumeric(rows[i]);
+          block.Add(v);
+          block_moments.Add(v, v);
+        }
+        stats.Merge(block);
+        moments.Merge(block_moments);
+      }
+      if (stats.count() < 2) continue;
+      const double range = stats.max() - stats.min();
+      if (range <= 0.0) continue;
+      const double kd = static_cast<double>(stats.count());
+      // Variance from the merged raw moments (Var = Σy²/n - mean²); the
+      // Welford accumulator supplies the exact range.
+      const double mean = moments.ConstBeta();
+      const double variance =
+          std::max(0.0, moments.syy / static_cast<double>(moments.n) - mean * mean);
+      const double eps = std::sqrt(2.0 * variance * log_term / kd) +
+                         3.0 * range * log_term / kd;
+      worst = std::max(worst, eps / range);  // scale-free: epsilon per unit range
+    }
+    return worst;
+  }
+
+  std::unique_ptr<PatternMiner> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<PatternMiner> MakeSampledMiner(std::unique_ptr<PatternMiner> inner) {
+  return std::make_unique<SampledMiner>(std::move(inner));
+}
+
+}  // namespace cape

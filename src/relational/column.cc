@@ -342,4 +342,22 @@ void Column::HashContent(Fnv64* h) const {
   }
 }
 
+void Column::HashRows(Fnv64* h, int64_t begin, int64_t end) const {
+  for (int64_t row = begin; row < end; ++row) {
+    const size_t i = static_cast<size_t>(row);
+    h->UpdateU8(validity_[i]);
+    switch (type_) {
+      case DataType::kInt64:
+        h->UpdateI64(int64_data_[i]);
+        break;
+      case DataType::kDouble:
+        h->UpdateDouble(double_data_[i]);
+        break;
+      case DataType::kString:
+        h->UpdateString(GetString(row));
+        break;
+    }
+  }
+}
+
 }  // namespace cape

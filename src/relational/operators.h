@@ -151,6 +151,91 @@ class GroupKeyEncoder {
   bool use_codes_;
 };
 
+/// Incrementally maintained GROUP BY: the stateful twin of GroupByAggregate
+/// for append-only tables. Holds per-group aggregate state keyed by the
+/// byte-encoded group key (GroupKeyEncoder semantics — value- and null-aware,
+/// -0.0 canonicalized; NaN keys compare by bit pattern) and folds newly
+/// appended rows without rescanning the prefix.
+///
+/// Groups are numbered in first-seen row order, exactly as GroupByAggregate
+/// discovers them, and each group's state is produced by the same sequential
+/// UpdateAggState fold over its rows — so RepresentativeRow/AggregateValue
+/// reproduce the corresponding GroupByAggregate output table byte-for-byte
+/// at every fold point. PatternMaintainer builds its group tables on this.
+///
+/// Folds are transactional: PrepareFold stages the delta (copies of touched
+/// group states, provisional ids for new groups) without modifying committed
+/// state; CommitFold publishes it infallibly; DiscardFold drops it, leaving
+/// the instance exactly as before PrepareFold. Accessors are staging-aware
+/// so callers can evaluate the would-be post-append state before deciding to
+/// commit. Not thread-safe; the table must outlive this object and must only
+/// grow (appends) between folds.
+class IncrementalGroupBy {
+ public:
+  static Result<std::unique_ptr<IncrementalGroupBy>> Make(
+      TablePtr table, std::vector<int> group_cols, std::vector<AggregateSpec> aggs);
+  ~IncrementalGroupBy();
+  IncrementalGroupBy(const IncrementalGroupBy&) = delete;
+  IncrementalGroupBy& operator=(const IncrementalGroupBy&) = delete;
+
+  /// Rows [0, rows_folded()) are committed into the group states.
+  int64_t rows_folded() const;
+
+  /// Committed group count (excludes staged-new groups).
+  int64_t num_groups() const;
+
+  /// Stages the fold of rows [rows_folded(), end_row). Requires no staging
+  /// in progress and rows_folded() <= end_row <= table->num_rows(). On stop
+  /// (or any error) the partial staging is discarded and committed state is
+  /// untouched.
+  Status PrepareFold(int64_t end_row, StopToken* stop = nullptr);
+
+  /// Group ids whose state the staged fold changes or creates, in
+  /// first-touch order. Ids >= num_groups() are staged-new groups.
+  const std::vector<int64_t>& staged_touched() const;
+
+  /// Committed plus staged-new group count.
+  int64_t staged_num_groups() const;
+
+  /// First table row of `group` (staging-aware for staged-new groups).
+  int64_t RepresentativeRow(int64_t group) const;
+
+  /// Finalized aggregate `agg_idx` of `group`, reflecting staged state when
+  /// a fold is in progress — byte-identical to the corresponding cell of
+  /// GroupByAggregate over the first staged_num_groups()-discovering rows.
+  Value AggregateValue(int64_t group, size_t agg_idx) const;
+
+  /// Unboxed twin of AggregateValue: writes AggregateValue(...).AsDouble()
+  /// to *out and returns false iff the aggregate finalizes to NULL. The
+  /// maintainer's fragment re-fit reads one aggregate per cell, so this
+  /// skips the Value round-trip.
+  bool AggregateNumeric(int64_t group, size_t agg_idx, double* out) const;
+
+  /// AggregateNumeric over a group-id span: out[i] and valid[i] receive the
+  /// value and non-NULL flag for groups[i]. One call per fragment instead of
+  /// one per cell — the finalize mode is resolved once and upcoming state
+  /// rows are prefetched internally.
+  void AggregateNumericBatch(const int64_t* groups, size_t n, size_t agg_idx,
+                             double* out, uint8_t* valid) const;
+
+  /// Hints that `group`'s aggregate state is about to be read. Group states
+  /// live in one flat array, so a caller iterating a cell list can issue
+  /// this a few iterations ahead to hide the random-access miss.
+  void PrefetchGroup(int64_t group) const;
+
+  /// Publishes the staged fold. Infallible: no allocation-dependent failure
+  /// paths after this returns void (states move, vectors were pre-grown).
+  void CommitFold();
+
+  /// Drops the staged fold, restoring the pre-PrepareFold state.
+  void DiscardFold();
+
+ private:
+  struct Impl;
+  explicit IncrementalGroupBy(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Conjunctive equality predicate compiled once per condition set: string
 /// condition values are translated to dictionary codes (one hash lookup per
 /// condition, not per row) and numeric values to unboxed comparisons, so

@@ -8,7 +8,9 @@
 
 namespace cape {
 
-Table::Table(std::shared_ptr<Schema> schema) : schema_(std::move(schema)) {
+Table::Table(std::shared_ptr<Schema> schema)
+    : schema_(std::move(schema)),
+      fingerprint_cell_(std::make_unique<FingerprintCell>()) {
   columns_.reserve(static_cast<size_t>(schema_->num_fields()));
   for (int i = 0; i < schema_->num_fields(); ++i) {
     columns_.emplace_back(schema_->field(i).type);
@@ -30,17 +32,12 @@ Result<const Column*> Table::ColumnByName(const std::string& name) const {
   return &columns_[static_cast<size_t>(idx)];
 }
 
-Status Table::AppendRow(const Row& row) {
-  if (!rows_resident_) {
-    return Status::InvalidArgument("cannot append to a non-resident paged table");
-  }
+Status Table::ValidateRow(const Row& row) const {
   if (static_cast<int>(row.size()) != num_columns()) {
     return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
                                    " does not match schema arity " +
                                    std::to_string(num_columns()));
   }
-  // Validate all cells before mutating any column so a failed append leaves
-  // the table unchanged.
   for (int i = 0; i < num_columns(); ++i) {
     const Value& v = row[static_cast<size_t>(i)];
     if (v.is_null()) continue;
@@ -53,6 +50,19 @@ Status Table::AppendRow(const Row& row) {
                                ", column expects " + DataTypeToString(col_type));
     }
   }
+  return Status::OK();
+}
+
+Status Table::AppendRow(const Row& row) {
+  if (page_source_ != nullptr) {
+    // A page source's content digest covers a fixed row set; growing the
+    // resident columns underneath it would desynchronize the paged and
+    // in-memory views of the "same" table.
+    return Status::InvalidArgument("cannot append to a paged table");
+  }
+  // Validate all cells before mutating any column so a failed append leaves
+  // the table unchanged.
+  CAPE_RETURN_IF_ERROR(ValidateRow(row));
   for (int i = 0; i < num_columns(); ++i) {
     Status st = columns_[static_cast<size_t>(i)].AppendValue(row[static_cast<size_t>(i)]);
     // The loop above already validated every cell, so a failure here is a
@@ -69,8 +79,8 @@ void Table::Reserve(int64_t capacity) {
 }
 
 Status Table::AppendRowsFrom(const Table& src, const std::vector<int64_t>& rows) {
-  if (!rows_resident_) {
-    return Status::InvalidArgument("cannot append to a non-resident paged table");
+  if (page_source_ != nullptr) {
+    return Status::InvalidArgument("cannot append to a paged table");
   }
   if (!src.rows_resident()) {
     return Status::InvalidArgument(
@@ -205,8 +215,27 @@ uint64_t Table::Fingerprint() const {
     h.UpdateU64(page_source_->content_digest());
     return h.digest();
   }
-  for (const Column& col : columns_) col.HashContent(&h);
+  FingerprintCell& cell = *fingerprint_cell_;
+  MutexLock lock(cell.mu);
+  if (!cell.valid || cell.rows_hashed > num_rows_) {
+    cell.col_states.assign(columns_.size(), Fnv64());
+    cell.rows_hashed = 0;
+    cell.valid = true;
+  }
+  if (cell.rows_hashed < num_rows_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c].HashRows(&cell.col_states[c], cell.rows_hashed, num_rows_);
+    }
+    cell.rows_hashed = num_rows_;
+  }
+  for (const Fnv64& state : cell.col_states) h.UpdateU64(state.digest());
   return h.digest();
+}
+
+void Table::InvalidateFingerprint() {
+  FingerprintCell& cell = *fingerprint_cell_;
+  MutexLock lock(cell.mu);
+  cell.valid = false;
 }
 
 TablePtr MakeEmptyTable(std::vector<Field> fields) {

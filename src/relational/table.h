@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "relational/column.h"
 #include "relational/page_source.h"
@@ -32,7 +33,14 @@ class Table {
   int64_t num_rows() const { return num_rows_; }
 
   const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
-  Column& mutable_column(int i) { return columns_[static_cast<size_t>(i)]; }
+
+  /// Mutable column access. Hands out storage the fingerprint cache cannot
+  /// see through, so it drops the cached digest: the next Fingerprint()
+  /// rehashes from row 0.
+  Column& mutable_column(int i) {
+    InvalidateFingerprint();
+    return columns_[static_cast<size_t>(i)];
+  }
 
   /// Column lookup by name; NotFound for unknown names.
   Result<const Column*> ColumnByName(const std::string& name) const;
@@ -40,6 +48,11 @@ class Table {
   /// Appends one row; the row must have one Value per column of compatible
   /// type (NULLs allowed anywhere).
   Status AppendRow(const Row& row);
+
+  /// Checks that `row` could be appended (arity and per-cell types) without
+  /// mutating anything. Batch appenders validate every row up front so a
+  /// bad row rejects the whole batch instead of leaving a prefix appended.
+  Status ValidateRow(const Row& row) const;
 
   /// Pre-sizes all columns.
   void Reserve(int64_t capacity);
@@ -66,13 +79,20 @@ class Table {
   Status Validate() const;
 
   /// Content fingerprint over the schema digest, row count, and every
-  /// column's full storage (types, validity bitmaps, data, dictionaries).
-  /// Equal-content tables fingerprint equal; any appended row, changed cell,
-  /// or schema difference changes it. This is the cache key half that
-  /// invalidates persisted pattern sets when the underlying relation
-  /// changes (PatternCache); O(bytes of the table), so callers cache the
-  /// result rather than recomputing per lookup. Non-resident paged tables
-  /// hash the page source's content digest instead of the (absent) columns.
+  /// column's per-row content stream (validity, typed payloads, string
+  /// contents). Equal-content tables fingerprint equal; any appended row,
+  /// changed cell, or schema difference changes it. This is the cache key
+  /// half that invalidates persisted pattern sets when the underlying
+  /// relation changes (PatternCache).
+  ///
+  /// The digest is cached and chain-extended: each column keeps a running
+  /// Fnv64 state over rows [0, rows_hashed), so a fingerprint after an
+  /// append only hashes the delta rows — O(delta), not O(table). The cached
+  /// states are a pure function of row content (Column::HashRows), so
+  /// append-then-fingerprint equals a fresh-load fingerprint of the same
+  /// rows. mutable_column() invalidates the cache (next call rehashes from
+  /// row 0). Thread-safe. Non-resident paged tables hash the page source's
+  /// content digest instead of the (absent) columns.
   uint64_t Fingerprint() const;
 
   /// Attaches a paged row source (storage/paged_table.h).
@@ -101,11 +121,25 @@ class Table {
   }
 
  private:
+  /// Cached incremental fingerprint state: one running per-column Fnv64 over
+  /// rows [0, rows_hashed). Behind a unique_ptr so Table stays movable-only
+  /// in a controlled way (the Mutex is neither copyable nor movable) and the
+  /// cell can be mutated from the const Fingerprint() path.
+  struct FingerprintCell {
+    Mutex mu;
+    bool valid CAPE_GUARDED_BY(mu) = false;
+    int64_t rows_hashed CAPE_GUARDED_BY(mu) = 0;
+    std::vector<Fnv64> col_states CAPE_GUARDED_BY(mu);
+  };
+
+  void InvalidateFingerprint();
+
   std::shared_ptr<Schema> schema_;
   std::vector<Column> columns_;
   int64_t num_rows_ = 0;
   std::shared_ptr<PageSource> page_source_;
   bool rows_resident_ = true;
+  std::unique_ptr<FingerprintCell> fingerprint_cell_;
 };
 
 using TablePtr = std::shared_ptr<Table>;

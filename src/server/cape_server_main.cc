@@ -26,6 +26,7 @@ struct Options {
   int port = 7077;
   int64_t rows = 5000;
   int workers = 4;
+  bool writable = false;
 };
 
 int Fail(const std::string& message) {
@@ -60,9 +61,12 @@ int main(int argc, char** argv) {
       } else {
         options.workers = static_cast<int>(*parsed);
       }
+    } else if (arg == "--writable") {
+      options.writable = true;
     } else {
-      return Fail("unknown flag '" + arg +
-                  "' (flags: --csv PATH --table NAME --port N --rows N --workers N)");
+      return Fail(
+          "unknown flag '" + arg +
+          "' (flags: --csv PATH --table NAME --port N --rows N --workers N --writable)");
     }
   }
 
@@ -97,6 +101,9 @@ int main(int argc, char** argv) {
   server_options.table_name = options.table_name;
   server_options.port = options.port;
   server_options.num_workers = options.workers;
+  // --writable enables the APPEND verb; the default stays read-only so a
+  // plain serving deployment cannot be mutated over the wire.
+  if (options.writable) server_options.mutable_engine = &engine;
   cape::server::CapeServer server(&engine, server_options);
   cape::Status started = server.Start();
   if (!started.ok()) return Fail(started.ToString());

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "relational/csv.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 
@@ -45,14 +46,34 @@ std::string EngineStatsJson(const RunStats& s) {
   out += ",\"page_misses\":" + std::to_string(s.page_misses);
   out += ",\"page_evictions\":" + std::to_string(s.page_evictions);
   out += ",\"page_bytes_pinned\":" + std::to_string(s.page_bytes_pinned);
+  out += ",\"maint_appends\":" + std::to_string(s.maint_appends);
+  out += ",\"maint_rows_appended\":" + std::to_string(s.maint_rows_appended);
+  out += ",\"maint_patterns_revalidated\":" + std::to_string(s.maint_patterns_revalidated);
+  out += ",\"maint_patterns_retained\":" + std::to_string(s.maint_patterns_retained);
+  out += ",\"maint_full_remines\":" + std::to_string(s.maint_full_remines);
   return out + "}";
+}
+
+/// True when the trimmed statement starts with the APPEND verb ("append"
+/// alone or followed by whitespace; the remainder is the CSV payload).
+bool IsAppendStatement(std::string_view statement) {
+  std::string_view s = TrimWhitespace(statement);
+  if (s.size() < 6) return false;
+  static constexpr std::string_view kVerb = "append";
+  for (size_t i = 0; i < kVerb.size(); ++i) {
+    const char c = s[i];
+    const char lower = c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+    if (lower != kVerb[i]) return false;
+  }
+  return s.size() == 6 || s[6] == ' ' || s[6] == '\t' || s[6] == '\n' || s[6] == '\r';
 }
 
 }  // namespace
 
 RequestScheduler::RequestScheduler(const Engine* engine, Catalog catalog, ThreadPool* pool,
-                                   SchedulerConfig config)
+                                   SchedulerConfig config, Engine* mutable_engine)
     : engine_(engine),
+      mutable_engine_(mutable_engine),
       catalog_(std::move(catalog)),
       pool_(pool),
       config_(config),
@@ -170,10 +191,130 @@ void RequestScheduler::RunOne() {
 
   if (hook) hook();
 
+  if (IsAppendStatement(pending.request.statement)) {
+    AcquireWriteGate();
+    Response response = ExecuteAppend(pending);
+    if (response.outcome == Outcome::kOk) {
+      // The append replaced the engine's pattern set; pooled sessions hold a
+      // snapshot of the old one. Drop them so later requests explain against
+      // the upgraded patterns. (No session is outstanding: sessions are only
+      // held under the read gate, which the write gate excludes.)
+      MutexLock lock(mu_);
+      free_sessions_.clear();
+    }
+    ReleaseWriteGate();
+    Finish(&pending, std::move(response));
+    return;
+  }
+
+  AcquireReadGate();
   std::unique_ptr<ExplainSession> session = AcquireSession();
   Response response = Execute(pending, session.get(), degraded);
   ReleaseSession(std::move(session));
+  ReleaseReadGate();
   Finish(&pending, std::move(response));
+}
+
+void RequestScheduler::AcquireReadGate() {
+  MutexLock lock(mu_);
+  while (writer_active_ || writers_waiting_ > 0) gate_cv_.Wait(mu_);
+  ++active_readers_;
+}
+
+void RequestScheduler::ReleaseReadGate() {
+  MutexLock lock(mu_);
+  if (--active_readers_ == 0) gate_cv_.NotifyAll();
+}
+
+void RequestScheduler::AcquireWriteGate() {
+  MutexLock lock(mu_);
+  ++writers_waiting_;
+  while (writer_active_ || active_readers_ > 0) gate_cv_.Wait(mu_);
+  --writers_waiting_;
+  writer_active_ = true;
+}
+
+void RequestScheduler::ReleaseWriteGate() {
+  MutexLock lock(mu_);
+  writer_active_ = false;
+  gate_cv_.NotifyAll();
+}
+
+Response RequestScheduler::ExecuteAppend(const Pending& pending) {
+  Response response;
+  response.id = pending.request.id;
+  try {
+    if (mutable_engine_ == nullptr) {
+      response.outcome = Outcome::kError;
+      response.error = "APPEND rejected: server is read-only";
+      return response;
+    }
+    std::string_view rest = TrimWhitespace(pending.request.statement);
+    rest.remove_prefix(6);  // the verb; IsAppendStatement vetted it
+    std::string payload(TrimWhitespace(rest));
+    if (payload.empty()) {
+      response.outcome = Outcome::kError;
+      response.error = "APPEND requires CSV rows after the verb";
+      return response;
+    }
+    // Wire format: one statement line, ';' separates rows. Parse against the
+    // engine schema (no header, no inference) so a malformed row rejects the
+    // whole batch before anything is appended.
+    for (char& c : payload) {
+      if (c == ';') c = '\n';
+    }
+    CsvReadOptions options;
+    options.has_header = false;
+    options.schema = std::make_shared<Schema>(*mutable_engine_->table()->schema());
+    Result<TablePtr> parsed = ReadCsvString(payload, options);
+    if (!parsed.ok()) {
+      response.outcome = Outcome::kError;
+      response.error = parsed.status().message();
+      return response;
+    }
+    const TablePtr& delta = *parsed;
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(delta->num_rows()));
+    for (int64_t r = 0; r < delta->num_rows(); ++r) rows.push_back(delta->GetRow(r));
+
+    const Status status = mutable_engine_->AppendAndRemine(rows);
+    if (status.IsStop()) {
+      // Rows are in, maintenance was cut short: the pattern set is stale but
+      // intact, and the next append (or mine) catches up. Surface that as a
+      // truncated success, mirroring deadline-truncated explains.
+      response.outcome = Outcome::kTruncated;
+      response.payload_json = "{\"rows_appended\":" + std::to_string(rows.size()) +
+                              ",\"patterns_stale\":true}";
+      return response;
+    }
+    if (!status.ok()) {
+      response.outcome = Outcome::kError;
+      response.error = status.message();
+      return response;
+    }
+    const RunStats stats = mutable_engine_->run_stats();
+    std::string out = "{";
+    out += "\"rows_appended\":" + std::to_string(rows.size());
+    out += ",\"total_rows\":" + std::to_string(mutable_engine_->table()->num_rows());
+    out += ",\"patterns\":" + std::to_string(stats.patterns_mined);
+    out += ",\"maint_appends\":" + std::to_string(stats.maint_appends);
+    out += ",\"maint_patterns_revalidated\":" +
+           std::to_string(stats.maint_patterns_revalidated);
+    out += ",\"maint_patterns_retained\":" + std::to_string(stats.maint_patterns_retained);
+    out += ",\"maint_full_remines\":" + std::to_string(stats.maint_full_remines);
+    out += "}";
+    response.outcome = Outcome::kOk;
+    response.payload_json = std::move(out);
+    return response;
+  } catch (const std::exception& e) {
+    response.outcome = Outcome::kError;
+    response.error = std::string("unexpected exception: ") + e.what();
+    return response;
+  } catch (...) {
+    response.outcome = Outcome::kError;
+    response.error = "unexpected non-standard exception";
+    return response;
+  }
 }
 
 Response RequestScheduler::Execute(const Pending& pending, ExplainSession* session,

@@ -72,8 +72,17 @@ class RequestScheduler {
   /// const, re-entrant surface is used); `catalog` names the tables SQL
   /// statements may reference; `pool` runs the requests. Neither engine nor
   /// pool is owned; both must outlive the scheduler.
+  ///
+  /// `mutable_engine`, when non-null, must point at the same engine and
+  /// enables the APPEND verb ("APPEND <csv-rows>", ';' separating rows):
+  /// rows are appended and patterns incrementally re-mined via
+  /// Engine::AppendAndRemine. Appends run under a write-preferring gate that
+  /// excludes every concurrent Execute (the engine's mutating surface is not
+  /// re-entrant); readers admitted after the append observe the grown table
+  /// and the upgraded pattern set. A null mutable_engine keeps the server
+  /// read-only: APPEND answers with a structured error.
   RequestScheduler(const Engine* engine, Catalog catalog, ThreadPool* pool,
-                   SchedulerConfig config);
+                   SchedulerConfig config, Engine* mutable_engine = nullptr);
 
   /// Drains (Shutdown) before destruction.
   ~RequestScheduler();
@@ -117,6 +126,22 @@ class RequestScheduler {
   /// response (never throws; all errors become Outcome::kError).
   Response Execute(const Pending& pending, ExplainSession* session, bool degraded);
 
+  /// Serves one APPEND statement (caller holds the write gate). Parses the
+  /// CSV payload against the engine schema, appends all-or-nothing, and
+  /// re-mines incrementally. kOk carries the maintenance counters; a
+  /// deadline/cancel stop maps to kTruncated (rows appended, patterns stale
+  /// until the next successful maintenance pass).
+  Response ExecuteAppend(const Pending& pending);
+
+  /// Reader/writer gate between Execute (shared) and ExecuteAppend
+  /// (exclusive). Write-preferring: a waiting append blocks new readers so a
+  /// steady SELECT stream cannot starve it. Sessions are only held while the
+  /// read side is held, so a writer never waits on a parked session.
+  void AcquireReadGate() CAPE_EXCLUDES(mu_);
+  void ReleaseReadGate() CAPE_EXCLUDES(mu_);
+  void AcquireWriteGate() CAPE_EXCLUDES(mu_);
+  void ReleaseWriteGate() CAPE_EXCLUDES(mu_);
+
   /// Delivers `response`, debits admission, bumps counters. The single
   /// terminal path for admitted requests.
   void Finish(Pending* pending, Response response) CAPE_EXCLUDES(mu_);
@@ -127,6 +152,7 @@ class RequestScheduler {
   void ReleaseSession(std::unique_ptr<ExplainSession> session) CAPE_EXCLUDES(mu_);
 
   const Engine* const engine_;
+  Engine* const mutable_engine_;
   const Catalog catalog_;
   ThreadPool* const pool_;
   const SchedulerConfig config_;
@@ -135,6 +161,10 @@ class RequestScheduler {
   mutable Mutex mu_;
   CondVar drain_cv_;
   CondVar session_cv_;
+  CondVar gate_cv_;
+  int active_readers_ CAPE_GUARDED_BY(mu_) = 0;
+  int writers_waiting_ CAPE_GUARDED_BY(mu_) = 0;
+  bool writer_active_ CAPE_GUARDED_BY(mu_) = false;
   std::deque<Pending> queue_ CAPE_GUARDED_BY(mu_);
   std::vector<std::unique_ptr<ExplainSession>> free_sessions_ CAPE_GUARDED_BY(mu_);
   int sessions_outstanding_ CAPE_GUARDED_BY(mu_) = 0;

@@ -26,7 +26,7 @@ ServerHarness::ServerHarness(const Engine* engine, ServerOptions options)
     : pool_(options.num_workers < 1 ? 1 : options.num_workers),
       scheduler_(std::make_unique<RequestScheduler>(
           engine, MakeServingCatalog(*engine, options.table_name), &pool_,
-          options.scheduler)) {}
+          options.scheduler, options.mutable_engine)) {}
 
 ServerHarness::~ServerHarness() { Shutdown(); }
 
@@ -92,7 +92,7 @@ CapeServer::CapeServer(const Engine* engine, ServerOptions options)
       pool_((options_.num_workers < 1 ? 1 : options_.num_workers) + 1),
       scheduler_(std::make_unique<RequestScheduler>(
           engine, MakeServingCatalog(*engine, options_.table_name), &pool_,
-          options_.scheduler)) {}
+          options_.scheduler, options_.mutable_engine)) {}
 
 CapeServer::~CapeServer() { Stop(); }
 

@@ -13,6 +13,7 @@
 #include "datagen/dblp.h"
 #include "fd/fd_detector.h"
 #include "pattern/mining.h"
+#include "pattern/pattern_io.h"
 #include "relational/catalog.h"
 #include "relational/csv.h"
 #include "relational/kernels.h"
@@ -265,6 +266,12 @@ Status DriveSite(const std::string& site, PipelineFixture& fx) {
     (void)cache.Lookup(fx.table->Fingerprint(), /*mining_config_digest=*/1);
     return Status::OK();
   }
+  if (site == "incremental.merge") {
+    // The fault fires at the maintainer's commit barrier; AppendAndRemine
+    // must absorb it by re-mining from scratch — append durable, patterns
+    // correct, no error surfaced.
+    return fx.engine.AppendAndRemine({fx.table->GetRow(0)});
+  }
   if (site == "storage.page_read") {
     const std::string path = ::testing::TempDir() + "cape_failpoint_heap.cape";
     CAPE_RETURN_IF_ERROR(WriteTableToHeapFile(*fx.table, path));
@@ -280,7 +287,7 @@ Status DriveSite(const std::string& site, PipelineFixture& fx) {
 /// cold mine, skip a poisoned entry) rather than propagate an error.
 bool IsDegradeSite(const std::string& site) {
   return site == "engine.cache_admit" || site == "pattern_cache.load_entry" ||
-         site == "pattern_cache.lookup_race";
+         site == "pattern_cache.lookup_race" || site == "incremental.merge";
 }
 
 TEST(FailpointTest, EverySiteConvertsInjectedFaultIntoCleanStatus) {
@@ -417,6 +424,37 @@ TEST(FailpointTest, PoisonedDiskEntryDegradesToColdMine) {
   loaded = corrupt.LoadFromDirectory(dir, *fx.table->schema(), fx.table->Fingerprint());
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(*loaded, 0);
+}
+
+TEST(FailpointTest, PoisonedIncrementalMergeDegradesToFullRemine) {
+  PipelineFixture fx = MakeFixture();
+  const std::vector<Row> delta = {fx.table->GetRow(0), fx.table->GetRow(1)};
+
+  // Reference: a second engine over a regenerated copy of the same data mines
+  // the grown table from scratch — the poisoned maintenance pass must land
+  // exactly here.
+  DblpOptions options;
+  options.num_rows = 6000;
+  auto reference_table = GenerateDblp(options);
+  ASSERT_TRUE(reference_table.ok());
+  auto reference = Engine::FromTable(*reference_table);
+  ASSERT_TRUE(reference.ok());
+  reference->mining_config() = SmallMiningConfig();
+  for (const Row& row : delta) ASSERT_TRUE((*reference_table)->AppendRow(row).ok());
+  ASSERT_TRUE(reference->MinePatterns("ARP-MINE").ok());
+
+  {
+    failpoint::ScopedFailpoint fp("incremental.merge");
+    Status st = fx.engine.AppendAndRemine(delta);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  EXPECT_EQ(fx.engine.run_stats().maint_full_remines, 1);
+  EXPECT_EQ(SerializePatternSet(fx.engine.patterns(), fx.engine.schema()),
+            SerializePatternSet(reference->patterns(), reference->schema()));
+
+  // Disarmed: the next append maintains incrementally (no further re-mine).
+  ASSERT_TRUE(fx.engine.AppendAndRemine({fx.table->GetRow(2)}).ok());
+  EXPECT_EQ(fx.engine.run_stats().maint_full_remines, 1);
 }
 
 }  // namespace

@@ -387,6 +387,123 @@ TEST_F(ServerTest, ShutdownDrainsInFlightWorkThenRejects) {
 }
 
 // ---------------------------------------------------------------------------
+// APPEND verb
+
+/// Fresh mutable engine per test: APPEND mutates the table in place, so
+/// these tests cannot share the suite-wide read-only engine.
+Engine MakeAppendEngine() {
+  DblpOptions options;
+  options.num_rows = 1500;
+  options.seed = 5;
+  auto table = GenerateDblp(options);
+  EXPECT_TRUE(table.ok());
+  Engine engine =
+      std::move(Engine::FromTable(std::move(table).ValueOrDie())).ValueOrDie();
+  MiningConfig& mining = engine.mining_config();
+  mining.max_pattern_size = 3;
+  mining.local_gof_threshold = 0.2;
+  mining.local_support_threshold = 3;
+  mining.global_confidence_threshold = 0.3;
+  mining.global_support_threshold = 10;
+  mining.agg_functions = {AggFunc::kCount};
+  mining.excluded_attrs = {"pubid"};
+  EXPECT_TRUE(engine.MinePatterns().ok());
+  return engine;
+}
+
+TEST_F(ServerTest, AppendGrowsTableAndRevalidatesPatterns) {
+  Engine engine = MakeAppendEngine();
+  const int64_t before = engine.table()->num_rows();
+  ServerOptions options;
+  options.num_workers = 2;
+  options.mutable_engine = &engine;
+  ServerHarness harness(&engine, options);
+
+  Response ok = harness.Call(
+      "[id=1] APPEND NewAuthor,P90001,2007,SIGKDD;NewAuthor,P90002,2008,ICDE");
+  EXPECT_EQ(ok.outcome, Outcome::kOk) << ok.error;
+  EXPECT_NE(ok.payload_json.find("\"rows_appended\":2"), std::string::npos)
+      << ok.payload_json;
+  EXPECT_NE(ok.payload_json.find("\"maint_appends\":1"), std::string::npos)
+      << ok.payload_json;
+  EXPECT_EQ(engine.table()->num_rows(), before + 2);
+  EXPECT_EQ(engine.run_stats().maint_appends, 1);
+  EXPECT_EQ(engine.run_stats().maint_full_remines, 0);
+
+  // Reads after the append observe the grown relation and maintenance stats.
+  Response stats = harness.Call("STATS");
+  EXPECT_EQ(stats.outcome, Outcome::kOk);
+  EXPECT_NE(stats.payload_json.find("\"maint_appends\":1"), std::string::npos);
+  Response select = harness.Call("SELECT author, venue FROM pub");
+  EXPECT_EQ(select.outcome, Outcome::kOk);
+  EXPECT_EQ(harness.Call(PlantedExplainLine("[id=2]")).outcome, Outcome::kOk);
+}
+
+TEST_F(ServerTest, AppendRejectedWhenServerIsReadOnly) {
+  ServerOptions options;
+  options.num_workers = 1;
+  ServerHarness harness(engine_, options);  // mutable_engine left null
+
+  Response rejected = harness.Call("APPEND X,P1,2000,ICDE");
+  EXPECT_EQ(rejected.outcome, Outcome::kError);
+  EXPECT_NE(rejected.error.find("read-only"), std::string::npos) << rejected.error;
+}
+
+TEST_F(ServerTest, MalformedAppendIsRejectedWithoutSideEffects) {
+  Engine engine = MakeAppendEngine();
+  const int64_t before = engine.table()->num_rows();
+  ServerOptions options;
+  options.num_workers = 1;
+  options.mutable_engine = &engine;
+  ServerHarness harness(&engine, options);
+
+  EXPECT_EQ(harness.Call("APPEND").outcome, Outcome::kError);  // empty payload
+  // Wrong arity in the second row: the whole batch is rejected, nothing
+  // lands (Engine::AppendAndRemine validates every row before appending).
+  Response bad = harness.Call("APPEND A,P90001,2007,SIGKDD;B,P90002,2008");
+  EXPECT_EQ(bad.outcome, Outcome::kError);
+  EXPECT_EQ(engine.table()->num_rows(), before);
+  EXPECT_EQ(engine.run_stats().maint_appends, 0);
+}
+
+TEST_F(ServerTest, ConcurrentAppendsAndReadsAllReachTerminalOutcomes) {
+  Engine engine = MakeAppendEngine();
+  const int64_t before = engine.table()->num_rows();
+  ServerOptions options;
+  options.num_workers = 4;
+  options.mutable_engine = &engine;
+  ServerHarness harness(&engine, options);
+
+  // Mixed storm: every fourth request is an append (lowercase, exercising
+  // the case-insensitive verb match), the rest are reads. The write gate
+  // serializes appends against reads, so every request must still reach a
+  // terminal kOk and every appended row must land exactly once.
+  Collector collector;
+  const int kRequests = 24;
+  int appends = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const std::string id = std::to_string(i + 1);
+    if (i % 4 == 0) {
+      ++appends;
+      harness.CallAsync("[id=" + id + " deadline_ms=30000] append A" + id +
+                            ",P9" + id + ",2007,SIGKDD",
+                        collector.Callback());
+    } else {
+      harness.CallAsync("[id=" + id + " deadline_ms=30000] SELECT author FROM pub",
+                        collector.Callback());
+    }
+  }
+  const std::vector<Response> responses = collector.WaitFor(kRequests);
+  ASSERT_EQ(responses.size(), static_cast<size_t>(kRequests));
+  for (const Response& r : responses) {
+    EXPECT_EQ(r.outcome, Outcome::kOk) << "id " << r.id << ": " << r.error;
+  }
+  EXPECT_EQ(engine.table()->num_rows(), before + appends);
+  EXPECT_EQ(engine.run_stats().maint_appends, appends);
+  EXPECT_EQ(engine.run_stats().maint_rows_appended, appends);
+}
+
+// ---------------------------------------------------------------------------
 // TCP front end
 
 int ConnectLoopback(int port) {

@@ -1,0 +1,368 @@
+// Property/metamorphic tests for the mergeable accumulators behind
+// incremental pattern maintenance (DESIGN.md §16): RunningStats::Merge
+// (Chan et al.'s parallel Welford fold) and RegressionMoments (plain moment
+// sums with closed-form constant/linear readouts). The maintainer's
+// correctness story leans on these being associative, order-independent, and
+// numerically indistinguishable from the batch formulas — so those are
+// exactly the properties pinned here, on adversarial inputs: near-constant
+// streams, huge magnitude spreads, and null/NaN-adjacent mixes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/regression.h"
+
+namespace cape {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deterministic adversarial streams (no <random>: reproducibility across
+// libstdc++ versions is part of the byte-identity story).
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double UnitUniform(uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Values within ~1e-9 of a large base: catastrophic cancellation territory
+/// for the naive sum-of-squares variance.
+std::vector<double> NearConstantStream(size_t n, uint64_t seed) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  uint64_t state = seed;
+  for (size_t i = 0; i < n; ++i) {
+    xs.push_back(1.0e9 + UnitUniform(&state) * 1.0e-3);
+  }
+  return xs;
+}
+
+/// Magnitudes spanning ~1e-8 .. 1e8 with mixed signs.
+std::vector<double> HugeSpreadStream(size_t n, uint64_t seed) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  uint64_t state = seed;
+  for (size_t i = 0; i < n; ++i) {
+    const double mag = std::pow(10.0, UnitUniform(&state) * 16.0 - 8.0);
+    xs.push_back((SplitMix64(&state) & 1) ? mag : -mag);
+  }
+  return xs;
+}
+
+/// The null-handling convention under test: the production fold (the
+/// maintainer, EvaluateSplit) skips nulls *before* the accumulator ever sees
+/// a value, so "null mixes" here means sparse streams — every third value
+/// dropped — and the property is that merging the kept values in any
+/// grouping agrees with the batch pass over the kept values.
+std::vector<double> SparseStream(size_t n, uint64_t seed) {
+  std::vector<double> xs;
+  uint64_t state = seed;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = UnitUniform(&state) * 100.0 - 50.0;
+    if (i % 3 == 2) continue;  // the "null" slots
+    xs.push_back(v);
+  }
+  return xs;
+}
+
+// Batch references computed in long double to act as ground truth.
+struct BatchMoments {
+  long double mean = 0.0L;
+  long double m2 = 0.0L;  // sum of squared deviations from the mean
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+BatchMoments BatchReference(const std::vector<double>& xs) {
+  BatchMoments b;
+  if (xs.empty()) return b;
+  long double sum = 0.0L;
+  for (double x : xs) {
+    sum += x;
+    if (x < b.min) b.min = x;
+    if (x > b.max) b.max = x;
+  }
+  b.mean = sum / static_cast<long double>(xs.size());
+  for (double x : xs) {
+    const long double d = static_cast<long double>(x) - b.mean;
+    b.m2 += d * d;
+  }
+  return b;
+}
+
+/// Relative-error bound used throughout: Welford and Chan's merge are both
+/// backward-stable, so everything should agree with the long-double batch
+/// pass to a small multiple of double epsilon per element folded.
+void ExpectClose(double got, long double want, double n, const char* what) {
+  const double scale = std::max(std::abs(static_cast<double>(want)), 1.0);
+  const double bound = 64.0 * n * std::numeric_limits<double>::epsilon() * scale;
+  EXPECT_NEAR(got, static_cast<double>(want), bound) << what;
+}
+
+RunningStats FoldAll(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.Add(x);
+  return s;
+}
+
+/// Splits xs into `pieces` contiguous chunks, folds each into its own
+/// accumulator, and merges left-to-right.
+RunningStats ChunkedMerge(const std::vector<double>& xs, size_t pieces) {
+  RunningStats merged;
+  const size_t chunk = xs.size() / pieces + 1;
+  for (size_t begin = 0; begin < xs.size(); begin += chunk) {
+    RunningStats part;
+    const size_t end = std::min(xs.size(), begin + chunk);
+    for (size_t i = begin; i < end; ++i) part.Add(xs[i]);
+    merged.Merge(part);
+  }
+  return merged;
+}
+
+void ExpectSameStats(const RunningStats& a, const RunningStats& b, double n) {
+  EXPECT_EQ(a.count(), b.count());
+  ExpectClose(a.mean(), b.mean(), n, "mean");
+  ExpectClose(a.variance(), b.variance(), n, "variance");
+  EXPECT_EQ(a.min(), b.min());  // min/max are exact under any grouping
+  EXPECT_EQ(a.max(), b.max());
+}
+
+// ---------------------------------------------------------------------------
+// RunningStats::Merge
+
+TEST(StatsIncrementalTest, MergeMatchesBatchOnAdversarialStreams) {
+  const std::vector<std::vector<double>> streams = {
+      NearConstantStream(4096, 7),
+      HugeSpreadStream(4096, 21),
+      SparseStream(4096, 42),
+  };
+  for (const auto& xs : streams) {
+    const BatchMoments want = BatchReference(xs);
+    const double n = static_cast<double>(xs.size());
+    for (size_t pieces : {1u, 2u, 3u, 17u, 512u}) {
+      const RunningStats merged = ChunkedMerge(xs, pieces);
+      ASSERT_EQ(merged.count(), xs.size());
+      ExpectClose(merged.mean(), want.mean, n, "mean");
+      ExpectClose(merged.variance(), want.m2 / static_cast<long double>(xs.size()), n,
+                  "variance");
+      EXPECT_EQ(merged.min(), want.min);
+      EXPECT_EQ(merged.max(), want.max);
+    }
+  }
+}
+
+TEST(StatsIncrementalTest, MergeIsAssociative) {
+  const std::vector<double> xs = HugeSpreadStream(3000, 99);
+  RunningStats a = FoldAll({xs.begin(), xs.begin() + 1000});
+  RunningStats b = FoldAll({xs.begin() + 1000, xs.begin() + 2000});
+  RunningStats c = FoldAll({xs.begin() + 2000, xs.end()});
+
+  // (a + b) + c
+  RunningStats left = a;
+  left.Merge(b);
+  left.Merge(c);
+  // a + (b + c)
+  RunningStats bc = b;
+  bc.Merge(c);
+  RunningStats right = a;
+  right.Merge(bc);
+
+  ExpectSameStats(left, right, static_cast<double>(xs.size()));
+}
+
+TEST(StatsIncrementalTest, MergeIsOrderIndependent) {
+  const std::vector<double> xs = NearConstantStream(3000, 1337);
+  RunningStats a = FoldAll({xs.begin(), xs.begin() + 1000});
+  RunningStats b = FoldAll({xs.begin() + 1000, xs.begin() + 2000});
+  RunningStats c = FoldAll({xs.begin() + 2000, xs.end()});
+
+  RunningStats abc = a;
+  abc.Merge(b);
+  abc.Merge(c);
+  RunningStats cba = c;
+  cba.Merge(b);
+  cba.Merge(a);
+
+  ExpectSameStats(abc, cba, static_cast<double>(xs.size()));
+}
+
+TEST(StatsIncrementalTest, MergeIdentityAndAbsorption) {
+  const std::vector<double> xs = SparseStream(500, 2026);
+  const RunningStats folded = FoldAll(xs);
+
+  // Empty is a two-sided identity — bit-exact, not just close.
+  RunningStats left_identity;
+  left_identity.Merge(folded);
+  EXPECT_EQ(left_identity.mean(), folded.mean());
+  EXPECT_EQ(left_identity.variance(), folded.variance());
+  EXPECT_EQ(left_identity.count(), folded.count());
+
+  RunningStats right_identity = folded;
+  right_identity.Merge(RunningStats());
+  EXPECT_EQ(right_identity.mean(), folded.mean());
+  EXPECT_EQ(right_identity.variance(), folded.variance());
+  EXPECT_EQ(right_identity.count(), folded.count());
+}
+
+TEST(StatsIncrementalTest, SingletonMergesEqualSequentialAdds) {
+  // Folding every element through a singleton accumulator and merging is the
+  // degenerate "batch of one" schedule — the same shape a 1-row append
+  // produces in the maintainer.
+  const std::vector<double> xs = HugeSpreadStream(800, 4242);
+  const RunningStats sequential = FoldAll(xs);
+  RunningStats merged;
+  for (double x : xs) {
+    RunningStats one;
+    one.Add(x);
+    merged.Merge(one);
+  }
+  ExpectSameStats(merged, sequential, static_cast<double>(xs.size()));
+}
+
+TEST(StatsIncrementalTest, NearConstantVarianceStaysNonNegativeAndTiny) {
+  // The classic failure of naive sum-of-squares: variance of ~1e-3-wide
+  // noise around 1e9 comes out negative or ~1e2. Welford + Chan must keep it
+  // non-negative and at the right scale under any merge schedule.
+  const std::vector<double> xs = NearConstantStream(4096, 7);
+  for (size_t pieces : {1u, 8u, 64u}) {
+    const RunningStats s = ChunkedMerge(xs, pieces);
+    EXPECT_GE(s.variance(), 0.0);
+    EXPECT_LT(s.variance(), 1.0e-5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RegressionMoments
+
+TEST(StatsIncrementalTest, RegressionMomentsMergeIsAssociative) {
+  // Plain sums: re-associating the merge order only re-associates double
+  // additions, so any grouping agrees to a few ulps (bit-exactness is not
+  // promised — (a+b)+c and a+(b+c) legitimately differ in the last bit).
+  uint64_t state = 7;
+  std::vector<std::pair<double, double>> pts;
+  for (int i = 0; i < 600; ++i) {
+    const double x = UnitUniform(&state) * 20.0 - 10.0;
+    pts.push_back({x, 3.0 - 0.5 * x + UnitUniform(&state) * 0.01});
+  }
+  RegressionMoments a, b, c;
+  for (int i = 0; i < 200; ++i) a.Add(pts[i].first, pts[i].second);
+  for (int i = 200; i < 400; ++i) b.Add(pts[i].first, pts[i].second);
+  for (int i = 400; i < 600; ++i) c.Add(pts[i].first, pts[i].second);
+
+  RegressionMoments left = a;
+  left.Merge(b);
+  left.Merge(c);
+  RegressionMoments bc = b;
+  bc.Merge(c);
+  RegressionMoments right = a;
+  right.Merge(bc);
+
+  EXPECT_EQ(left.n, right.n);
+  ExpectClose(left.sx, right.sx, 600.0, "sx");
+  ExpectClose(left.sy, right.sy, 600.0, "sy");
+  ExpectClose(left.sxx, right.sxx, 600.0, "sxx");
+  ExpectClose(left.syy, right.syy, 600.0, "syy");
+  ExpectClose(left.sxy, right.sxy, 600.0, "sxy");
+}
+
+TEST(StatsIncrementalTest, ConstBetaAndGofMatchConstantRegression) {
+  // The moment-form constant model must reproduce ConstantRegression::Fit —
+  // the production gof gate — on benign and adversarial ys alike.
+  const std::vector<std::vector<double>> streams = {
+      {5.0, 5.0, 5.0, 5.0},                 // zero variance → gof 1
+      {2.0, 4.0, 6.0, 8.0, 10.0},           // positive beta, chi-square path
+      {-1.0, 2.0, -3.0, 4.0},               // beta near zero → RMSE fallback
+      {0.5},                                // n < 2 → gof 1
+      NearConstantStream(256, 11),          // cancellation stress
+      SparseStream(256, 13),
+  };
+  for (const auto& ys : streams) {
+    RegressionMoments m;
+    for (double y : ys) m.Add(0.0, y);
+    auto fitted = ConstantRegression::Fit(ys);
+    ASSERT_TRUE(fitted.ok());
+    const double n = static_cast<double>(ys.size());
+    ExpectClose(m.ConstBeta(), (*fitted)->Predict({}), n, "beta");
+    ExpectClose(m.ConstGof(), (*fitted)->goodness_of_fit(), n * n, "gof");
+  }
+}
+
+TEST(StatsIncrementalTest, FitLineMatchesLinearRegressionSinglePredictor) {
+  uint64_t state = 99;
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  RegressionMoments m;
+  for (int i = 0; i < 400; ++i) {
+    const double x = UnitUniform(&state) * 8.0;
+    const double noise = UnitUniform(&state) * 0.2 - 0.1;
+    X.push_back({x});
+    y.push_back(1.5 + 2.25 * x + noise);
+    m.Add(x, y.back());
+  }
+  auto fitted = LinearRegression::Fit(X, y);
+  ASSERT_TRUE(fitted.ok());
+  auto line = m.FitLine();
+  ASSERT_TRUE(line.ok());
+  ExpectClose(line->intercept, (*fitted)->coefficients()[0], 400.0 * 400.0, "intercept");
+  ExpectClose(line->slope, (*fitted)->coefficients()[1], 400.0 * 400.0, "slope");
+}
+
+TEST(StatsIncrementalTest, FitLineDegenerateAndEmptyCases) {
+  RegressionMoments empty;
+  EXPECT_FALSE(empty.FitLine().ok());
+
+  // Zero x-variance: slope 0, intercept = mean(y), matching the least-norm
+  // convention documented on FitLine.
+  RegressionMoments degenerate;
+  degenerate.Add(2.0, 1.0);
+  degenerate.Add(2.0, 3.0);
+  degenerate.Add(2.0, 5.0);
+  auto line = degenerate.FitLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->slope, 0.0);
+  EXPECT_DOUBLE_EQ(line->intercept, 3.0);
+}
+
+TEST(StatsIncrementalTest, MergedMomentsGiveSameFitAsBatch) {
+  // The maintainer's usage shape: per-batch moment accumulators merged, then
+  // read out. The merged fit must agree with the all-at-once fit.
+  uint64_t state = 4242;
+  RegressionMoments batch;
+  RegressionMoments merged;
+  RegressionMoments chunk;
+  int in_chunk = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = UnitUniform(&state) * 1.0e6 - 5.0e5;  // huge spread
+    const double yv = -7.0 + 1.0e-3 * x + UnitUniform(&state);
+    batch.Add(x, yv);
+    chunk.Add(x, yv);
+    if (++in_chunk == 37) {  // uneven batch boundary
+      merged.Merge(chunk);
+      chunk = RegressionMoments();
+      in_chunk = 0;
+    }
+  }
+  merged.Merge(chunk);
+
+  auto batch_line = batch.FitLine();
+  auto merged_line = merged.FitLine();
+  ASSERT_TRUE(batch_line.ok());
+  ASSERT_TRUE(merged_line.ok());
+  // Sums are added in a different association, so allow rounding slack.
+  ExpectClose(merged_line->intercept, batch_line->intercept, 1000.0, "intercept");
+  ExpectClose(merged_line->slope, batch_line->slope, 1000.0, "slope");
+  ExpectClose(merged.ConstBeta(), batch.ConstBeta(), 1000.0, "beta");
+}
+
+}  // namespace
+}  // namespace cape
