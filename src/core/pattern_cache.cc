@@ -1,9 +1,11 @@
 #include "core/pattern_cache.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <tuple>
 #include <utility>
 
 #include "common/failpoint.h"
@@ -159,15 +161,36 @@ Status PatternCache::SaveToDirectory(const std::string& dir) const {
   if (ec) {
     return Status::IOError("cannot create directory '" + dir + "': " + ec.message());
   }
-  MutexLock lock(mu_);
-  for (const auto& [key, entry] : entries_) {
+  // Snapshot the entries under the lock, then write with it released:
+  // holding mu_ across per-entry disk writes would block every concurrent
+  // Lookup/Insert for the whole save. The shared_ptrs keep each pattern set
+  // alive even if the entry is evicted mid-save.
+  struct Snapshot {
+    uint64_t fingerprint;
+    uint64_t digest;
+    std::shared_ptr<const PatternSet> patterns;
+    std::shared_ptr<const Schema> schema;
+  };
+  std::vector<Snapshot> snapshot;
+  {
+    MutexLock lock(mu_);
+    snapshot.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      snapshot.push_back({key.fingerprint, key.digest, entry.patterns, entry.schema});
+    }
+  }
+  // Deterministic save order (and a deterministic failpoint trigger point),
+  // independent of hash-bucket layout.
+  std::sort(snapshot.begin(), snapshot.end(), [](const Snapshot& a, const Snapshot& b) {
+    return std::tie(a.fingerprint, a.digest) < std::tie(b.fingerprint, b.digest);
+  });
+  for (const Snapshot& s : snapshot) {
     // Injected ENOSPC-style write failure; propagated so callers know the
     // on-disk snapshot is incomplete.
     CAPE_FAILPOINT("pattern_cache.save_entry");
     const std::string path =
-        (std::filesystem::path(dir) / EntryFileName(key.fingerprint, key.digest)).string();
-    CAPE_RETURN_IF_ERROR(
-        SavePatternSetBinary(*entry.patterns, *entry.schema, path, key.digest));
+        (std::filesystem::path(dir) / EntryFileName(s.fingerprint, s.digest)).string();
+    CAPE_RETURN_IF_ERROR(SavePatternSetBinary(*s.patterns, *s.schema, path, s.digest));
   }
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/cancellation.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "stats/descriptive.h"
@@ -14,13 +15,14 @@ Result<ExplainResult> BaselineExplain(const UserQuestion& q,
                                       const ExplainConfig& config) {
   ExplainResult result;
   Stopwatch total;
+  StopToken stop = config.MakeStopToken();
 
   AggregateSpec spec;
   spec.func = q.agg;
   spec.input_col = q.agg_attr;
   spec.output_name = "agg";
   const std::vector<int> g = q.group_attrs.ToIndices();
-  CAPE_ASSIGN_OR_RETURN(TablePtr data, GroupByAggregate(*q.relation, g, {spec}));
+  CAPE_ASSIGN_OR_RETURN(TablePtr data, GroupByAggregate(*q.relation, g, {spec}, &stop));
   const int agg_col = static_cast<int>(g.size());
   // MakeUserQuestion rejects non-numeric aggregates; guard hand-built
   // questions too (min/max over a string attribute aggregates to strings).
@@ -31,6 +33,7 @@ Result<ExplainResult> BaselineExplain(const UserQuestion& q,
 
   RunningStats stats;
   for (int64_t row = 0; row < data->num_rows(); ++row) {
+    if ((row & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(&stop);
     if (!data->column(agg_col).IsNull(row)) stats.Add(data->column(agg_col).GetNumeric(row));
   }
   const double avg = stats.mean();
@@ -38,6 +41,7 @@ Result<ExplainResult> BaselineExplain(const UserQuestion& q,
 
   std::vector<Explanation> candidates;
   for (int64_t row = 0; row < data->num_rows(); ++row) {
+    if ((row & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(&stop);
     result.profile.num_tuples_checked += 1;
     if (data->column(agg_col).IsNull(row)) continue;
     Row values;

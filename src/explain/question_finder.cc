@@ -54,6 +54,7 @@ Result<std::vector<CandidateQuestion>> FindCandidateQuestions(
 
     std::string fragment_key;  // reused across rows; same bytes as EncodeRowKey
     for (int64_t row = 0; row < data->num_rows(); ++row) {
+      if ((row & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(options.stop);
       if (data->column(agg_col).IsNull(row)) continue;
       fragment_key.clear();
       AppendTableRowKey(*data, row, f_positions, &fragment_key);

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "explain/user_question.h"
 #include "pattern/pattern_set.h"
@@ -28,6 +29,10 @@ struct QuestionFinderOptions {
   int top_k = 10;
   /// Minimum |deviation| / (|prediction|+1) for a tuple to be considered.
   double min_outlierness = 0.3;
+  /// Optional cooperative stop: the per-pattern row scans check it at
+  /// kStopCheckStride granularity and return its status when it fires.
+  /// Not owned; must outlive the call. nullptr = never stop.
+  StopToken* stop = nullptr;
 };
 
 /// Scans the data of every mined pattern for tuples that deviate strongly

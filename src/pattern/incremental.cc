@@ -236,6 +236,7 @@ Status PatternMaintainer::Rep::RefitFragment(
   // the X matrix is only materialized when a non-const candidate will
   // consume it; const-only splits carry empty placeholder rows instead.
   bool need_x = false;
+  // analyzer:allow-next-line(cancellation) slots are schema-bounded (agg x model)
   for (const CandidateSlot& slot : split.candidates) {
     if (slot.pattern.model != ModelType::kConst) need_x = true;
   }
@@ -272,6 +273,7 @@ Status PatternMaintainer::Rep::RefitFragment(
 
   const int64_t support = static_cast<int64_t>(cells->size());
   out->reserve(split.candidates.size());
+  // analyzer:allow-next-line(cancellation) slots are schema-bounded (agg x model)
   for (const CandidateSlot& slot : split.candidates) {
     CandidateMap& fits = scratch->fits;
     fits.clear();  // keeps its bucket array across slots and deltas
@@ -347,6 +349,7 @@ Status PatternMaintainer::Rep::StageDelta(int64_t end_row, StopToken* stop,
         (void)inserted;
         if (touched[i] >= committed) it->second.push_back(touched[i]);
       }
+      // analyzer:allow-next-line(unordered-iteration) deltas commit by key
       for (auto& [fkey, new_ids] : dirty) {
         CAPE_RETURN_IF_STOPPED_BLOCK(stop);
         FragmentDelta delta;
@@ -483,6 +486,7 @@ Status PatternMaintainer::Absorb(StopToken* stop) {
   for (int col : rep.nan_guard_cols) {
     const Column& c = rep.table->column(col);
     for (int64_t row = rep.rows_folded; row < end_row; ++row) {
+      if ((row & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(stop);
       if (!c.IsNull(row) && std::isnan(c.GetDouble(row))) {
         return Status::NotImplemented(
             "NaN in attribute '" + rep.table->schema()->field(col).name +
@@ -562,6 +566,9 @@ Status PatternMaintainer::Absorb(StopToken* stop) {
   for (int col : rep.numeric_cols) {
     const Column& c = rep.table->column(col);
     RunningStats batch;
+    // Past the commit barrier: a stop return here would leave buckets folded
+    // but rows_folded stale, double-folding the batch on retry.
+    // analyzer:allow-next-line(cancellation) all-or-nothing contract wins
     for (int64_t row = rep.rows_folded; row < end_row; ++row) {
       if (!c.IsNull(row)) batch.Add(c.GetNumeric(row));
     }
@@ -581,6 +588,7 @@ PatternSet PatternMaintainer::Finalize() const {
       if (split.buckets.empty()) continue;
       const int64_t num_fragments = static_cast<int64_t>(split.buckets.size());
       const int64_t num_supported = split.num_supported;
+      // analyzer:allow-next-line(cancellation) slots are schema-bounded (agg x model)
       for (const CandidateSlot& slot : split.candidates) {
         CandidateStats stats;
         stats.pattern = slot.pattern;

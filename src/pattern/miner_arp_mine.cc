@@ -137,6 +137,10 @@ class ArpMiner final : public PatternMiner {
             return Status::OK();
           });
       MergeProfiles(profs, &profile);
+      // Post-phase merge: a stop here is honored at the next level boundary;
+      // erroring out instead would drop the truncated-result contract the
+      // stop-checked ParallelFor just upheld.
+      // analyzer:allow-next-line(cancellation) truncated-result contract
       for (CandidateMap& wc : worker_candidates) {
         for (auto& [pattern, stats] : wc) candidates.emplace(pattern, std::move(stats));
       }

@@ -98,6 +98,7 @@ class SampledMiner final : public PatternMiner {
       constexpr size_t kBlock = 4096;
       RunningStats stats;
       RegressionMoments moments;
+      // analyzer:allow-next-line(cancellation) `rows` is the config-bounded sample
       for (size_t begin = 0; begin < rows.size(); begin += kBlock) {
         const size_t end = std::min(rows.size(), begin + kBlock);
         RunningStats block;

@@ -245,6 +245,8 @@ Status EvaluateSplit(const Table& data, const std::vector<int>& f_cols,
 
 PatternSet FinalizePatterns(CandidateMap candidates, const MiningConfig& config) {
   std::vector<CandidateStats> held;
+  // Finalization of already-mined candidates; miners stop upstream.
+  // analyzer:allow-next-line(cancellation) no stop token at this boundary
   for (auto& [pattern, stats] : candidates) {
     if (stats.num_supported == 0) continue;
     const double confidence = static_cast<double>(stats.num_holding) /

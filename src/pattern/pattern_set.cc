@@ -87,6 +87,7 @@ const GlobalPattern* PatternSet::Find(const Pattern& pattern) const {
 
 int64_t PatternSet::NumLocalPatterns() const {
   int64_t total = 0;
+  // analyzer:allow-next-line(cancellation) O(|patterns|) accessor, no scans
   for (const GlobalPattern& p : patterns_) total += static_cast<int64_t>(p.locals.size());
   return total;
 }
@@ -94,6 +95,7 @@ int64_t PatternSet::NumLocalPatterns() const {
 PatternSet PatternSet::Truncated(int64_t max_locals) const {
   PatternSet out;
   int64_t taken = 0;
+  // analyzer:allow-next-line(cancellation) copies at most max_locals locals
   for (const GlobalPattern& p : patterns_) {
     if (taken >= max_locals) break;
     GlobalPattern copy = p;

@@ -184,6 +184,7 @@ void Column::AppendManyFrom(const Column& src, const std::vector<int64_t>& rows)
   CAPE_DCHECK(src.type_ == type_);
   switch (type_) {
     case DataType::kInt64:
+      // analyzer:allow-next-line(cancellation) ingestion primitive; callers batch
       for (int64_t row : rows) {
         const uint8_t valid = src.validity_[static_cast<size_t>(row)];
         int64_data_.push_back(src.int64_data_[static_cast<size_t>(row)]);
@@ -192,6 +193,7 @@ void Column::AppendManyFrom(const Column& src, const std::vector<int64_t>& rows)
       }
       return;
     case DataType::kDouble:
+      // analyzer:allow-next-line(cancellation) ingestion primitive; callers batch
       for (int64_t row : rows) {
         const uint8_t valid = src.validity_[static_cast<size_t>(row)];
         double_data_.push_back(src.double_data_[static_cast<size_t>(row)]);
@@ -203,6 +205,7 @@ void Column::AppendManyFrom(const Column& src, const std::vector<int64_t>& rows)
       // Memoized src->dst code translation: each distinct source code pays
       // one hash lookup, every further occurrence is a vector read.
       std::vector<int32_t> code_map(src.dict_.size(), kNullCode);
+      // analyzer:allow-next-line(cancellation) ingestion primitive; callers batch
       for (int64_t row : rows) {
         const int32_t src_code = src.codes_[static_cast<size_t>(row)];
         if (src_code < 0) {

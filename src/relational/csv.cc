@@ -245,6 +245,7 @@ std::string WriteCsvString(const Table& table, const CsvWriteOptions& options) {
     }
     out.push_back('\n');
   }
+  // analyzer:allow-next-line(cancellation) offline export utility, not request path
   for (int64_t r = 0; r < table.num_rows(); ++r) {
     for (int c = 0; c < table.num_columns(); ++c) {
       if (c > 0) out.push_back(options.delimiter);

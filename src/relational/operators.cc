@@ -362,6 +362,7 @@ Result<TablePtr> GroupByAggregate(const Table& table, const std::vector<int>& gr
         int64_t lo = 0, hi = 0;
         bool any = false;
         for (int64_t row = 0; row < table.num_rows(); ++row) {
+          if ((row & (kStopCheckStride - 1)) == 0) CAPE_RETURN_IF_STOPPED_BLOCK(stop);
           if (col.IsNull(row)) continue;
           const int64_t v = col.GetInt64(row);
           lo = any ? std::min(lo, v) : v;

@@ -21,6 +21,7 @@ Result<std::shared_ptr<Table>> Table::FromRows(std::shared_ptr<Schema> schema,
                                                const std::vector<Row>& rows) {
   auto table = std::make_shared<Table>(std::move(schema));
   table->Reserve(static_cast<int64_t>(rows.size()));
+  // analyzer:allow-next-line(cancellation) ingestion primitive; callers batch
   for (const Row& row : rows) {
     CAPE_RETURN_IF_ERROR(table->AppendRow(row));
   }
@@ -90,6 +91,7 @@ Status Table::AppendRowsFrom(const Table& src, const std::vector<int64_t>& rows)
     return Status::InvalidArgument("AppendRowsFrom requires matching schemas: " +
                                    src.schema()->ToString() + " vs " + schema_->ToString());
   }
+  // analyzer:allow-next-line(cancellation) bounds pre-check; ingestion callers batch
   for (int64_t row : rows) {
     if (row < 0 || row >= src.num_rows()) {
       return Status::OutOfRange("row index " + std::to_string(row) + " out of range");

@@ -22,7 +22,8 @@ Result<uint64_t> BufferManager::Pin(int64_t page, PageView* view) {
   } else {
     ++stats_.misses;
     CAPE_ASSIGN_OR_RETURN(idx, AcquireFrameLocked(/*allow_growth=*/true));
-    CAPE_RETURN_IF_ERROR(LoadFrameLocked(idx, page));
+    // analyzer:allow-next-line(lock-order) single-threaded pager by design:
+    CAPE_RETURN_IF_ERROR(LoadFrameLocked(idx, page));  // DESIGN.md §15 serializes faults
   }
   Frame& f = *frames_[idx];
   f.ref = true;
@@ -57,6 +58,7 @@ void BufferManager::Prefetch(int64_t page) {
   if (page_map_.count(page) != 0) return;
   auto idx = AcquireFrameLocked(/*allow_growth=*/false);
   if (!idx.ok()) return;  // no frame without pressure: skip the hint
+  // analyzer:allow-next-line(lock-order) single-threaded pager (DESIGN.md §15)
   Status st = LoadFrameLocked(idx.ValueOrDie(), page);
   if (!st.ok()) {
     // Best-effort: a failed prefetch read surfaces (with a real Status) on

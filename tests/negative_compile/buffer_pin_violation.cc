@@ -1,0 +1,52 @@
+// Negative-compile fixture: the BufferManager pin/unpin discipline. Frame
+// bookkeeping (the pin table, the clock hand) is CAPE_GUARDED_BY(mu_) and
+// only touchable through CAPE_REQUIRES(mu_) helpers — the shape of
+// storage/buffer_manager.h's Pin/Unpin/ReleaseFrameLocked split. Compiled
+// twice by check_compile.cmake with -Wthread-safety -Werror (Clang only):
+// once as-is (control — the correctly locked Unpin must compile) and once
+// with -DCAPE_NC_VIOLATION, where Unpin calls the locked helper after
+// dropping mu_ — racing Pin's clock sweep — and must not build.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace {
+
+class PinCache {
+ public:
+  uint64_t Pin(int64_t page) CAPE_EXCLUDES(mu_) {
+    cape::MutexLock lock(mu_);
+    AcquireFrameLocked(page);
+    return static_cast<uint64_t>(page);
+  }
+
+  void Unpin(uint64_t cookie) CAPE_EXCLUDES(mu_) {
+#ifdef CAPE_NC_VIOLATION
+    ReleaseFrameLocked(static_cast<size_t>(cookie));  // unlocked — must not build
+#else
+    cape::MutexLock lock(mu_);
+    ReleaseFrameLocked(static_cast<size_t>(cookie));
+#endif
+  }
+
+ private:
+  void AcquireFrameLocked(int64_t page) CAPE_REQUIRES(mu_) { pins_.push_back(page); }
+
+  void ReleaseFrameLocked(size_t idx) CAPE_REQUIRES(mu_) {
+    if (idx < pins_.size()) pins_[idx] = -1;
+  }
+
+  cape::Mutex mu_;
+  std::vector<int64_t> pins_ CAPE_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  PinCache cache;
+  const uint64_t cookie = cache.Pin(0);
+  cache.Unpin(cookie);
+  return 0;
+}

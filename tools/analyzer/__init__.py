@@ -1,0 +1,2 @@
+# tools/analyzer — AST-grounded invariant analyzer for the CAPE tree.
+# See __main__.py for the CLI and DESIGN.md §17 for the checks.

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""CAPE invariant analyzer: AST-grounded checks the regex lint cannot do.
+
+tools/lint.py matches single lines; this tool parses each translation unit
+into a structural AST (functions, loop nests, lock scopes, call edges — see
+cxxast.py) and closes facts over the whole-program call graph, so it can
+answer questions like "does every data-bounded loop reach a stop-token
+check through some call chain" or "is the static lock-acquisition graph
+acyclic". Checks and their rationale: checks.py and DESIGN.md §17.
+
+The translation-unit list comes from compile_commands.json (export is on by
+default in CMakeLists.txt); headers under src/ are added so member
+declarations and CAPE_REQUIRES annotations are visible. Without a build
+directory, `--root`-relative discovery scans src/ directly — same files,
+no compiler needed.
+
+Suppression shares tools/lint.py's syntax via tools/srcscan.py: append
+`// analyzer:allow(<check>) <why>` to the flagged line, or put
+`// analyzer:allow-next-line(<check>) <why>` on the line directly above
+when the flagged line has no room for a trailing comment. A baseline file
+(`--baseline`) accepts lines of `<check> <path> <why>` for whole-file
+grandfathering; the shipped tree carries no baseline — zero findings is the
+invariant CI enforces.
+
+Usage:
+  python3 tools/analyzer                               # discover src/ from repo root
+  python3 tools/analyzer --compile-commands build/compile_commands.json
+  python3 tools/analyzer --check cancellation          # one check only
+  python3 tools/analyzer --self-test                   # seeded-violation fixtures
+  python3 tools/analyzer --list                        # parse report (calibration)
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+from analyzer import checks, cxxast  # noqa: E402
+from analyzer.selftest import self_test  # noqa: E402
+
+
+def tu_files_from_compile_commands(path, root):
+    with open(path, encoding="utf-8") as f:
+        entries = json.load(f)
+    files = set()
+    for e in entries:
+        src = e.get("file", "")
+        if not os.path.isabs(src):
+            src = os.path.join(e.get("directory", ""), src)
+        src = os.path.normpath(src)
+        rel = os.path.relpath(src, root)
+        if rel.startswith("src" + os.sep) and os.path.isfile(src):
+            files.add(src)
+    return sorted(files)
+
+
+def headers_under_src(root):
+    return [p for p in cxxast.srcscan.collect_files(root, topdirs=("src",))
+            if p.endswith((".h", ".hpp"))]
+
+
+def load_baseline(path):
+    accepted = set()
+    if not path:
+        return accepted
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                raise SystemExit(
+                    f"baseline '{path}': malformed line '{line}' — expected "
+                    "'<check> <path> <why>' (the justification is required)")
+            accepted.add((parts[0], parts[1]))
+    return accepted
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        prog="tools/analyzer", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json giving the TU list "
+                             "(default: <root>/build/compile_commands.json "
+                             "when present, else src/ discovery)")
+    parser.add_argument("--check", action="append", choices=checks.ALL_CHECKS,
+                        help="run only the named check(s)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file of accepted findings "
+                             "('<check> <path> <why>' per line)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the seeded-violation fixtures and exit")
+    parser.add_argument("--list", action="store_true",
+                        help="dump the parse (functions/loops/locks) instead "
+                             "of findings — calibration aid")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+
+    root = os.path.abspath(
+        args.root or
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir,
+                     os.pardir))
+
+    cc = args.compile_commands
+    if cc is None:
+        candidate = os.path.join(root, "build", "compile_commands.json")
+        cc = candidate if os.path.isfile(candidate) else None
+
+    if cc is not None:
+        sources = tu_files_from_compile_commands(cc, root)
+        if not sources:
+            print(f"analyzer: no src/ translation units in {cc}", file=sys.stderr)
+            return 2
+        origin = f"{len(sources)} TUs from {os.path.relpath(cc, root)}"
+    else:
+        sources = [p for p in cxxast.srcscan.collect_files(root, topdirs=("src",))
+                   if p.endswith((".cc", ".cpp"))]
+        origin = f"{len(sources)} sources from src/ discovery"
+    files = sorted(set(sources) | set(headers_under_src(root)))
+
+    file_asts = [cxxast.parse_file(p, root) for p in files]
+
+    if args.list:
+        for fa in file_asts:
+            print(f"== {fa.rel}")
+            for fn in fa.functions:
+                print(f"  fn {fn.name} @{fa.line_at(fn.header_start)} "
+                      f"locks={[s.qualified for s in fn.lock_scopes]}")
+                for loop in fn.loops:
+                    print(f"    {loop.kind} @{fa.line_at(loop.start)}: "
+                          f"{' '.join(loop.header_text.split())[:90]}")
+        return 0
+
+    findings = checks.run_checks(file_asts, enabled=args.check)
+    baseline = load_baseline(args.baseline)
+    findings = [f for f in findings if (f.check, f.path) not in baseline]
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nanalyzer: {len(findings)} finding(s) over {origin} "
+              f"(+{len(files) - len(sources)} headers). Fix them or, where "
+              "the pattern is deliberate, append "
+              "`// analyzer:allow(<check>) <why>`.", file=sys.stderr)
+        return 1
+    print(f"analyzer: OK ({origin}, +{len(files) - len(sources)} headers, "
+          f"checks: {', '.join(args.check or checks.ALL_CHECKS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

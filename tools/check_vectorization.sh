@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
-# Asserts that every hot loop in the block/morsel kernel layer actually
-# auto-vectorizes (DESIGN.md §14). Hot loops are tagged with a `// vec-hot`
-# comment on the `for` line in src/relational/kernels.cc; this script
-# compiles the file exactly as the release build does (-O3) and checks gcc's
-# -fopt-info-vec report for a "loop vectorized" line at each tagged line
-# number. A tag with no report fails the build — a silent regression to a
-# scalar loop is a multi-x slowdown on every mining/explanation scan.
+# Asserts that every hot loop in the kernel layer actually auto-vectorizes
+# (DESIGN.md §14). Hot loops carry a trailing `// vec-hot` tag on their
+# `for` line; this script discovers the tags by grepping the whole src/
+# tree (the annotation set is the source of truth — no hard-coded file list
+# or loop count), compiles each tagged file exactly as the release build
+# does (-O3), and checks gcc's -fopt-info-vec report for a "loop
+# vectorized" line at each tagged line number. A tag with no report fails
+# the build — a silent regression to a scalar loop is a multi-x slowdown on
+# every mining/explanation scan.
+#
+# Tag rules, enforced here:
+#   * the tag is `// vec-hot` at end of line (prose mentions elsewhere on a
+#     line don't count);
+#   * it must sit on the `for` line itself, or the line-number match against
+#     the vectorizer report would silently check the wrong loop;
+#   * it must live in a .cc file (a header loop reports under the file that
+#     includes it, so its line numbers cannot be checked this way).
 #
 # Usage: tools/check_vectorization.sh [compiler]
 
@@ -13,7 +23,6 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 
 CXX="${1:-${CXX:-g++}}"
-SRC="src/relational/kernels.cc"
 FLAGS=(-O3 -std=c++20 -Isrc -c -o /dev/null)
 
 if ! "${CXX}" --version >/dev/null 2>&1; then
@@ -21,38 +30,70 @@ if ! "${CXX}" --version >/dev/null 2>&1; then
   exit 2
 fi
 
-# Tagged line numbers, from the source of truth: the annotations themselves.
-# Require a `for` on the same line so prose mentions of the tag don't count.
-mapfile -t hot_lines < <(grep -nE 'for \(.*// vec-hot' "${SRC}" | cut -d: -f1)
-if [[ ${#hot_lines[@]} -eq 0 ]]; then
-  echo "error: no '// vec-hot' annotations found in ${SRC}" >&2
+# Tree-wide tag discovery: `file:line` pairs for every end-of-line tag.
+mapfile -t tagged < <(grep -rnE '// vec-hot[[:space:]]*$' src \
+                        --include='*.cc' --include='*.h' --include='*.hpp' \
+                      | cut -d: -f1,2)
+if [[ ${#tagged[@]} -eq 0 ]]; then
+  echo "error: no '// vec-hot' annotations found under src/" >&2
   exit 2
 fi
+
+# Placement cross-check before any compilation.
+bad=0
+for entry in "${tagged[@]}"; do
+  file="${entry%%:*}"
+  line="${entry##*:}"
+  text="$(sed -n "${line}p" "${file}")"
+  if [[ "${file}" != *.cc ]]; then
+    echo "FAIL: ${file}:${line}: vec-hot tag in a header — move it to the"
+    echo "      .cc loop; header line numbers don't appear in the report"
+    bad=$((bad + 1))
+  elif ! grep -qE 'for[[:space:]]*\(' <<< "${text}"; then
+    echo "FAIL: ${file}:${line}: vec-hot tag is not on a 'for' line:"
+    echo "      ${text}"
+    bad=$((bad + 1))
+  fi
+done
+if [[ ${bad} -gt 0 ]]; then
+  echo "${bad} misplaced vec-hot tag(s)" >&2
+  exit 1
+fi
+
+mapfile -t files < <(printf '%s\n' "${tagged[@]}" | cut -d: -f1 | sort -u)
 
 report="$(mktemp)"
 trap 'rm -f "${report}"' EXIT
-if ! "${CXX}" "${FLAGS[@]}" -fopt-info-vec-optimized "${SRC}" 2> "${report}"; then
-  echo "error: ${SRC} failed to compile" >&2
-  cat "${report}" >&2
-  exit 2
-fi
 
 failures=0
-for line in "${hot_lines[@]}"; do
-  if grep -Eq "kernels\.cc:${line}:[0-9]+: optimized: loop vectorized" "${report}"; then
-    echo "ok:   ${SRC}:${line} vectorized"
-  else
-    echo "FAIL: ${SRC}:${line} tagged vec-hot but not vectorized"
-    failures=$((failures + 1))
+total=0
+for src in "${files[@]}"; do
+  if ! "${CXX}" "${FLAGS[@]}" -fopt-info-vec-optimized "${src}" 2> "${report}"; then
+    echo "error: ${src} failed to compile" >&2
+    cat "${report}" >&2
+    exit 2
   fi
+  base="$(basename "${src}")"
+  for entry in "${tagged[@]}"; do
+    [[ "${entry%%:*}" == "${src}" ]] || continue
+    line="${entry##*:}"
+    total=$((total + 1))
+    if grep -Eq "${base}:${line}:[0-9]+: optimized: loop vectorized" "${report}"; then
+      echo "ok:   ${src}:${line} vectorized"
+    else
+      echo "FAIL: ${src}:${line} tagged vec-hot but not vectorized:"
+      echo "      $(sed -n "${line}p" "${src}" | sed 's/^[[:space:]]*//')"
+      failures=$((failures + 1))
+      echo "      --- compiler missed-vectorization report for this loop ---"
+      "${CXX}" "${FLAGS[@]}" -fopt-info-vec-missed "${src}" 2>&1 \
+        | grep -E "${base}:${line}:" | head -8 | sed 's/^/      /'
+    fi
+  done
 done
 
 if [[ ${failures} -gt 0 ]]; then
   echo ""
-  echo "--- compiler missed-vectorization report (why each loop was skipped) ---"
-  "${CXX}" "${FLAGS[@]}" -fopt-info-vec-missed "${SRC}" 2>&1 | grep -E 'kernels\.cc' | head -60
-  echo ""
-  echo "${failures} vec-hot loop(s) failed to vectorize" >&2
+  echo "${failures} of ${total} vec-hot loop(s) failed to vectorize" >&2
   exit 1
 fi
-echo "all ${#hot_lines[@]} vec-hot loops vectorized"
+echo "all ${total} vec-hot loops vectorized (discovered from ${#files[@]} file(s))"

@@ -37,8 +37,11 @@ types (DESIGN.md §12). Rules:
                       cannot be bypassed (DESIGN.md §15). Socket IO
                       (::read/::write/::close) and iostreams stay legal.
 
-Suppression: append `// lint:allow(<rule>) <why>` to the offending line.
-Suppressions are meant to be rare and must carry a justification.
+Suppression: append `// lint:allow(<rule>) <why>` to the offending line, or
+put `// lint:allow-next-line(<rule>) <why>` on the line above when the
+statement is too long to carry a trailing comment (tools/srcscan.py parses
+both forms, for this tool and for tools/analyzer alike). Suppressions are
+meant to be rare and must carry a justification.
 
 Usage:
   tools/lint.py                 # lint the whole repo
@@ -51,6 +54,9 @@ import os
 import re
 import sys
 import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import srcscan  # noqa: E402  (shared stripping + suppression semantics)
 
 # ----------------------------------------------------------------------------
 # Rule tables
@@ -83,9 +89,7 @@ RAW_FILE_IO_ALLOWED_PREFIX = "src/storage/"
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
-ALLOW_RE = re.compile(r"lint:allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
-
-SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+SOURCE_EXTENSIONS = srcscan.SOURCE_EXTENSIONS
 
 
 class Finding:
@@ -100,84 +104,17 @@ class Finding:
 
 
 # ----------------------------------------------------------------------------
-# Comment/string stripping
-#
-# Regex rules must not fire on prose ("nothing constructs std::thread
-# directly" in a doc comment) or on string contents, so matching happens on
-# a stripped copy where comment and literal bodies are blanked with spaces.
-# Newlines are preserved: line numbers in the stripped text equal line
-# numbers in the original.
+# Comment/string stripping and suppression parsing are shared with
+# tools/analyzer via srcscan.py, so the two tools cannot drift on what
+# counts as code or on `:allow(...)` semantics.
 
-def strip_comments_and_strings(text):
-    out = []
-    i = 0
-    n = len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            while i < n and text[i] != "\n":
-                out.append(" ")
-                i += 1
-        elif c == "/" and nxt == "*":
-            out.append("  ")
-            i += 2
-            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
-                out.append("\n" if text[i] == "\n" else " ")
-                i += 1
-            if i < n:
-                out.append("  ")
-                i += 2
-        elif c == "R" and nxt == '"':
-            # Raw string literal: R"delim( ... )delim"
-            m = re.match(r'R"([^()\\ \t\n]*)\(', text[i:])
-            if m:
-                out.append(" " * (len(m.group(0))))
-                i += len(m.group(0))
-                end = text.find(")" + m.group(1) + '"', i)
-                if end == -1:
-                    end = n
-                while i < end:
-                    out.append("\n" if text[i] == "\n" else " ")
-                    i += 1
-                tail = len(")" + m.group(1) + '"')
-                out.append(" " * min(tail, n - i))
-                i += tail
-            else:
-                out.append(c)
-                i += 1
-        elif c == '"' or c == "'":
-            quote = c
-            out.append(" ")
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\" and i + 1 < n:
-                    out.append("  ")
-                    i += 2
-                else:
-                    out.append("\n" if text[i] == "\n" else " ")
-                    i += 1
-            if i < n:
-                out.append(" ")
-                i += 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def line_of_offset(text, offset):
-    return text.count("\n", 0, offset) + 1
+strip_comments_and_strings = srcscan.strip_comments_and_strings
+line_of_offset = srcscan.line_of_offset
+_skip_balanced = srcscan.skip_balanced
 
 
 def suppressed(original_lines, line_no, rule):
-    if line_no - 1 >= len(original_lines):
-        return False
-    m = ALLOW_RE.search(original_lines[line_no - 1])
-    if not m:
-        return False
-    rules = [r.strip() for r in m.group(1).split(",")]
-    return rule in rules
+    return srcscan.suppressed(original_lines, line_no, rule, tool="lint")
 
 
 # ----------------------------------------------------------------------------
@@ -189,21 +126,6 @@ STATUS_FN_RE = re.compile(
     r"(?:::)?(?:cape::)?(Status|Result\s*<[^;{}]*?>)[ \t\n]+"
     r"(~?[A-Za-z_][\w:]*)[ \t\n]*\(",
     re.MULTILINE)
-
-
-def _skip_balanced(text, i, open_ch, close_ch):
-    """Returns index just past the matching close_ch; `i` is at open_ch."""
-    depth = 0
-    n = len(text)
-    while i < n:
-        if text[i] == open_ch:
-            depth += 1
-        elif text[i] == close_ch:
-            depth -= 1
-            if depth == 0:
-                return i + 1
-        i += 1
-    return n
 
 
 def status_function_spans(stripped):
@@ -236,8 +158,7 @@ def status_function_spans(stripped):
 # ----------------------------------------------------------------------------
 # Per-file linting
 
-def relpath(path, root):
-    return os.path.relpath(path, root).replace(os.sep, "/")
+relpath = srcscan.relpath
 
 
 def lint_file(path, root):
@@ -323,16 +244,7 @@ def lint_file(path, root):
 
 
 def collect_files(root):
-    files = []
-    for top in ("src", "tests", "bench", "examples", "tools"):
-        top_dir = os.path.join(root, top)
-        if not os.path.isdir(top_dir):
-            continue
-        for dirpath, _, names in os.walk(top_dir):
-            for name in sorted(names):
-                if name.endswith(SOURCE_EXTENSIONS):
-                    files.append(os.path.join(dirpath, name))
-    return files
+    return srcscan.collect_files(root)
 
 
 def run_lint(root, files=None):

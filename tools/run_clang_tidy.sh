@@ -3,9 +3,10 @@
 #
 # Usage:
 #   tools/run_clang_tidy.sh                 # all of src/
-#   tools/run_clang_tidy.sh --changed [REF] # only files changed vs REF
-#                                           # (default: origin/main, falling
-#                                           # back to HEAD~1)
+#   tools/run_clang_tidy.sh --changed [REF] # only files changed vs the
+#                                           # merge-base of REF and HEAD
+#                                           # (default REF: origin/main,
+#                                           # falling back to HEAD~1)
 #   tools/run_clang_tidy.sh FILE...         # specific files
 #
 # Environment:
@@ -45,11 +46,16 @@ if [[ $# -ge 1 && "$1" == "--changed" ]]; then
       ref=HEAD~1
     fi
   fi
+  # Diff against the merge-base, not REF itself: on a PR branch, REF
+  # (e.g. origin/main) may have advanced past the fork point, and a direct
+  # diff would drag in files *other* people changed on main — failing the
+  # lint job on code this branch never touched.
+  base="$(git merge-base "$ref" HEAD 2>/dev/null || echo "$ref")"
   while IFS= read -r f; do
     [[ "$f" == src/*.cc ]] && [[ -f "$f" ]] && files+=("$f")
-  done < <(git diff --name-only "$ref" -- 'src/*.cc')
+  done < <(git diff --name-only "$base" -- 'src/*.cc')
   if [[ ${#files[@]} -eq 0 ]]; then
-    echo "run_clang_tidy.sh: no changed src/*.cc files vs $ref — nothing to do"
+    echo "run_clang_tidy.sh: no changed src/*.cc files vs merge-base of $ref — nothing to do"
     exit 0
   fi
 elif [[ $# -ge 1 ]]; then

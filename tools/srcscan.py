@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Shared C++ source-scanning primitives for CAPE's repo tools.
+
+tools/lint.py (regex lint) and tools/analyzer (AST-grounded invariant
+analyzer) must agree on two things or they drift apart in confusing ways:
+
+  * what counts as *code* — both match only against a stripped copy of the
+    file where comment and string-literal bodies are blanked (newlines
+    preserved, so line numbers survive);
+  * what counts as a *suppression* — the inline
+    `// <tool>:allow(<rule>) <why>` syntax, where <tool> is "lint" or
+    "analyzer" and the justification is mandatory by convention.
+
+Both live here so there is exactly one implementation of each.
+"""
+
+import os
+import re
+
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+
+# Top-level directories scanned by the whole-repo modes of both tools.
+SCAN_TOPDIRS = ("src", "tests", "bench", "examples", "tools")
+
+
+# ----------------------------------------------------------------------------
+# Comment/string stripping
+#
+# Rules must not fire on prose ("nothing constructs std::thread directly" in
+# a doc comment) or on string contents, so matching happens on a stripped
+# copy where comment and literal bodies are blanked with spaces. Newlines
+# are preserved: line numbers in the stripped text equal line numbers in the
+# original.
+
+def strip_comments_and_strings(text):
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == "R" and nxt == '"':
+            # Raw string literal: R"delim( ... )delim"
+            m = re.match(r'R"([^()\\ \t\n]*)\(', text[i:])
+            if m:
+                out.append(" " * (len(m.group(0))))
+                i += len(m.group(0))
+                end = text.find(")" + m.group(1) + '"', i)
+                if end == -1:
+                    end = n
+                while i < end:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+                tail = len(")" + m.group(1) + '"')
+                out.append(" " * min(tail, n - i))
+                i += tail
+            else:
+                out.append(c)
+                i += 1
+        elif c == '"' or c == "'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of_offset(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+# ----------------------------------------------------------------------------
+# Suppressions: `// <tool>:allow(<rule>[, <rule>...]) <why>`
+#
+# A suppression applies to the line it sits on; the
+# `<tool>:allow-next-line(<rule>) <why>` form sits on its own line and
+# applies to the line below (for statements too long to carry a trailing
+# comment). The rule list is comma-separated; the trailing justification is
+# free text (required by convention, not parsed). Tools share this parser so
+# a suppression that works for lint cannot silently mean something else to
+# the analyzer.
+
+def allow_regex(tool, next_line=False):
+    word = "allow-next-line" if next_line else "allow"
+    return re.compile(re.escape(tool) + ":" + word +
+                      r"\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+
+def _names_rule(regex, line, rule):
+    m = regex.search(line)
+    return bool(m) and rule in [r.strip() for r in m.group(1).split(",")]
+
+
+def suppressed(original_lines, line_no, rule, tool="lint"):
+    """True when 1-based `line_no` carries a `<tool>:allow(...)` naming
+    `rule`, or the line above carries the `<tool>:allow-next-line(...)`
+    form."""
+    if line_no - 1 >= len(original_lines) or line_no < 1:
+        return False
+    if _names_rule(allow_regex(tool), original_lines[line_no - 1], rule):
+        return True
+    return line_no >= 2 and _names_rule(allow_regex(tool, next_line=True),
+                                        original_lines[line_no - 2], rule)
+
+
+# ----------------------------------------------------------------------------
+# Balanced-delimiter scanning over stripped text.
+
+def skip_balanced(text, i, open_ch, close_ch):
+    """Returns index just past the matching close_ch; `i` is at open_ch."""
+    depth = 0
+    n = len(text)
+    while i < n:
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def relpath(path, root):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def collect_files(root, topdirs=SCAN_TOPDIRS, extensions=SOURCE_EXTENSIONS):
+    files = []
+    for top in topdirs:
+        top_dir = os.path.join(root, top)
+        if not os.path.isdir(top_dir):
+            continue
+        for dirpath, _, names in os.walk(top_dir):
+            for name in sorted(names):
+                if name.endswith(extensions):
+                    files.append(os.path.join(dirpath, name))
+    return files
